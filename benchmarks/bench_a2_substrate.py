@@ -1,0 +1,86 @@
+"""A2 (micro) — substrate throughput: how much simulation per wall second.
+
+Not a paper experiment: these wall-clock micro-benchmarks size the
+simulator itself, so downstream users can budget experiments (events/s
+of the kernel, end-to-end messages/s through the full dapplet stack).
+Regressions here slow every other benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dapplet, World
+from repro.messages import Text
+from repro.net import ConstantLatency
+from repro.sim import Kernel, Store
+
+
+class Node(Dapplet):
+    kind = "node"
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw event scheduling + processing."""
+    def run(n=20_000):
+        kernel = Kernel()
+        for i in range(n):
+            kernel.timeout(i * 0.001)
+        kernel.run()
+        return kernel.now
+
+    assert benchmark(run) > 0
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator coroutine resume cost."""
+    def run(n=5_000):
+        kernel = Kernel()
+        done = []
+
+        def body():
+            for _ in range(n):
+                yield kernel.timeout(0.001)
+            done.append(True)
+
+        kernel.process(body())
+        kernel.run()
+        return done[0]
+
+    assert benchmark(run)
+
+
+def test_store_handoff_throughput(benchmark):
+    def run(n=10_000):
+        kernel = Kernel()
+        store = Store(kernel)
+        got = []
+
+        def consumer():
+            for _ in range(n):
+                got.append((yield store.get()))
+
+        kernel.process(consumer())
+        for i in range(n):
+            store.put(i)
+        kernel.run()
+        return len(got)
+
+    assert benchmark(run) == 10_000
+
+
+def test_end_to_end_message_throughput(benchmark):
+    """Full stack: serialize -> transport (reliable) -> deliver."""
+    def run(n=1_000):
+        world = World(seed=0, latency=ConstantLatency(0.01))
+        a = world.dapplet(Node, "caltech.edu", "a")
+        b = world.dapplet(Node, "rice.edu", "b")
+        inbox = b.create_inbox(name="in")
+        out = a.create_outbox()
+        out.add(inbox.named_address)
+        for i in range(n):
+            out.send(Text(str(i)))
+        world.run()
+        return len(inbox.queued())
+
+    assert benchmark(run) == 1_000

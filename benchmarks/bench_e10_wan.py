@@ -1,0 +1,92 @@
+"""E10 — latency heterogeneity (paper §2.2).
+
+"One process in a calendar application may be in Australia while two
+other processes are in the same building in Pasadena."
+
+Scenario: the same 6-member scheduling session under three deployments
+— all in one building (LAN), spread across the US (mixed), and with one
+member in Sydney (one-far). Metric: time-to-agreement and the share of
+it attributable to the farthest member.
+
+Shape claims: completion time is governed by the *slowest* member (a
+scatter/gather waits for the straggler): one-far costs nearly the full
+Sydney round trip per phase even though 5 of 6 members are close; the
+traditional sequential algorithm pays the far member once per contact
+too, but its *total* inflates by every member's latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro.apps.calendar import (
+    CalendarDapplet,
+    MeetingDirector,
+    SecretaryDapplet,
+    load_calendar,
+    schedule_meeting,
+)
+from repro.net import GeoLatency
+from repro.world import World
+
+DEPLOYMENTS = {
+    "all-lan": ["caltech.edu"] * 6,
+    "mixed-us": ["caltech.edu", "caltech.edu", "rice.edu", "rice.edu",
+                 "utk.edu", "mit.edu"],
+    "one-far": ["caltech.edu"] * 5 + ["sydney.edu.au"],
+}
+
+
+def run_deployment(name: str, algorithm: str = "session", seed: int = 41):
+    hosts = DEPLOYMENTS[name]
+    world = World(seed=seed, latency=GeoLatency())
+    members = []
+    for i, host in enumerate(hosts):
+        d = world.dapplet(CalendarDapplet, host, f"m{i}")
+        load_calendar(d.state, [i % 2])
+        members.append(f"m{i}")
+    world.dapplet(SecretaryDapplet, "caltech.edu", "sec")
+    director = world.dapplet(MeetingDirector, "caltech.edu", "director")
+    box = []
+
+    def driver():
+        out = yield from schedule_meeting(director, "sec", members,
+                                          horizon=8, algorithm=algorithm)
+        box.append(out)
+
+    world.run(until=world.process(driver()))
+    world.run()
+    return box[0]
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for name in DEPLOYMENTS:
+        table[(name, "session")] = run_deployment(name, "session")
+        table[(name, "traditional")] = run_deployment(name, "traditional")
+    return table
+
+
+def test_e10_table_and_shape(results, benchmark):
+    rows = []
+    for name in DEPLOYMENTS:
+        s = results[(name, "session")]
+        t = results[(name, "traditional")]
+        rows.append([name, f"{s.elapsed:.3f}", f"{t.elapsed:.3f}",
+                     f"{t.elapsed / s.elapsed:.2f}x", s.day])
+    print_table("E10: scheduling time vs latency heterogeneity (6 members)",
+                ["deployment", "session (s)", "traditional (s)",
+                 "ratio", "day"], rows)
+
+    session = {n: results[(n, "session")].elapsed for n in DEPLOYMENTS}
+    # Shape: completion time ordered by worst-member distance.
+    assert session["all-lan"] < session["mixed-us"] < session["one-far"]
+    # Shape: one far member dominates — one-far costs several times the
+    # all-LAN session even though 5/6 members are colocated.
+    assert session["one-far"] > 3 * session["all-lan"]
+    # Shape: everyone agrees on the same day regardless of deployment.
+    assert len({results[(n, "session")].day for n in DEPLOYMENTS}) == 1
+
+    benchmark(run_deployment, "mixed-us")

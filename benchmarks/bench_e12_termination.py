@@ -1,0 +1,106 @@
+"""E12 — termination detection (paper §2.2's servlet list).
+
+Scenario: a ring of workers processes a diffusing computation (work
+items spawn more work with shrinking hop counts); Safra's token
+detector announces termination. Metric: the delay between actual
+quiescence (the last application message processed) and detection, vs
+ring size.
+
+Shape claims: detection is sound (never early) and its delay grows
+linearly with ring size — the token must circle up to twice after
+quiescence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro import Dapplet, World
+from repro.messages import Blob
+from repro.net import ConstantLatency
+from repro.services.termination import TerminationDetector
+
+LINK = 0.02
+
+
+class Worker(Dapplet):
+    kind = "worker"
+
+    def wire(self, ring, index, next_inbox, initial_work):
+        self.detector = TerminationDetector(self, "g", ring, index)
+        self.work_inbox = self.create_inbox(name="work")
+        self.out = self.create_outbox()
+        self.out.add(next_inbox)
+        self.detector.watch_outbox(self.out)
+        self.detector.watch_inbox(self.work_inbox)
+        self.initial_work = initial_work
+        self.last_processed = 0.0
+
+    def main(self):
+        def run():
+            for _ in range(self.initial_work):
+                self.out.send(Blob({"hops": 4}))
+            self.detector.set_passive()
+            while True:
+                msg = yield self.work_inbox.receive()
+                self.last_processed = self.world.now
+                if msg.data["hops"] > 0:
+                    self.out.send(Blob({"hops": msg.data["hops"] - 1}))
+                self.detector.set_passive()
+
+        return run()
+
+
+def run_ring(n: int, seed: int = 47):
+    world = World(seed=seed, latency=ConstantLatency(LINK))
+    workers = [world.dapplet(Worker, f"s{i}.edu", f"w{i}")
+               for i in range(n)]
+    ring = [w.address for w in workers]
+    for i, w in enumerate(workers):
+        w.wire(ring, i, workers[(i + 1) % n].address.inbox("work"),
+               initial_work=2 if i == 0 else 0)
+    for w in workers:
+        w.start()
+    box = {}
+
+    def watcher():
+        t = yield workers[0].detector.detected
+        box["detected_at"] = t
+
+    world.run(until=world.process(watcher()))
+    quiescent_at = max(w.last_processed for w in workers)
+    return {
+        "quiescent_at": quiescent_at,
+        "detected_at": box["detected_at"],
+        "delay": box["detected_at"] - quiescent_at,
+        "rounds": workers[0].detector.token_rounds,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    sizes = (3, 6, 12, 24)
+    return sizes, {n: run_ring(n) for n in sizes}
+
+
+def test_e12_table_and_shape(results, benchmark):
+    sizes, table = results
+    rows = [[n, f"{table[n]['quiescent_at']:.3f}",
+             f"{table[n]['detected_at']:.3f}",
+             f"{table[n]['delay']:.3f}", table[n]["rounds"]]
+            for n in sizes]
+    print_table("E12: Safra termination detection vs ring size",
+                ["ring", "quiescent (s)", "detected (s)", "delay (s)",
+                 "token rounds"], rows)
+
+    for n in sizes:
+        # Soundness: never announced before quiescence.
+        assert table[n]["detected_at"] >= table[n]["quiescent_at"]
+        # Liveness: at most ~2 extra token rounds after quiescence.
+        assert table[n]["delay"] < 2.5 * n * LINK + 0.2
+    # Shape: delay grows with ring size.
+    delays = [table[n]["delay"] for n in sizes]
+    assert delays[-1] > delays[0]
+
+    benchmark(run_ring, 6)

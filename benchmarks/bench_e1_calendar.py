@@ -1,0 +1,110 @@
+"""E1 — Figure 1 / Example One: the calendar session vs the tradition.
+
+Scenario: committee members' calendar dapplets at Caltech, Rice and
+Tennessee, a coordinating secretary, the director's initiator. Metrics:
+virtual time-to-agreement and datagram count, for the paper's session
+approach vs the "call each member in turn" baseline, across committee
+sizes.
+
+Shape claims (paper §1 motivation): the session approach wins on
+latency; the gap widens with committee size (sequential negotiation
+costs one WAN round trip per member, the session costs one per phase).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro.apps.calendar import (
+    CalendarDapplet,
+    MeetingDirector,
+    SecretaryDapplet,
+    load_calendar,
+    ring_schedule,
+    schedule_meeting,
+)
+from repro.net import GeoLatency
+from repro.world import World
+
+SITES = ["caltech.edu", "rice.edu", "utk.edu"]
+
+
+def build(n_members: int, seed: int = 7):
+    world = World(seed=seed, latency=GeoLatency())
+    members = []
+    for i in range(n_members):
+        name = f"member{i}"
+        d = world.dapplet(CalendarDapplet, SITES[i % len(SITES)], name)
+        load_calendar(d.state, [i % 3])  # staggered busy days
+        members.append(name)
+    world.dapplet(SecretaryDapplet, "caltech.edu", "secretary")
+    director = world.dapplet(MeetingDirector, "caltech.edu", "director")
+    return world, director, members
+
+
+def run_schedule(n_members: int, algorithm: str):
+    world, director, members = build(n_members)
+    box = []
+
+    def driver():
+        if algorithm == "ring":
+            out = yield from ring_schedule(director, members, horizon=10)
+        else:
+            out = yield from schedule_meeting(
+                director, "secretary", members, horizon=10,
+                algorithm=algorithm)
+        box.append(out)
+
+    world.run(until=world.process(driver()))
+    world.run()
+    return box[0]
+
+
+ALGORITHMS = ("session", "traditional", "negotiated", "ring")
+
+
+@pytest.fixture(scope="module")
+def results():
+    sizes = (3, 6, 9)
+    table = {}
+    for n in sizes:
+        for algorithm in ALGORITHMS:
+            table[(n, algorithm)] = run_schedule(n, algorithm)
+    return sizes, table
+
+
+def test_e1_table_and_shape(results, benchmark):
+    sizes, table = results
+    rows = []
+    for n in sizes:
+        s = table[(n, "session")]
+        t = table[(n, "traditional")]
+        g = table[(n, "negotiated")]
+        r = table[(n, "ring")]
+        rows.append([n, f"{s.elapsed:.3f}", f"{t.elapsed:.3f}",
+                     f"{g.elapsed:.3f}", f"{r.elapsed:.3f}",
+                     f"{t.elapsed / s.elapsed:.2f}x",
+                     s.datagrams, r.datagrams])
+    print_table(
+        "E1: time-to-agreement by algorithm (virtual seconds)",
+        ["members", "session", "traditional", "negotiated", "ring",
+         "speedup", "dgrams(star)", "dgrams(ring)"], rows)
+
+    # Shape: all algorithms agree on the chosen day.
+    for n in sizes:
+        days = {table[(n, a)].day for a in ALGORITHMS}
+        assert len(days) == 1 and days != {-1}
+    # Shape: the decentralized ring saves messages vs the star.
+    for n in sizes:
+        assert table[(n, "ring")].datagrams < \
+            table[(n, "session")].datagrams
+    # Shape: the session approach wins at every size...
+    for n in sizes:
+        assert table[(n, "session")].elapsed < table[(n, "traditional")].elapsed
+    # ...and the advantage grows with committee size.
+    speedups = [table[(n, "traditional")].elapsed
+                / table[(n, "session")].elapsed for n in sizes]
+    assert speedups[-1] > speedups[0]
+
+    benchmark(run_schedule, 6, "session")

@@ -1,0 +1,80 @@
+"""E2 — Figure 2: initiator-driven session setup.
+
+Scenario: an initiator links N dapplets spread over the WAN into a
+session and tears it down. Metrics: establishment latency (virtual) and
+control datagrams vs N.
+
+Shape claims: control messages grow linearly in N (prepare + accept +
+commit + ready per member); latency stays near one WAN round trip plus
+a commit round — NOT linear in N — because the link-up fans out in
+parallel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro import Dapplet, Initiator, SessionSpec
+from repro.net import GeoLatency
+from repro.world import World
+
+HOSTS = ["caltech.edu", "rice.edu", "utk.edu", "mit.edu"]
+
+
+class Member(Dapplet):
+    kind = "member"
+
+
+def run_setup(n: int, seed: int = 3):
+    world = World(seed=seed, latency=GeoLatency())
+    names = [f"m{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        world.dapplet(Member, HOSTS[i % len(HOSTS)], name)
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec = SessionSpec("setup-bench")
+    for name in names:
+        spec.add_member(name, inboxes=("in",))
+    hub = names[0]
+    for other in names[1:]:
+        spec.bind(hub, "bcast", other, "in")
+    box = {}
+
+    def driver():
+        before = world.network.stats.sent
+        t0 = world.now
+        session = yield from initiator.establish(spec)
+        box["latency"] = world.now - t0
+        box["datagrams"] = world.network.stats.sent - before
+        t0 = world.now
+        yield from session.terminate()
+        box["teardown"] = world.now - t0
+
+    world.run(until=world.process(driver()))
+    world.run()
+    return box
+
+
+@pytest.fixture(scope="module")
+def results():
+    sizes = (2, 4, 8, 16, 32)
+    return sizes, {n: run_setup(n) for n in sizes}
+
+
+def test_e2_table_and_shape(results, benchmark):
+    sizes, table = results
+    rows = [[n, f"{table[n]['latency']:.3f}", table[n]["datagrams"],
+             f"{table[n]['datagrams'] / n:.1f}",
+             f"{table[n]['teardown']:.3f}"] for n in sizes]
+    print_table("E2: session setup vs members",
+                ["members", "setup (s)", "ctl dgrams", "dgrams/member",
+                 "teardown (s)"], rows)
+
+    # Shape: datagrams per member roughly constant (linear total).
+    per_member = [table[n]["datagrams"] / n for n in sizes]
+    assert max(per_member) < 2.5 * min(per_member)
+    # Shape: latency sub-linear in N — 16x the members costs well under
+    # 4x the setup time (parallel fan-out).
+    assert table[32]["latency"] < 4 * table[2]["latency"]
+
+    benchmark(run_setup, 8)

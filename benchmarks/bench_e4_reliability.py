@@ -1,0 +1,97 @@
+"""E4 — the ordering layer over UDP (paper §3.2) under faults (§2.2).
+
+Scenario: a 200-message stream caltech -> rice under increasing
+datagram loss, raw datagrams vs the reliable-FIFO layer. Metrics:
+delivered count, FIFO integrity, mean delivery latency, retransmits.
+
+Shape claims: the raw baseline loses messages in proportion to the drop
+rate and breaks FIFO under jitter; the layer delivers everything in
+order at every loss level, paying latency that grows with loss
+(retransmission timeouts) — graceful degradation, never corruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro import Dapplet, World
+from repro.messages import Text
+from repro.net import ConstantLatency, FaultPlan
+
+
+class Node(Dapplet):
+    kind = "node"
+
+
+N = 200
+
+
+def run_stream(drop: float, reliable: bool, seed: int = 9):
+    world = World(seed=seed, latency=ConstantLatency(0.02),
+                  faults=FaultPlan(drop_prob=drop, duplicate_prob=0.05,
+                                   reorder_jitter=0.05),
+                  endpoint_options={"reliable": reliable,
+                                    **({"rto_initial": 0.1,
+                                        "max_retries": 60}
+                                       if reliable else {})})
+    src = world.dapplet(Node, "caltech.edu", "src")
+    dst = world.dapplet(Node, "rice.edu", "dst")
+    arrivals: list[tuple[float, int]] = []
+    inbox = dst.create_inbox(name="in")
+    inbox.delivery_hooks.append(
+        lambda m: (arrivals.append((world.now, int(m.text))), m)[1])
+    outbox = src.create_outbox()
+    outbox.add(inbox.named_address)
+    send_times = {}
+    for i in range(N):
+        send_times[i] = world.now
+        outbox.send(Text(str(i)))
+    world.run()
+    seq = [s for _, s in arrivals]
+    latencies = [t - send_times[s] for t, s in arrivals]
+    return {
+        "delivered": len(set(seq)),
+        "fifo": seq == sorted(set(seq)),
+        "mean_latency": (sum(latencies) / len(latencies)) if latencies else 0,
+        "retransmits": src.endpoint.stats.data_retransmitted,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    drops = (0.0, 0.1, 0.3, 0.5)
+    table = {}
+    for drop in drops:
+        table[(drop, "raw")] = run_stream(drop, reliable=False)
+        table[(drop, "reliable")] = run_stream(drop, reliable=True)
+    return drops, table
+
+
+def test_e4_table_and_shape(results, benchmark):
+    drops, table = results
+    rows = []
+    for drop in drops:
+        raw = table[(drop, "raw")]
+        rel = table[(drop, "reliable")]
+        rows.append([f"{drop:.0%}", raw["delivered"], raw["fifo"],
+                     rel["delivered"], rel["fifo"],
+                     f"{rel['mean_latency']*1000:.1f}",
+                     rel["retransmits"]])
+    print_table("E4: raw datagrams vs the ordering layer (200 msgs)",
+                ["drop", "raw recv", "raw fifo", "rel recv", "rel fifo",
+                 "rel lat (ms)", "retransmits"], rows)
+
+    for drop in drops:
+        rel = table[(drop, "reliable")]
+        assert rel["delivered"] == N and rel["fifo"]
+    # Shape: raw loses roughly the drop fraction.
+    assert table[(0.3, "raw")]["delivered"] < 0.85 * N
+    assert table[(0.5, "raw")]["delivered"] < table[(0.1, "raw")]["delivered"]
+    # Shape: reliable latency grows with loss; retransmits too.
+    lat = [table[(d, "reliable")]["mean_latency"] for d in drops]
+    assert lat[-1] > lat[0]
+    rtx = [table[(d, "reliable")]["retransmits"] for d in drops]
+    assert rtx == sorted(rtx) and rtx[-1] > 0
+
+    benchmark(run_stream, 0.3, True)

@@ -1,0 +1,181 @@
+"""E6 — clocks, checkpointing, snapshots (paper §4.2).
+
+Scenario A: message traffic with logical clocks always on (they are
+part of the layer); metric: wire-size overhead of timestamping and the
+snapshot-criterion violation count (must be zero).
+
+Scenario B: checkpoint-at-T across a chatty ring; metric: spread of
+checkpoint instants, channel messages captured.
+
+Scenario C: Chandy-Lamport marker snapshots over sessions of growing
+size; metric: markers sent and virtual completion time vs member count.
+
+Shape claims: criterion violations are zero always; marker count equals
+the channel count (linear in ring size) and completion time grows with
+ring circumference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro import Dapplet, Initiator, World
+from repro.messages import Blob, Text
+from repro.net import ConstantLatency, UniformLatency
+from repro.services.clocks import (
+    ChandyLamportSnapshot,
+    CheckpointService,
+    incoming_channels,
+)
+from repro.session import SessionSpec
+
+
+class Node(Dapplet):
+    kind = "node"
+
+
+def run_criterion_check(n_messages: int = 100, seed: int = 21):
+    """Chatty pair; returns (violations, stamped bytes, raw bytes)."""
+    world = World(seed=seed, latency=UniformLatency(0.01, 0.2))
+    a = world.dapplet(Node, "caltech.edu", "a")
+    b = world.dapplet(Node, "rice.edu", "b")
+    ia, ib = a.create_inbox(name="in"), b.create_inbox(name="in")
+    oa, ob = a.create_outbox(), b.create_outbox()
+    oa.add(ib.address)
+    ob.add(ia.address)
+    violations = []
+    for d, inbox in ((a, ia), (b, ib)):
+        def make_hook(d=d):
+            def hook(m):
+                ts = d.clock.last_received_ts
+                if ts is not None and d.clock.time <= ts:
+                    violations.append((d.name, ts))
+                return m
+            return hook
+        inbox.delivery_hooks.append(make_hook())
+
+    def chat(out, inbox, n):
+        for i in range(n):
+            out.send(Text(f"m{i}"))
+            yield inbox.receive()
+
+    world.process(chat(oa, ia, n_messages))
+    world.process(chat(ob, ib, n_messages))
+    world.run()
+    from repro.messages import dumps
+    raw = len(dumps(Text("m0")))
+    stamped = len(dumps(a.clock._on_send(Text("m0"))))
+    return {"violations": len(violations), "raw_bytes": raw,
+            "stamped_bytes": stamped}
+
+
+def run_checkpoint(n: int = 4, T: int = 20, seed: int = 22):
+    world = World(seed=seed, latency=UniformLatency(0.01, 0.3))
+    nodes = [world.dapplet(Node, f"s{i}.edu", f"d{i}") for i in range(n)]
+    inboxes = [d.create_inbox(name="in") for d in nodes]
+    outboxes = []
+    for i, d in enumerate(nodes):
+        ob = d.create_outbox()
+        ob.add(inboxes[(i + 1) % n].address)
+        outboxes.append(ob)
+    services = [CheckpointService(d, at_time=T) for d in nodes]
+
+    def churn(i):
+        for k in range(30):
+            outboxes[i].send(Blob({"k": k}))
+            yield inboxes[i].receive()
+
+    for i in range(n):
+        world.process(churn(i))
+    world.run()
+    assert all(s.taken is not None for s in services)
+    instants = [s.taken.sim_time for s in services]
+    channel_msgs = sum(len(s.taken.channel_messages) for s in services)
+    return {"spread": max(instants) - min(instants),
+            "channel_msgs": channel_msgs}
+
+
+def run_marker_snapshot(n: int, seed: int = 23):
+    world = World(seed=seed, latency=ConstantLatency(0.05))
+    members = [f"m{i}" for i in range(n)]
+    dapplets = {m: world.dapplet(Node, f"s{i}.edu", m)
+                for i, m in enumerate(members)}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec = SessionSpec("snap-bench")
+    for m in members:
+        spec.add_member(m, inboxes=("in",))
+    for i, m in enumerate(members):
+        spec.bind(m, "out", members[(i + 1) % n], "in")
+    incoming = {m: incoming_channels(spec, m) for m in members}
+    snaps = {}
+    box = {}
+
+    class _Holder:
+        pass
+
+    def on_start(d, ctx):
+        snaps[ctx.member] = ChandyLamportSnapshot(
+            ctx, incoming=incoming[ctx.member], state_fn=lambda: {})
+
+    for m in members:
+        dapplets[m].on_session_start = (
+            lambda ctx, d=dapplets[m]: on_start(d, ctx))
+
+    def director():
+        session = yield from initiator.establish(spec)
+        before = world.network.stats.sent
+        t0 = world.now
+        snaps[members[0]].initiate("g0")
+        for m in members:
+            while snaps[m].done is None:
+                yield world.kernel.timeout(0.01)
+            yield snaps[m].done
+        box["elapsed"] = world.now - t0
+        box["datagrams"] = world.network.stats.sent - before
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    return box
+
+
+@pytest.fixture(scope="module")
+def results():
+    criterion = run_criterion_check()
+    checkpoint = run_checkpoint()
+    sizes = (3, 6, 12)
+    marker = {n: run_marker_snapshot(n) for n in sizes}
+    return criterion, checkpoint, sizes, marker
+
+
+def test_e6_criterion_and_overhead(results, benchmark):
+    criterion, checkpoint, _, _ = results
+    overhead = criterion["stamped_bytes"] / criterion["raw_bytes"]
+    print_table("E6a: snapshot criterion + stamping overhead",
+                ["violations", "raw bytes", "stamped bytes", "overhead"],
+                [[criterion["violations"], criterion["raw_bytes"],
+                  criterion["stamped_bytes"], f"{overhead:.2f}x"]])
+    print_table("E6b: checkpoint at clock T=20 on a 4-ring",
+                ["cut spread (s)", "channel msgs captured"],
+                [[f"{checkpoint['spread']:.3f}",
+                  checkpoint["channel_msgs"]]])
+    assert criterion["violations"] == 0
+    assert overhead < 3.0  # a constant envelope, not a blow-up
+
+    benchmark(run_criterion_check, 40)
+
+
+def test_e6_marker_snapshot_scaling(results, benchmark):
+    _, _, sizes, marker = results
+    rows = [[n, f"{marker[n]['elapsed']:.3f}", marker[n]["datagrams"]]
+            for n in sizes]
+    print_table("E6c: Chandy-Lamport snapshot vs ring size",
+                ["members", "elapsed (s)", "datagrams"], rows)
+    # Shape: completion time grows with ring circumference (markers must
+    # travel the ring), datagrams grow linearly.
+    elapsed = [marker[n]["elapsed"] for n in sizes]
+    assert elapsed == sorted(elapsed)
+    assert marker[12]["datagrams"] > 2.5 * marker[3]["datagrams"]
+
+    benchmark(run_marker_snapshot, 4)

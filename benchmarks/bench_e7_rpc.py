@@ -1,0 +1,104 @@
+"""E7 — global pointers and RPC (paper §3.2).
+
+Scenario: a counter object exported behind an inbox; a client invokes
+it asynchronously (fire-and-forget messages) and synchronously
+(pairwise asynchronous RPCs) across three distance classes: same
+building (LAN), cross-country, intercontinental.
+
+Shape claims: a sync call costs one round trip, so its latency tracks
+the WAN distance; async invocations cost one-way and pipeline, so
+async throughput is far higher and nearly distance-independent for a
+fixed window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro import Dapplet, World
+from repro.net import GeoLatency
+from repro.rpc import RemoteProxy, export
+
+DISTANCES = {
+    "lan": ("caltech.edu", "cs.caltech.edu"),
+    "continental": ("caltech.edu", "mit.edu"),
+    "intercontinental": ("caltech.edu", "sydney.edu.au"),
+}
+
+N_CALLS = 30
+
+
+class Node(Dapplet):
+    kind = "node"
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def add(self, n):
+        self.value += n
+        return self.value
+
+
+def run_rpc(distance: str, seed: int = 27):
+    server_host, client_host = DISTANCES[distance]
+    world = World(seed=seed, latency=GeoLatency(jitter_median=0.0005))
+    server = world.dapplet(Node, server_host, "server")
+    client = world.dapplet(Node, client_host, "client")
+    counter = Counter()
+    remote = export(server, counter, name="counter")
+    proxy = RemoteProxy(client, remote.pointer)
+    box = {}
+
+    def sync_calls():
+        t0 = world.now
+        for i in range(N_CALLS):
+            yield proxy.call("add", 1)
+        box["sync_total"] = world.now - t0
+
+    world.run(until=world.process(sync_calls()))
+    assert counter.value == N_CALLS
+
+    t0 = world.now
+    for i in range(N_CALLS):
+        proxy.invoke("add", 1)
+    world.run()
+    box["async_total"] = world.now - t0
+    assert counter.value == 2 * N_CALLS
+    return {
+        "sync_latency": box["sync_total"] / N_CALLS,
+        "sync_rate": N_CALLS / box["sync_total"],
+        "async_rate": N_CALLS / box["async_total"],
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {d: run_rpc(d) for d in DISTANCES}
+
+
+def test_e7_table_and_shape(results, benchmark):
+    rows = [[d, f"{r['sync_latency']*1000:.2f}", f"{r['sync_rate']:.1f}",
+             f"{r['async_rate']:.1f}",
+             f"{r['async_rate']/r['sync_rate']:.1f}x"]
+            for d, r in results.items()]
+    print_table(f"E7: sync vs async RPC ({N_CALLS} calls)",
+                ["distance", "sync lat (ms)", "sync calls/s",
+                 "async calls/s", "async speedup"], rows)
+
+    lat = [results[d]["sync_latency"] for d in
+           ("lan", "continental", "intercontinental")]
+    # Shape: sync latency ordered by distance; intercontinental is a
+    # real round trip (> 100 ms).
+    assert lat[0] < lat[1] < lat[2]
+    assert lat[2] > 0.1
+    # Shape: async pipelines — much higher rate at every distance, and
+    # the advantage grows with distance.
+    gains = [results[d]["async_rate"] / results[d]["sync_rate"]
+             for d in ("lan", "continental", "intercontinental")]
+    assert all(g > 2 for g in gains)
+    assert gains[-1] > gains[0]
+
+    benchmark(run_rpc, "continental")

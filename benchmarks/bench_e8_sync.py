@@ -1,0 +1,107 @@
+"""E8 — synchronization constructs across dapplets (paper §4.3).
+
+Scenario A: a distributed barrier over N dapplets running R rounds;
+metric: barrier rounds per virtual second vs N.
+
+Scenario B: a distributed semaphore guarding a shared resource under
+contention; metric: acquisitions per virtual second.
+
+Shape claims: barrier round time is set by the slowest member's round
+trip to the host, so rounds/s degrades gently (not linearly) with N on
+a uniform network; semaphore throughput saturates at 1/(hold+RTT).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro import Dapplet, World
+from repro.net import ConstantLatency
+from repro.services.sync import (
+    DistributedBarrier,
+    DistributedSemaphore,
+    SyncHost,
+)
+
+ROUNDS = 20
+
+
+class Node(Dapplet):
+    kind = "node"
+
+
+def run_barrier(parties: int, seed: int = 33):
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    host = SyncHost(world.dapplet(Node, "caltech.edu", "host"))
+    finish = []
+
+    def member(d):
+        barrier = DistributedBarrier(d, host.pointer, "b", parties=parties)
+        for _ in range(ROUNDS):
+            yield barrier.arrive()
+        finish.append(world.now)
+
+    for i in range(parties):
+        world.process(member(world.dapplet(Node, f"s{i}.edu", f"d{i}")))
+    world.run()
+    elapsed = max(finish)
+    return {"rounds_per_s": ROUNDS / elapsed, "elapsed": elapsed}
+
+
+def run_semaphore(contenders: int, hold: float = 0.01, seed: int = 34):
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    host = SyncHost(world.dapplet(Node, "caltech.edu", "host"))
+    done = []
+    EACH = 10
+
+    def member(d):
+        sem = DistributedSemaphore(d, host.pointer, "s", permits=1)
+        for _ in range(EACH):
+            yield sem.acquire()
+            yield world.kernel.timeout(hold)
+            sem.release()
+        done.append(world.now)
+
+    for i in range(contenders):
+        world.process(member(world.dapplet(Node, f"s{i}.edu", f"d{i}")))
+    world.run()
+    elapsed = max(done)
+    return {"acquisitions_per_s": contenders * EACH / elapsed}
+
+
+@pytest.fixture(scope="module")
+def results():
+    parties = (2, 4, 8, 16)
+    barrier = {n: run_barrier(n) for n in parties}
+    contention = (1, 2, 4, 8)
+    semaphore = {n: run_semaphore(n) for n in contention}
+    return parties, barrier, contention, semaphore
+
+
+def test_e8_barrier_scaling(results, benchmark):
+    parties, barrier, _, _ = results
+    rows = [[n, f"{barrier[n]['rounds_per_s']:.1f}",
+             f"{barrier[n]['elapsed']:.3f}"] for n in parties]
+    print_table(f"E8a: distributed barrier ({ROUNDS} rounds)",
+                ["parties", "rounds/s", "elapsed (s)"], rows)
+    # Shape: on a uniform network, round rate is nearly flat in N — the
+    # barrier waits for the slowest member, and all are equally far.
+    rates = [barrier[n]["rounds_per_s"] for n in parties]
+    assert rates[0] < 1.6 * rates[-1]
+
+    benchmark(run_barrier, 4)
+
+
+def test_e8_semaphore_contention(results, benchmark):
+    _, _, contention, semaphore = results
+    rows = [[n, f"{semaphore[n]['acquisitions_per_s']:.1f}"]
+            for n in contention]
+    print_table("E8b: distributed semaphore (1 permit, 10 ms hold)",
+                ["contenders", "acquisitions/s"], rows)
+    # Shape: total throughput saturates near 1/(hold + RTT) = ~33/s.
+    rates = [semaphore[n]["acquisitions_per_s"] for n in contention]
+    assert all(r <= 34.0 for r in rates)
+    assert rates[-1] > 0.8 * rates[1]  # contention does not collapse it
+
+    benchmark(run_semaphore, 4)

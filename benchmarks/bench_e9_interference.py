@@ -1,0 +1,112 @@
+"""E9 — persistent state and session interference (paper §2.2).
+
+Scenario: K scheduling-style sessions arrive concurrently over the same
+pool of dapplets. In the *disjoint* condition each session declares its
+own state region; in the *overlapping* condition all write the same
+region, so the managers must never run two at once (rejection + retry).
+Metric: virtual time to complete all K sessions; the interference
+monitor asserts the exclusion invariant throughout.
+
+Shape claims: disjoint sessions run concurrently (total time ~ one
+session); overlapping sessions serialize (total time ~ K sessions); no
+conflicting overlap is ever observed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table
+from repro import Dapplet, Initiator, SessionRejected, SessionSpec, World
+from repro.net import ConstantLatency
+from repro.session import InterferenceMonitor
+
+
+class Worker(Dapplet):
+    kind = "worker"
+
+    def on_session_start(self, ctx):
+        def busy():
+            # A session does some work against its regions, then idles
+            # until the initiator tears it down.
+            region = ctx.region(list(ctx.regions)[0])
+            region.set("touched-by", ctx.session_id)
+            yield self.world.kernel.timeout(ctx.params["work"])
+
+        return busy()
+
+
+WORK = 0.5
+K = 6
+
+
+def run_condition(overlapping: bool, seed: int = 37,
+                  wait_for_regions: bool = False):
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    monitor = InterferenceMonitor()
+    world.interference_monitor = monitor
+    workers = [world.dapplet(Worker, f"s{i}.edu", f"w{i}") for i in range(3)]
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    finished = []
+
+    datagrams_before = world.network.stats.sent
+
+    def one_session(k):
+        region = "shared" if overlapping else f"private{k}"
+        spec = SessionSpec("interference-bench", params={"work": WORK})
+        for w in workers:
+            spec.add_member(w.name, regions={region: "rw"})
+        while True:
+            try:
+                session = yield from initiator.establish(
+                    spec, timeout=120.0, wait_for_regions=wait_for_regions)
+                break
+            except SessionRejected:
+                yield world.kernel.timeout(0.1 + 0.01 * k)
+        yield world.kernel.timeout(WORK)
+        yield from session.terminate()
+        finished.append(world.now)
+
+    for k in range(K):
+        world.process(one_session(k))
+    world.run()
+    assert len(finished) == K
+    return {"total": max(finished), "max_concurrent": monitor.max_concurrent,
+            "activations": monitor.activations,
+            "datagrams": world.network.stats.sent - datagrams_before}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "disjoint": run_condition(overlapping=False),
+        "overlapping": run_condition(overlapping=True),
+        "overlapping+queued": run_condition(overlapping=True,
+                                            wait_for_regions=True),
+    }
+
+
+def test_e9_table_and_shape(results, benchmark):
+    rows = [[name, f"{r['total']:.3f}", r["max_concurrent"],
+             r["activations"], r["datagrams"]]
+            for name, r in results.items()]
+    print_table(f"E9: {K} concurrent sessions over shared dapplets "
+                f"({WORK}s of work each)",
+                ["regions", "total time (s)", "max concurrent",
+                 "activations", "datagrams"], rows)
+
+    disjoint = results["disjoint"]
+    overlap = results["overlapping"]
+    queued = results["overlapping+queued"]
+    # Shape: disjoint sessions overlap heavily; conflicting ones never do.
+    assert disjoint["max_concurrent"] >= K - 1
+    assert overlap["max_concurrent"] == 1
+    assert queued["max_concurrent"] == 1
+    # Shape: serialization costs roughly K times one session's span.
+    assert overlap["total"] > (K - 1) * WORK
+    assert queued["total"] > (K - 1) * WORK
+    assert disjoint["total"] < 2.5 * WORK
+    # Shape: queued admission saves the reject/retry control traffic.
+    assert queued["datagrams"] < overlap["datagrams"]
+
+    benchmark(run_condition, False)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Figure 1: scheduling an executive-committee meeting.
+
+Nine committee members' calendar dapplets at Caltech, Rice and the
+University of Tennessee, a coordinating secretary, and the center
+director's initiator. The example runs the paper's session approach and
+the traditional sequential-negotiation baseline on identical calendars,
+showing why the paper proposes sessions.
+
+Run:  python examples/calendar_meeting.py
+"""
+
+from repro import World
+from repro.apps.calendar import (
+    CalendarDapplet,
+    MeetingDirector,
+    SecretaryDapplet,
+    busy_days,
+    load_calendar,
+    schedule_meeting,
+)
+from repro.apps.calendar.state import set_place_preferences
+from repro.net import GeoLatency
+
+#: Candidate meeting places; members veto the ones they will not travel
+#: to (the paper's task: "pick a date and place").
+PLACES = ("caltech", "rice", "tennessee")
+TRAVEL_VETOES = {
+    "sydney-member": ["tennessee", "rice"],  # long-haul either way
+    "jack": ["caltech"],
+    "ginger": ["caltech"],
+}
+
+#: Figure 1's cast: members at Caltech, Rice and Tennessee.
+COMMITTEE = {
+    "mani": "caltech.edu", "herb": "caltech.edu", "dan": "caltech.edu",
+    "ken": "rice.edu", "linda": "rice.edu", "john": "rice.edu",
+    "jack": "utk.edu", "ginger": "utk.edu", "sydney-member": "sydney.edu.au",
+}
+
+#: Everyone's prior commitments over a two-week horizon.
+COMMITMENTS = {
+    "mani": {0: "faculty lunch", 3: "lecture"},
+    "herb": {1: "travel", 2: "travel"},
+    "ken": {0: "dept meeting"},
+    "linda": {4: "review panel"},
+    "jack": {0: "teaching", 1: "teaching"},
+    "sydney-member": {2: "timezone block", 3: "timezone block"},
+}
+
+HORIZON = 14
+
+
+def build_world(seed: int) -> tuple[World, MeetingDirector, list[str]]:
+    world = World(seed=seed, latency=GeoLatency())
+    for name, host in COMMITTEE.items():
+        dapplet = world.dapplet(CalendarDapplet, host, name)
+        load_calendar(dapplet.state, COMMITMENTS.get(name, {}))
+        set_place_preferences(dapplet.state, TRAVEL_VETOES.get(name, []))
+    world.dapplet(SecretaryDapplet, "caltech.edu", "joann")
+    director = world.dapplet(MeetingDirector, "caltech.edu", "director")
+    return world, director, list(COMMITTEE)
+
+
+def main() -> None:
+    print(f"{'algorithm':<14} {'day':>4} {'place':>10} {'rounds':>7} "
+          f"{'elapsed':>10} {'datagrams':>10}")
+    for algorithm in ("session", "traditional", "negotiated"):
+        world, director, members = build_world(seed=7)
+        outcome_box = []
+
+        def run():
+            outcome = yield from schedule_meeting(
+                director, "joann", members,
+                horizon=HORIZON, algorithm=algorithm,
+                label="executive committee", places=PLACES)
+            outcome_box.append(outcome)
+
+        world.run(until=world.process(run()))
+        world.run()
+        out = outcome_box[0]
+        print(f"{algorithm:<14} {out.day:>4} {out.place:>10} "
+              f"{out.rounds:>7} {out.elapsed*1000:>8.1f}ms "
+              f"{out.datagrams:>10}")
+
+    # Show the persistent effect on one calendar.
+    world, director, members = build_world(seed=7)
+
+    def run_once():
+        yield from schedule_meeting(director, "joann", members,
+                                    horizon=HORIZON,
+                                    label="executive committee")
+
+    world.run(until=world.process(run_once()))
+    world.run()
+    mani = world.get("mani")
+    print("\nmani's calendar after the session "
+          "(persistent state across sessions):")
+    region = mani.state.region("calendar")
+    for day in busy_days(region, HORIZON):
+        print(f"  day {day:2d}: {region.get(f'busy:{day}')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The distributed card game: hot-potato elimination on a ring.
+
+Player dapplets are linked "to predecessor and successor player
+dapplets" (the paper's ring example). Each round eliminates whoever
+holds the potato at zero; the session then *shrinks* — the paper's
+"sessions may grow and shrink as required" — and the ring is rewired
+around the gap, until one player remains.
+
+Run:  python examples/card_game.py
+"""
+
+from repro import World
+from repro.apps.cardgame import DealerDapplet, PlayerDapplet
+from repro.net import GeoLatency
+
+PLAYERS = {
+    "north": "caltech.edu",
+    "east": "mit.edu",
+    "south": "rice.edu",
+    "west": "utk.edu",
+    "far": "sydney.edu.au",
+}
+
+
+def main() -> None:
+    world = World(seed=11, latency=GeoLatency())
+    players = [world.dapplet(PlayerDapplet, host, name)
+               for name, host in PLAYERS.items()]
+    dealer = world.dapplet(DealerDapplet, "caltech.edu", "dealer")
+    result = []
+
+    def run():
+        winner, eliminated = yield from dealer.run_game(list(PLAYERS))
+        result.append((winner, eliminated, world.now))
+
+    world.run(until=world.process(run()))
+    world.run()
+
+    winner, eliminated, game_end = result[0]
+    print("elimination order:")
+    for i, name in enumerate(eliminated, 1):
+        handled = world.get(name).potatoes_handled
+        print(f"  round {i}: {name:<6} is out "
+              f"(handled {handled} potatoes)")
+    print(f"\nwinner: {winner} "
+          f"(handled {world.get(winner).potatoes_handled} potatoes)")
+    print(f"game took {game_end:.2f} simulated seconds; "
+          f"{world.network.stats.sent} datagrams")
+
+
+if __name__ == "__main__":
+    main()

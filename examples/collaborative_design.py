@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Example Two: collaborative distributed design.
+
+Three designers — Pasadena, Zurich, Tokyo — share a three-part design
+in a long-lived mesh session. Edits take per-part write-locks through
+the token service, change notices propagate to the whole team, and the
+vector-clock machinery demonstrates what happens when someone bypasses
+the locks.
+
+Run:  python examples/collaborative_design.py
+"""
+
+from repro import Dapplet, Initiator, World
+from repro.apps.design import DesignerDapplet, design_spec
+from repro.net import GeoLatency
+from repro.services.tokens import TokenCoordinator
+
+TEAM = {"alice": "caltech.edu", "bob": "ethz.ch", "carol": "u-tokyo.ac.jp"}
+PARTS = ["engine", "chassis", "ui"]
+
+
+class Host(Dapplet):
+    kind = "host"
+
+
+def main() -> None:
+    world = World(seed=3, latency=GeoLatency())
+    designers = {name: world.dapplet(DesignerDapplet, host, name)
+                 for name, host in TEAM.items()}
+    token_host = world.dapplet(Host, "caltech.edu", "tokens")
+    coordinator = TokenCoordinator(
+        token_host, {f"part:{p}": len(TEAM) for p in PARTS})
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec = design_spec(list(TEAM), PARTS,
+                       token_coordinator=coordinator.pointer)
+
+    def director():
+        session = yield from initiator.establish(spec)
+        print(f"design session {session.session_id} up; "
+              "this session lasts as long as the design\n")
+
+        # Locked edits, possibly contending for the same part.
+        yield from designers["alice"].edit("engine", "inline-6, 3.0L")
+        e1 = world.process(designers["bob"].edit("engine", "V8, 4.0L"))
+        e2 = world.process(designers["carol"].edit("ui", "dark theme"))
+        yield e1 & e2
+        yield world.kernel.timeout(2.0)  # notices cross the planet
+
+        print("replicas after locked edits (all must agree):")
+        for name, d in designers.items():
+            parts = {p: d.store.part(p).content for p in PARTS}
+            print(f"  {name:<6} {parts}  conflicts={len(d.store.conflicts)}")
+
+        # Now two designers bypass the locks at the same instant.
+        designers["alice"].edit_unlocked("chassis", "aluminium space frame")
+        designers["bob"].edit_unlocked("chassis", "carbon monocoque")
+        yield world.kernel.timeout(2.0)
+
+        print("\nafter simultaneous UNLOCKED edits to 'chassis':")
+        for name, d in designers.items():
+            part = d.store.part("chassis")
+            print(f"  {name:<6} content={part.content!r} "
+                  f"conflicts={[c.part for c in d.store.conflicts]}")
+        print("\nconcurrent edits were detected by vector clocks and "
+              "resolved deterministically — every replica converged.")
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    coordinator.check_conservation()
+    print("\ntoken conservation invariant holds.")
+
+
+if __name__ == "__main__":
+    main()

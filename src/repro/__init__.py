@@ -1,0 +1,77 @@
+"""repro — a reproduction of Chandy et al., "A World-Wide Distributed
+System Using Java and the Internet" (HPDC 1996), in Python.
+
+The package implements the paper's full design — dapplets, sessions,
+inboxes/outboxes over FIFO channels, tokens, logical clocks, snapshots,
+synchronization servlets and the application library — over a
+deterministic simulated wide-area network (see DESIGN.md for the
+substitution argument and the module inventory).
+
+Quick start::
+
+    from repro import World, Dapplet, Initiator, SessionSpec
+    from repro.net import GeoLatency
+
+    world = World(seed=1, latency=GeoLatency())
+    ...dapplets, sessions...
+    world.run()
+
+The subpackages are importable directly for the full API:
+``repro.sim``, ``repro.net``, ``repro.messages``, ``repro.mailbox``,
+``repro.dapplet``, ``repro.session``, ``repro.rpc``, ``repro.services``,
+``repro.patterns``, ``repro.apps``.
+"""
+
+from repro.dapplet.dapplet import Dapplet
+from repro.dapplet.directory import AddressDirectory
+from repro.dapplet.state import PersistentState
+from repro.errors import (
+    DeadlockDetected,
+    DeliveryTimeout,
+    ReceiveTimeout,
+    ReproError,
+    RpcError,
+    RpcTimeout,
+    SessionError,
+    SessionRejected,
+    TokenError,
+)
+from repro.mailbox.inbox import Inbox
+from repro.mailbox.outbox import Outbox
+from repro.messages.message import Message, message_type
+from repro.net.address import InboxAddress, NodeAddress
+from repro.session.initiator import Initiator
+from repro.session.session import Session, SessionContext
+from repro.session.spec import Binding, MemberSpec, SessionSpec
+from repro.world import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressDirectory",
+    "Binding",
+    "Dapplet",
+    "DeadlockDetected",
+    "DeliveryTimeout",
+    "Inbox",
+    "InboxAddress",
+    "Initiator",
+    "MemberSpec",
+    "Message",
+    "NodeAddress",
+    "Outbox",
+    "PersistentState",
+    "ReceiveTimeout",
+    "ReproError",
+    "RpcError",
+    "RpcTimeout",
+    "Session",
+    "SessionContext",
+    "SessionError",
+    "SessionRejected",
+    "SessionSpec",
+    "TokenError",
+    "World",
+    "message_type",
+    "__version__",
+]

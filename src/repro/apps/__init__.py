@@ -1,0 +1,16 @@
+"""The application library.
+
+The paper commits to "implementing a library of applications that
+demonstrates the methodology". Three applications, matching the paper's
+examples:
+
+* :mod:`repro.apps.calendar` — Example One / Figure 1: meeting
+  scheduling by calendar and secretary dapplets, with the traditional
+  sequential approach as the baseline.
+* :mod:`repro.apps.design` — Example Two: collaborative distributed
+  design with change notification, token write-locks and vector-clock
+  conflict detection.
+* :mod:`repro.apps.cardgame` — the distributed card game the paper uses
+  to illustrate predecessor/successor ring topologies, exercising
+  session shrinkage and dynamic rewiring.
+"""

@@ -1,0 +1,55 @@
+"""The calendar application (the paper's Example One, Figure 1).
+
+"Each member of the committee has a calendar process — a dapplet —
+responsible for managing that member's calendar ... The dapplets are
+composed together into a temporary network of dapplets that we call a
+session. The task of the session is to arrange a common meeting time.
+When this task is achieved, the session terminates."
+
+Pieces:
+
+* :class:`CalendarDapplet` — manages one member's persistent calendar
+  (region ``"calendar"``); in a session it answers availability
+  queries, votes on candidates, and books meetings.
+* :class:`SecretaryDapplet` — the coordinating secretary of Figure 1;
+  its session process runs one of the scheduling algorithms.
+* :class:`MeetingDirector` — the initiator (the "center director"): it
+  builds the session from the address directory, joins it to receive
+  the outcome, and tears it down when the meeting is scheduled.
+* :func:`schedule_meeting` — one-call driver used by examples, tests
+  and benchmarks.
+
+Scheduling algorithms (the paper: "several algorithms can be used"):
+
+* ``"session"`` — the paper's proposal: parallel query of all members,
+  intersection at the secretary, parallel booking. One WAN round trip
+  per phase.
+* ``"traditional"`` — the baseline the paper's introduction describes:
+  "the director, or someone on the staff, calls each member of the
+  committee repeatedly, and negotiates with each one in turn". One
+  round trip per member per phase, serialized.
+* ``"negotiated"`` — the variant sketched in Example One: the secretary
+  suggests "a set of candidate dates that can then be approved or
+  rejected by the members"; the most-approved candidate is booked.
+"""
+
+from repro.apps.calendar.dapplets import (
+    CalendarDapplet,
+    MeetingDirector,
+    SecretaryDapplet,
+)
+from repro.apps.calendar.driver import ScheduleOutcome, schedule_meeting
+from repro.apps.calendar.ring import ring_schedule
+from repro.apps.calendar.state import busy_days, free_days, load_calendar
+
+__all__ = [
+    "CalendarDapplet",
+    "MeetingDirector",
+    "ScheduleOutcome",
+    "SecretaryDapplet",
+    "busy_days",
+    "free_days",
+    "load_calendar",
+    "ring_schedule",
+    "schedule_meeting",
+]

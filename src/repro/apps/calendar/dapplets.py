@@ -1,0 +1,155 @@
+"""The calendar, secretary and director dapplets."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.apps.calendar import messages as cm
+from repro.apps.calendar import state as cs
+from repro.dapplet.dapplet import Dapplet
+from repro.messages.message import Message
+from repro.patterns.coordinator import CoordinatorRounds, participant_loop
+from repro.session.initiator import Initiator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session.session import SessionContext
+
+APP = "calendar.meeting"
+
+
+class CalendarDapplet(Dapplet):
+    """Manages one committee member's persistent calendar.
+
+    In a scheduling session it is a participant: the sequential part
+    (the paper's point) is just :meth:`handle` — queries, votes and
+    bookings against the member's calendar region.
+    """
+
+    kind = "calendar"
+
+    def on_session_start(self, ctx: "SessionContext") -> "Generator | None":
+        from repro.apps.calendar.ring import RING_APP, ring_member_process
+        if ctx.app == RING_APP:
+            return ring_member_process(ctx)
+        if ctx.app != APP or ctx.member == ctx.params.get("coordinator"):
+            return None
+        view = ctx.region(cs.REGION)
+        label = ctx.params.get("label", "meeting")
+        max_approvals = ctx.params.get("max_approvals", 0)
+
+        def handle(body: Message) -> "Message | None":
+            if isinstance(body, cm.QueryFree):
+                return cm.FreeDays(tuple(cs.free_days(view, body.horizon)))
+            if isinstance(body, cm.VoteRequest):
+                free = [d for d in body.candidates
+                        if cs._busy_key(d) not in view]
+                if max_approvals:
+                    free = free[:max_approvals]
+                return cm.Vote(tuple(free))
+            if isinstance(body, cm.PlaceVoteRequest):
+                return cm.PlaceVote(tuple(
+                    cs.acceptable_places(view, body.places)))
+            if isinstance(body, cm.Book):
+                return cm.BookAck(body.day, cs.book(view, body.day, label))
+            return None
+
+        return participant_loop(ctx, handle)
+
+
+class SecretaryDapplet(Dapplet):
+    """The coordinating secretary of Figure 1.
+
+    Runs the scheduling algorithm named in the session parameters as its
+    session process and reports the outcome to the director member.
+    """
+
+    kind = "secretary"
+
+    def on_session_start(self, ctx: "SessionContext") -> "Generator | None":
+        if ctx.app != APP or ctx.params.get("coordinator") != ctx.member:
+            return None
+        return self._coordinate(ctx)
+
+    def _coordinate(self, ctx: "SessionContext") -> Generator:
+        members: list[str] = list(ctx.params["members"])
+        horizon: int = ctx.params["horizon"]
+        algorithm: str = ctx.params.get("algorithm", "session")
+        label: str = ctx.params.get("label", "meeting")
+        coordinator = CoordinatorRounds(ctx, members)
+        sequential = algorithm == "traditional"
+        rounds = 0
+
+        def scatter(make):
+            nonlocal rounds
+            rounds += 1
+            if sequential:
+                return coordinator.sequential_round(make)
+            return coordinator.round(make)
+
+        # Phase 1: availability.
+        replies = yield from scatter(lambda m: cm.QueryFree(horizon))
+        common = set(range(horizon))
+        for reply in replies.values():
+            if isinstance(reply, cm.FreeDays):
+                common &= set(reply.days)
+
+        # Phase 2 (negotiated only): candidates are approved or rejected.
+        if algorithm == "negotiated" and common:
+            k = ctx.params.get("candidates", 3)
+            candidates = tuple(sorted(common)[:k])
+            votes = yield from scatter(
+                lambda m: cm.VoteRequest(candidates))
+            tally = {day: 0 for day in candidates}
+            for reply in votes.values():
+                if isinstance(reply, cm.Vote):
+                    for day in reply.approved:
+                        if day in tally:
+                            tally[day] += 1
+            # Most approvals, earliest day breaking ties.
+            common = {max(candidates,
+                          key=lambda d: (tally[d], -d))} if candidates else set()
+
+        # Phase 3: book, retrying if a member's calendar drifted.
+        day = -1
+        while common:
+            candidate = min(common)
+            acks = yield from scatter(lambda m: cm.Book(candidate, label))
+            if all(isinstance(a, cm.BookAck) and a.ok
+                   for a in acks.values()) and len(acks) == len(members):
+                day = candidate
+                break
+            common.discard(candidate)
+
+        # Phase 4 (optional): pick the place — "a date and place for a
+        # meeting". Majority approval, ties broken lexicographically.
+        place = ""
+        places = tuple(ctx.params.get("places", ()))
+        if day >= 0 and places:
+            votes = yield from scatter(
+                lambda m: cm.PlaceVoteRequest(places))
+            tally = {p: 0 for p in places}
+            for reply in votes.values():
+                if isinstance(reply, cm.PlaceVote):
+                    for p in reply.approved:
+                        if p in tally:
+                            tally[p] += 1
+            # Most approvals; ties go to the alphabetically first place.
+            place = min(places, key=lambda p: (-tally[p], p))
+
+        ctx.outbox(f"to:{ctx.params['director']}").send(
+            cm.MeetingScheduled(day=day, algorithm=algorithm,
+                                rounds=rounds, place=place))
+        return day
+
+
+class MeetingDirector(Initiator):
+    """The center director: an initiator that also joins the session to
+    receive the secretary's report."""
+
+    kind = "director"
+
+    def on_session_start(self, ctx: "SessionContext") -> None:
+        from repro.apps.calendar.ring import RING_APP
+        if ctx.app in (APP, RING_APP):
+            self.last_ctx = ctx
+        return None

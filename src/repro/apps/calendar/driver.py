@@ -1,0 +1,76 @@
+"""One-call driver for a scheduling session.
+
+Builds the Figure 1 star (secretary hub, calendar members, plus the
+director as a member to receive the report), establishes it, waits for
+the outcome, and terminates the session — "when this task is achieved,
+the session terminates".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.apps.calendar import messages as cm
+from repro.apps.calendar.dapplets import APP, MeetingDirector
+from repro.apps.calendar.state import REGION
+from repro.patterns.topology import star_spec
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass
+class ScheduleOutcome:
+    """What a scheduling session produced, with cost accounting."""
+
+    day: int  # -1 when no common day was found
+    algorithm: str
+    rounds: int
+    elapsed: float  # virtual seconds, establishment through report
+    datagrams: int  # network datagrams attributable to the session
+    place: str = ""  # chosen meeting place, when places were offered
+
+    @property
+    def scheduled(self) -> bool:
+        return self.day >= 0
+
+
+def schedule_meeting(director: MeetingDirector, secretary: str,
+                     members: list[str], *, horizon: int = 10,
+                     algorithm: str = "session", label: str = "meeting",
+                     candidates: int = 3, max_approvals: int = 0,
+                     places: "tuple[str, ...] | list[str]" = (),
+                     timeout: float = 120.0) -> Generator:
+    """Run one complete scheduling session (generator; ``yield from``).
+
+    ``members`` are directory names of calendar dapplets; ``secretary``
+    the directory name of a secretary dapplet. Returns a
+    :class:`ScheduleOutcome`.
+    """
+    world = director.world
+    spec = star_spec(
+        APP, secretary, list(members) + [director.name],
+        params={
+            "coordinator": secretary,
+            "members": list(members),
+            "director": director.name,
+            "horizon": horizon,
+            "algorithm": algorithm,
+            "label": label,
+            "candidates": candidates,
+            "max_approvals": max_approvals,
+            "places": tuple(places),
+        },
+        regions={m: {REGION: "rw"} for m in members})
+    started = world.now
+    datagrams_before = world.network.stats.sent
+    session = yield from director.establish(spec, timeout=timeout)
+    report = yield director.last_ctx.inbox("in").receive(timeout=timeout)
+    elapsed = world.now - started
+    yield from session.terminate(timeout=timeout)
+    datagrams = world.network.stats.sent - datagrams_before
+    assert isinstance(report, cm.MeetingScheduled)
+    return ScheduleOutcome(day=report.day, algorithm=report.algorithm,
+                           rounds=report.rounds, elapsed=elapsed,
+                           datagrams=datagrams, place=report.place)

@@ -1,0 +1,78 @@
+"""Wire messages of the calendar application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.message import Message, message_type
+
+
+@message_type("cal.query_free")
+@dataclass(frozen=True)
+class QueryFree(Message):
+    """Which of days ``0..horizon-1`` are you free?"""
+
+    horizon: int
+
+
+@message_type("cal.free")
+@dataclass(frozen=True)
+class FreeDays(Message):
+    days: tuple = ()
+
+
+@message_type("cal.vote_request")
+@dataclass(frozen=True)
+class VoteRequest(Message):
+    """Approve or reject each candidate day."""
+
+    candidates: tuple = ()
+
+
+@message_type("cal.place_vote_request")
+@dataclass(frozen=True)
+class PlaceVoteRequest(Message):
+    """Approve or reject each candidate meeting place."""
+
+    places: tuple = ()
+
+
+@message_type("cal.place_vote")
+@dataclass(frozen=True)
+class PlaceVote(Message):
+    approved: tuple = ()
+
+
+@message_type("cal.vote")
+@dataclass(frozen=True)
+class Vote(Message):
+    approved: tuple = ()
+
+
+@message_type("cal.book")
+@dataclass(frozen=True)
+class Book(Message):
+    day: int
+    label: str = "meeting"
+
+
+@message_type("cal.book_ack")
+@dataclass(frozen=True)
+class BookAck(Message):
+    day: int
+    ok: bool
+
+
+@message_type("cal.scheduled")
+@dataclass(frozen=True)
+class MeetingScheduled(Message):
+    """The secretary's report to the director.
+
+    The paper's task is to "pick a date **and place**" — ``place`` is
+    empty when the session did not put places on the table.
+    """
+
+    day: int  # -1 when no common day exists
+    algorithm: str
+    rounds: int
+    place: str = ""

@@ -1,0 +1,135 @@
+"""A decentralized ring scheduler — the same task, another pattern.
+
+The paper (§2.1): "Several algorithms (cf. [4]) can be used to solve
+this problem", and (§2.2) the patterns claim: changing the collaboration
+pattern should not change the sequential parts. This module schedules a
+meeting **without a secretary**: the members form a ring; an
+intersection token starts with the full day range and each member
+intersects it with their free days (the same sequential part the
+secretary algorithms use); after one lap the initiating member knows the
+common days, books the earliest on a second lap, and reports to the
+director.
+
+Costs one ring lap per phase: latency ~ sum of link delays (vs. the
+star's 2x the worst link), but no coordinator and N fewer messages per
+phase — the classic star/ring trade-off, measurable against E1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.apps.calendar import messages as cm
+from repro.apps.calendar import state as cs
+from repro.messages.message import Message, message_type
+from repro.patterns.topology import ring_spec
+from repro.session.spec import SessionSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.calendar.dapplets import MeetingDirector
+    from repro.session.session import SessionContext
+
+RING_APP = "calendar.ring"
+
+
+@message_type("cal.ring_intersect")
+@dataclass(frozen=True)
+class RingIntersect(Message):
+    """The availability token: days still common, hops remaining."""
+
+    days: tuple = ()
+    hops: int = 0
+
+
+@message_type("cal.ring_book")
+@dataclass(frozen=True)
+class RingBook(Message):
+    day: int
+    label: str
+    hops: int = 0
+
+
+def ring_schedule_spec(members: list[str], director: str,
+                       *, horizon: int, label: str = "meeting",
+                       ) -> SessionSpec:
+    """Ring of calendar members; the first member reports to the
+    director."""
+    spec = ring_spec(RING_APP, members,
+                     params={"members": list(members), "horizon": horizon,
+                             "label": label, "director": director,
+                             "first": members[0]})
+    for m in members:
+        spec.members[m].regions = {cs.REGION: "rw"}
+    spec.add_member(director, inboxes=("in",))
+    spec.bind(members[0], "report", director, "in")
+    return spec
+
+
+def ring_member_process(ctx: "SessionContext") -> Generator:
+    """The per-member behaviour (installed by CalendarDapplet)."""
+    view = ctx.region(cs.REGION)
+    horizon: int = ctx.params["horizon"]
+    label: str = ctx.params["label"]
+    n = len(ctx.params["members"])
+    is_first = ctx.member == ctx.params["first"]
+
+    if is_first:
+        # Lap 1: start the intersection token with our own free days.
+        mine = tuple(cs.free_days(view, horizon))
+        ctx.outbox("next").send(RingIntersect(days=mine, hops=n - 1))
+
+    while ctx.active:
+        msg = yield ctx.inbox("in").receive()
+        if isinstance(msg, RingIntersect):
+            if msg.hops > 0:
+                # The sequential part: intersect with my free days.
+                common = tuple(d for d in msg.days
+                               if cs._busy_key(d) not in view)
+                ctx.outbox("next").send(
+                    RingIntersect(days=common, hops=msg.hops - 1))
+            else:
+                # Back at the first member: lap 1 complete.
+                if msg.days:
+                    day = min(msg.days)
+                    cs.book(view, day, label)
+                    ctx.outbox("next").send(
+                        RingBook(day=day, label=label, hops=n - 1))
+                else:
+                    ctx.outbox("report").send(cm.MeetingScheduled(
+                        day=-1, algorithm="ring", rounds=1))
+        elif isinstance(msg, RingBook):
+            if msg.hops > 0:
+                cs.book(view, msg.day, msg.label)
+                ctx.outbox("next").send(
+                    RingBook(day=msg.day, label=msg.label,
+                             hops=msg.hops - 1))
+            else:
+                # Lap 2 complete; everyone is booked.
+                ctx.outbox("report").send(cm.MeetingScheduled(
+                    day=msg.day, algorithm="ring", rounds=2))
+
+
+def ring_schedule(director: "MeetingDirector", members: list[str],
+                  *, horizon: int = 10, label: str = "meeting",
+                  timeout: float = 120.0) -> Generator:
+    """Run one ring-scheduling session; returns a
+    :class:`~repro.apps.calendar.driver.ScheduleOutcome`."""
+    from repro.apps.calendar.driver import ScheduleOutcome
+
+    if len(members) < 2:
+        raise ValueError("ring scheduling needs at least two members")
+    world = director.world
+    spec = ring_schedule_spec(members, director.name,
+                              horizon=horizon, label=label)
+    started = world.now
+    datagrams_before = world.network.stats.sent
+    session = yield from director.establish(spec, timeout=timeout)
+    report = yield director.last_ctx.inbox("in").receive(timeout=timeout)
+    elapsed = world.now - started
+    yield from session.terminate(timeout=timeout)
+    assert isinstance(report, cm.MeetingScheduled)
+    return ScheduleOutcome(
+        day=report.day, algorithm="ring", rounds=report.rounds,
+        elapsed=elapsed,
+        datagrams=world.network.stats.sent - datagrams_before)

@@ -1,0 +1,62 @@
+"""Calendar state helpers.
+
+A member's appointments calendar lives in the persistent-state region
+``"calendar"`` of their dapplet (the paper: "an appointments calendar
+that disappears when an appointment is made has no value"). Days are
+integers ``0..horizon-1``; a busy day is a key ``"busy:<day>"`` whose
+value is the appointment label.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dapplet.state import PersistentState, Region, RegionView
+
+REGION = "calendar"
+
+
+def _busy_key(day: int) -> str:
+    return f"busy:{day}"
+
+
+def load_calendar(state: PersistentState,
+                  busy: Iterable[int] | dict[int, str]) -> None:
+    """Seed a dapplet's calendar with busy days (pre-session setup)."""
+    region = state.region(REGION)
+    if isinstance(busy, dict):
+        for day, label in busy.items():
+            region.set(_busy_key(day), label)
+    else:
+        for day in busy:
+            region.set(_busy_key(day), "busy")
+
+
+def busy_days(view: "Region | RegionView", horizon: int) -> list[int]:
+    return [d for d in range(horizon) if _busy_key(d) in view]
+
+
+def free_days(view: "Region | RegionView", horizon: int) -> list[int]:
+    return [d for d in range(horizon) if _busy_key(d) not in view]
+
+
+def book(view: RegionView, day: int, label: str) -> bool:
+    """Book ``day``; False if it is already taken."""
+    if _busy_key(day) in view:
+        return False
+    view.set(_busy_key(day), label)
+    return True
+
+
+def set_place_preferences(state: PersistentState,
+                          avoid: Iterable[str]) -> None:
+    """Record places this member will vote against (e.g. too far)."""
+    region = state.region(REGION)
+    for place in avoid:
+        region.set(f"avoid_place:{place}", True)
+
+
+def acceptable_places(view: "Region | RegionView",
+                      places: Iterable[str]) -> list[str]:
+    """The subset of ``places`` this member would approve."""
+    return [p for p in places if f"avoid_place:{p}" not in view]

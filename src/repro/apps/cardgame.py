@@ -1,0 +1,144 @@
+"""The distributed card game (the paper's ring example).
+
+"In a distributed card game session, a player dapplet may be linked to
+its predecessor and successor player dapplets, which correspond to the
+players to its left and right respectively."
+
+The game is hot-potato elimination: the dealer starts a potato with a
+random time-to-live; players pass it around the ring, decrementing; the
+player holding it at zero is out. The session then *shrinks* — the
+loser is unlinked and the ring is rewired around the gap
+(:meth:`Session.remove_member` + :meth:`Session.add_bindings`) — and
+the next round begins, until one player remains. This exercises exactly
+the dynamism the paper claims for sessions: "after initiation, they may
+grow and shrink as required by the dapplets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.dapplet.dapplet import Dapplet
+from repro.messages.message import Message, message_type
+from repro.session.initiator import Initiator
+from repro.session.spec import Binding, SessionSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session.session import SessionContext
+
+APP = "cardgame.hotpotato"
+
+
+@message_type("game.potato")
+@dataclass(frozen=True)
+class Potato(Message):
+    ttl: int
+    round_no: int
+
+
+@message_type("game.out")
+@dataclass(frozen=True)
+class PlayerOut(Message):
+    member: str
+    round_no: int
+
+
+@message_type("game.over")
+@dataclass(frozen=True)
+class GameOver(Message):
+    winner: str
+
+
+def game_spec(players: list[str], dealer: str) -> SessionSpec:
+    """Ring of players plus dealer links: reports in, starts out."""
+    if len(players) < 2:
+        raise ValueError("a game needs at least two players")
+    spec = SessionSpec(APP, params={"players": list(players),
+                                    "dealer": dealer})
+    for player in players:
+        spec.add_member(player, inboxes=("in",))
+    spec.add_member(dealer, inboxes=("in",))
+    n = len(players)
+    for i, player in enumerate(players):
+        spec.bind(player, "next", players[(i + 1) % n], "in")
+        spec.bind(player, "report", dealer, "in")
+        spec.bind(dealer, f"to:{player}", player, "in")
+    return spec
+
+
+class PlayerDapplet(Dapplet):
+    """Passes the potato; reports when caught holding it at zero."""
+
+    kind = "player"
+
+    def on_session_start(self, ctx: "SessionContext") -> "Generator | None":
+        if ctx.app != APP:
+            return None
+        self.ctx = ctx
+        self.potatoes_handled = 0
+
+        def play():
+            while ctx.active:
+                msg = yield ctx.inbox("in").receive()
+                if isinstance(msg, Potato):
+                    self.potatoes_handled += 1
+                    if msg.ttl <= 0:
+                        ctx.outbox("report").send(
+                            PlayerOut(ctx.member, msg.round_no))
+                    else:
+                        ctx.outbox("next").send(
+                            Potato(msg.ttl - 1, msg.round_no))
+                elif isinstance(msg, GameOver):
+                    self.winner_notice = msg.winner
+
+        return play()
+
+
+class DealerDapplet(Initiator):
+    """Runs the tournament: one session, shrinking round by round."""
+
+    kind = "dealer"
+
+    def on_session_start(self, ctx: "SessionContext") -> None:
+        if ctx.app == APP:
+            self.ctx = ctx
+        return None
+
+    def run_game(self, players: list[str],
+                 timeout: float = 300.0) -> Generator:
+        """Play until one player remains; returns (winner, eliminations).
+
+        A generator — drive it from a process with ``yield from``.
+        """
+        spec = game_spec(players, dealer=self.name)
+        session = yield from self.establish(spec, timeout=timeout)
+        standing = list(players)
+        eliminated: list[str] = []
+        rng = self.world.kernel.rng.get(f"game/{self.name}")
+        round_no = 0
+        while len(standing) > 1:
+            round_no += 1
+            ttl = rng.randint(len(standing), 3 * len(standing))
+            self.ctx.outbox(f"to:{standing[0]}").send(
+                Potato(ttl, round_no))
+            # Await the loser's report.
+            loser = None
+            while loser is None:
+                msg = yield self.ctx.inbox("in").receive(timeout=timeout)
+                if isinstance(msg, PlayerOut) and msg.round_no == round_no:
+                    loser = msg.member
+            # Shrink the session and close the ring around the gap.
+            i = standing.index(loser)
+            pred = standing[i - 1]
+            succ = standing[(i + 1) % len(standing)]
+            yield from session.remove_member(loser, timeout=timeout)
+            eliminated.append(loser)
+            standing.remove(loser)
+            if len(standing) > 1 and pred != succ:
+                yield from session.add_bindings(
+                    [Binding(pred, "next", succ, "in")], timeout=timeout)
+        winner = standing[0]
+        self.ctx.outbox(f"to:{winner}").send(GameOver(winner))
+        yield from session.terminate(timeout=timeout)
+        return winner, eliminated

@@ -1,0 +1,25 @@
+"""The collaborative distributed design application (Example Two).
+
+"A group of people working at different sites collaborate on the design
+of a system. Management of design documents requires that modifications
+to parts of the document are communicated to appropriate members of the
+design team ... Each member of the design team has a dapplet
+responsible for managing that member's part of the design. The
+collection of dapplets forms a network — a session — that lasts as long
+as the design."
+
+Pieces:
+
+* :class:`DocumentStore` — each member's replica of the design's parts,
+  versioned with vector clocks; concurrent edits to a part are detected
+  and recorded as conflicts.
+* :class:`DesignerDapplet` — joins a mesh session; edits are protected
+  by token write-locks (one colour per part) so that, used properly,
+  conflicts cannot arise; an unlocked edit path demonstrates the
+  detection machinery.
+"""
+
+from repro.apps.design.dapplets import APP, DesignerDapplet, design_spec
+from repro.apps.design.store import DocumentStore, Part
+
+__all__ = ["APP", "DesignerDapplet", "DocumentStore", "Part", "design_spec"]

@@ -1,0 +1,158 @@
+"""The designer dapplet and the design-session spec."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.apps.design import messages as dm
+from repro.apps.design.store import DocumentStore
+from repro.dapplet.dapplet import Dapplet
+from repro.net.address import InboxAddress
+from repro.patterns.topology import mesh_spec
+from repro.services.clocks.vector import VectorClock
+from repro.services.tokens.manager import TokenAgent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session.session import SessionContext
+    from repro.session.spec import SessionSpec
+
+APP = "design.collab"
+REGION = "design"
+
+
+def design_spec(members: list[str], parts: list[str],
+                token_coordinator: "InboxAddress | None" = None,
+                subscriptions: "dict[str, list[str]] | None" = None,
+                ) -> "SessionSpec":
+    """A mesh session over the design team.
+
+    ``parts`` names the document parts; if ``token_coordinator`` points
+    at a :class:`~repro.services.tokens.TokenCoordinator` hosting one
+    token per colour ``part:<name>``, edits take write locks through it.
+
+    ``subscriptions`` maps each member to the parts it cares about (the
+    paper: "modifications to parts of the document are communicated to
+    *appropriate* members of the design team"). Omitted or per-member
+    missing entries mean subscribe-to-everything.
+    """
+    params: dict = {"parts": list(parts), "members": list(members)}
+    if token_coordinator is not None:
+        params["token_coordinator"] = token_coordinator
+    if subscriptions is not None:
+        params["subscriptions"] = {m: list(p)
+                                   for m, p in subscriptions.items()}
+    return mesh_spec(APP, members, params=params,
+                     regions={m: {REGION: "rw"} for m in members})
+
+
+class DesignerDapplet(Dapplet):
+    """One member of the design team."""
+
+    kind = "designer"
+
+    def setup(self) -> None:
+        self.store = DocumentStore(self.name)
+        self._agent: TokenAgent | None = None
+        self.ctx: "SessionContext | None" = None
+        self._subscribers: "dict[str, list[str]] | None" = None
+
+    def _notify(self, ctx: "SessionContext", notice: dm.ChangeNotice) -> None:
+        """Send a change notice to the appropriate members: the part's
+        subscribers when subscriptions were declared, everyone
+        otherwise."""
+        if self._subscribers is None:
+            ctx.outbox("bcast").send(notice)
+        else:
+            for member in self._subscribers.get(notice.part, ()):
+                ctx.outbox(f"to:{member}").send(notice)
+
+    # -- session wiring ---------------------------------------------------
+
+    def on_session_start(self, ctx: "SessionContext") -> "Generator | None":
+        if ctx.app != APP:
+            return None
+        self.ctx = ctx
+        coordinator = ctx.params.get("token_coordinator")
+        if coordinator is not None and self._agent is None:
+            self._agent = TokenAgent(self, coordinator)
+        # Who hears about which part: explicit subscriptions, or
+        # everyone hears everything (``None`` = broadcast).
+        subs: dict[str, list[str]] = ctx.params.get("subscriptions", {})
+        self._subscribers: "dict[str, list[str]] | None" = None
+        if subs:
+            self._subscribers = {}
+            for member in ctx.params["members"]:
+                if member == ctx.member:
+                    continue
+                for part in subs.get(member, ctx.params["parts"]):
+                    self._subscribers.setdefault(part, []).append(member)
+        return self._serve(ctx)
+
+    def on_session_end(self, ctx: "SessionContext") -> None:
+        if ctx is self.ctx:
+            self.ctx = None
+
+    def _serve(self, ctx: "SessionContext") -> Generator:
+        """Apply change notices; answer fetches."""
+        while ctx.active:
+            msg = yield ctx.inbox("in").receive()
+            if isinstance(msg, dm.ChangeNotice):
+                self.store.apply_remote(
+                    msg.part, msg.content,
+                    VectorClock.from_dict(msg.version), msg.author)
+            elif isinstance(msg, dm.FetchRequest):
+                part = self.store.part(msg.part)
+                ctx.outbox(f"to:{msg.requester}").send(dm.PartState(
+                    part=msg.part, content=part.content,
+                    version=part.version.to_dict(),
+                    author=part.last_author))
+            elif isinstance(msg, dm.PartState):
+                self.store.apply_remote(
+                    msg.part, msg.content,
+                    VectorClock.from_dict(msg.version), msg.author)
+
+    # -- operations (generators; drive from a process) ------------------------
+
+    def _require_ctx(self) -> "SessionContext":
+        if self.ctx is None:
+            raise RuntimeError(f"{self.name!r} is not in a design session")
+        return self.ctx
+
+    def edit(self, part: str, content: str) -> Generator:
+        """A locked edit: write token, edit, broadcast, release.
+
+        With every member editing through here, conflicts are impossible
+        — the paper's read/write token protocol in action.
+        """
+        ctx = self._require_ctx()
+        if self._agent is None:
+            raise RuntimeError("no token coordinator configured for edits; "
+                               "use edit_unlocked or pass token_coordinator")
+        color = f"part:{part}"
+        yield self._agent.request({color: "all"})
+        try:
+            # Fetch-before-write would be redundant: holding all tokens
+            # of the colour means no concurrent writer exists, and our
+            # replica is as fresh as any notice that reached us.
+            updated = self.store.edit(part, content)
+            self._notify(ctx, dm.ChangeNotice(
+                part=part, content=updated.content,
+                version=updated.version.to_dict(), author=self.name))
+        finally:
+            self._agent.release({color: "all"})
+
+    def edit_unlocked(self, part: str, content: str) -> None:
+        """An edit without the write lock — concurrent edits possible;
+        the vector clocks in notices let every replica detect them."""
+        ctx = self._require_ctx()
+        updated = self.store.edit(part, content)
+        self._notify(ctx, dm.ChangeNotice(
+            part=part, content=updated.content,
+            version=updated.version.to_dict(), author=self.name))
+
+    def fetch(self, part: str, owner: str) -> None:
+        """Ask ``owner`` for its state of ``part`` (reply is applied by
+        the session server when it arrives)."""
+        ctx = self._require_ctx()
+        ctx.outbox(f"to:{owner}").send(dm.FetchRequest(
+            part=part, requester=self.name))

@@ -1,0 +1,34 @@
+"""Wire messages of the design application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.messages.message import Message, message_type
+
+
+@message_type("design.change")
+@dataclass(frozen=True)
+class ChangeNotice(Message):
+    """Broadcast after an edit: new content plus its version vector."""
+
+    part: str
+    content: str
+    version: dict = field(default_factory=dict)
+    author: str = ""
+
+
+@message_type("design.fetch")
+@dataclass(frozen=True)
+class FetchRequest(Message):
+    part: str
+    requester: str = ""
+
+
+@message_type("design.part")
+@dataclass(frozen=True)
+class PartState(Message):
+    part: str
+    content: str
+    version: dict = field(default_factory=dict)
+    author: str = ""

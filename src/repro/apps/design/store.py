@@ -1,0 +1,86 @@
+"""Per-member replica of the design document."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.services.clocks.vector import VectorClock
+
+
+@dataclass
+class Part:
+    """One part of the design, as known at one member."""
+
+    name: str
+    content: str = ""
+    version: VectorClock = field(default_factory=VectorClock)
+    last_author: str = ""
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A detected pair of concurrent edits to one part."""
+
+    part: str
+    local_author: str
+    remote_author: str
+
+
+class DocumentStore:
+    """All parts of the design, from one member's perspective."""
+
+    def __init__(self, member: str) -> None:
+        self.member = member
+        self._parts: dict[str, Part] = {}
+        self.conflicts: list[Conflict] = []
+        self.notices_applied = 0
+        self.notices_stale = 0
+
+    def part(self, name: str) -> Part:
+        p = self._parts.get(name)
+        if p is None:
+            p = Part(name)
+            self._parts[name] = p
+        return p
+
+    def parts(self) -> list[str]:
+        return sorted(self._parts)
+
+    def edit(self, name: str, content: str) -> Part:
+        """A local edit: bump our component of the part's version."""
+        p = self.part(name)
+        p.content = content
+        p.version = p.version.tick(self.member)
+        p.last_author = self.member
+        return p
+
+    def apply_remote(self, name: str, content: str,
+                     version: VectorClock, author: str) -> bool:
+        """Merge a change notice; returns True if it advanced the part.
+
+        A remote version concurrent with ours (neither saw the other's
+        edit) is a conflict: recorded, then resolved deterministically
+        in favour of the lexicographically smaller author so replicas
+        converge either way.
+        """
+        p = self.part(name)
+        if version == p.version or version.happens_before(p.version):
+            self.notices_stale += 1
+            return False
+        if p.version.happens_before(version):
+            p.content = content
+            p.version = version
+            p.last_author = author
+            self.notices_applied += 1
+            return True
+        # Concurrent edits.
+        self.conflicts.append(Conflict(
+            part=name, local_author=p.last_author or self.member,
+            remote_author=author))
+        merged = p.version.merge(version)
+        if author < (p.last_author or self.member):
+            p.content = content
+            p.last_author = author
+        p.version = merged
+        self.notices_applied += 1
+        return True

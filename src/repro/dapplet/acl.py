@@ -1,0 +1,59 @@
+"""Access-control lists.
+
+The paper: a dapplet "may reject the request because the requesting
+dapplet was not on its access control list". An ACL decides, given the
+requester's node address, whether a link request is admissible. The
+default is open (allow everyone); adding the first ``allow`` entry
+switches to allow-list mode; ``deny`` entries always win.
+"""
+
+from __future__ import annotations
+
+from repro.net.address import NodeAddress
+
+
+class AccessControlList:
+    """Allow/deny decisions on requester node addresses.
+
+    Entries are either exact node addresses or host patterns — a plain
+    hostname (matches any port there) or a ``*.domain`` suffix pattern.
+    """
+
+    def __init__(self) -> None:
+        self._allow: set[str] = set()
+        self._deny: set[str] = set()
+
+    @staticmethod
+    def _keys(address: NodeAddress) -> list[str]:
+        """All pattern keys the address matches, most specific first."""
+        keys = [str(address), address.host]
+        parts = address.host.split(".")
+        for i in range(1, len(parts)):
+            keys.append("*." + ".".join(parts[i:]))
+        return keys
+
+    def allow(self, pattern: "NodeAddress | str") -> None:
+        """Admit requesters matching ``pattern`` (enables allow-list mode)."""
+        self._allow.add(str(pattern))
+
+    def deny(self, pattern: "NodeAddress | str") -> None:
+        """Refuse requesters matching ``pattern`` (overrides allows)."""
+        self._deny.add(str(pattern))
+
+    def clear(self) -> None:
+        self._allow.clear()
+        self._deny.clear()
+
+    def allows(self, requester: NodeAddress) -> bool:
+        """True if a link request from ``requester`` is admissible."""
+        keys = self._keys(requester)
+        if any(k in self._deny for k in keys):
+            return False
+        if not self._allow:
+            return True
+        return any(k in self._allow for k in keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "allow-list" if self._allow else "open"
+        return (f"<AccessControlList {mode} allow={sorted(self._allow)} "
+                f"deny={sorted(self._deny)}>")

@@ -1,0 +1,186 @@
+"""The ``Dapplet`` base class.
+
+A dapplet is a process with a global address that communicates only
+through its ports (inboxes and outboxes). Application dapplets subclass
+this, create ports, and react to sessions via the
+``on_session_start``/``on_session_end`` hooks; "threads within a
+dapplet" are processes started with :meth:`spawn`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.dapplet.acl import AccessControlList
+from repro.dapplet.state import PersistentState
+from repro.errors import DappletError
+from repro.mailbox.inbox import Inbox
+from repro.mailbox.outbox import Outbox
+from repro.net.address import NodeAddress
+from repro.net.transport import Endpoint
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session.manager import SessionManager
+    from repro.session.session import SessionContext
+    from repro.world import World
+
+PortHook = Callable[[object], None]
+
+
+class Dapplet:
+    """Base class for all dapplets.
+
+    Instances are created through :meth:`repro.world.World.dapplet`,
+    which allocates the address, registers the dapplet in the world's
+    directory, and calls :meth:`setup`.
+    """
+
+    #: Directory kind tag; subclasses set this ("calendar", "secretary"...).
+    kind: str = ""
+
+    def __init__(self, world: "World", address: NodeAddress,
+                 name: str) -> None:
+        self.world = world
+        self.kernel = world.kernel
+        self.address = address
+        self.name = name
+        self.endpoint = Endpoint(world.kernel, world.network, address,
+                                 **world.endpoint_options)
+        self.acl = AccessControlList()
+        self.state = PersistentState()
+        self._inbox_refs = itertools.count()
+        self._outbox_refs = itertools.count()
+        self.inboxes: dict[int, Inbox] = {}
+        self.outboxes: dict[int, Outbox] = {}
+        self._named_inboxes: dict[str, Inbox] = {}
+        self._processes: list[Process] = []
+        #: Called with every newly created Inbox/Outbox; services (e.g.
+        #: logical clocks) use this to hook all of a dapplet's ports.
+        self.port_hooks: list[PortHook] = []
+        self._session_manager: "SessionManager | None" = None
+        self._stopped = False
+        # The message-passing layer provides every dapplet a logical
+        # clock satisfying the global snapshot criterion (paper §4.2).
+        from repro.services.clocks.lamport import LamportClock
+        self.clock = LamportClock(self)
+        self.setup()
+        # Every dapplet listens for link requests from the moment it is
+        # installed (the paper's model: dapplets are installed first,
+        # sessions arrive later).
+        from repro.session.manager import SessionManager
+        self._session_manager = SessionManager(self)
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def setup(self) -> None:
+        """Create long-lived ports and state; called once at creation."""
+
+    def main(self) -> "Generator | None":
+        """Optional main behaviour; return a generator to run it.
+
+        Started by :meth:`start`. Dapplets that only react to sessions
+        do not need one.
+        """
+        return None
+
+    def on_session_start(self, ctx: "SessionContext") -> "Generator | None":
+        """Called when a session this dapplet joined becomes active.
+
+        Returning a generator runs it as this member's session process.
+        """
+        return None
+
+    def on_session_end(self, ctx: "SessionContext") -> None:
+        """Called when a session terminates or this member leaves."""
+
+    # -- ports --------------------------------------------------------------
+
+    def create_inbox(self, name: str | None = None) -> Inbox:
+        """A new inbox; optionally addressable by ``name``."""
+        self._ensure_live()
+        if name is not None and name in self._named_inboxes:
+            raise DappletError(
+                f"dapplet {self.name!r} already has an inbox named {name!r}")
+        ref = next(self._inbox_refs)
+        inbox = Inbox(self.kernel, self.endpoint, ref, name=name)
+        self.inboxes[ref] = inbox
+        if name is not None:
+            self._named_inboxes[name] = inbox
+        for hook in self.port_hooks:
+            hook(inbox)
+        return inbox
+
+    def create_outbox(self) -> Outbox:
+        """A new outbox (initially bound to nothing)."""
+        self._ensure_live()
+        ref = next(self._outbox_refs)
+        outbox = Outbox(self.kernel, self.endpoint, ref)
+        self.outboxes[ref] = outbox
+        for hook in self.port_hooks:
+            hook(outbox)
+        return outbox
+
+    def inbox_named(self, name: str) -> Inbox:
+        try:
+            return self._named_inboxes[name]
+        except KeyError:
+            raise DappletError(
+                f"dapplet {self.name!r} has no inbox named {name!r}") from None
+
+    def close_inbox(self, inbox: Inbox) -> None:
+        inbox.close()
+        self.inboxes.pop(inbox.ref, None)
+        if inbox.name is not None:
+            self._named_inboxes.pop(inbox.name, None)
+
+    # -- processes ("threads within a dapplet") ------------------------------
+
+    def spawn(self, body: Generator, name: str | None = None) -> Process:
+        """Start a process belonging to this dapplet."""
+        self._ensure_live()
+        process = self.kernel.process(
+            body, name=f"{self.name}/{name or 'proc'}")
+        self._processes.append(process)
+        return process
+
+    def start(self) -> "Process | None":
+        """Start :meth:`main` if the subclass defines one."""
+        body = self.main()
+        if body is None:
+            return None
+        return self.spawn(body, name="main")
+
+    # -- sessions -------------------------------------------------------------
+
+    @property
+    def sessions(self) -> "SessionManager":
+        """This dapplet's session manager (created on first use)."""
+        if self._session_manager is None:
+            from repro.session.manager import SessionManager
+            self._session_manager = SessionManager(self)
+        return self._session_manager
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Detach from the network; live processes are left to drain."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for inbox in list(self.inboxes.values()):
+            inbox.close()
+        self.endpoint.close()
+        self.world._forget_dapplet(self)
+
+    def _ensure_live(self) -> None:
+        if self._stopped:
+            raise DappletError(f"dapplet {self.name!r} is stopped")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} @ {self.address}>"

@@ -1,0 +1,83 @@
+"""The address directory.
+
+The paper (Figure 2): "the center director invokes an initiator dapplet
+and passes it a directory of addresses (e.g. Internet IP addresses and
+ports) of component dapplets that are to be linked together into a
+session ... We do not address how this directory is maintained in this
+paper."
+
+Accordingly this is a simple in-memory registry: name -> node address
+plus a free-form *kind* tag (e.g. ``"calendar"`` or ``"secretary"``) so
+initiators can select participants by type. It supports snapshotting to
+a plain dict, which is how a directory travels inside messages to an
+initiator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.net.address import NodeAddress
+
+
+@dataclass(frozen=True, slots=True)
+class DirectoryEntry:
+    """One directory row."""
+
+    name: str
+    address: NodeAddress
+    kind: str = ""
+
+
+class AddressDirectory:
+    """A name -> address registry for session initiators."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, DirectoryEntry] = {}
+
+    def register(self, name: str, address: NodeAddress,
+                 kind: str = "") -> None:
+        """Add an entry; re-registering a name must keep its address."""
+        existing = self._entries.get(name)
+        if existing is not None and existing.address != address:
+            raise AddressError(
+                f"directory name {name!r} already maps to {existing.address}")
+        self._entries[name] = DirectoryEntry(name, address, kind)
+
+    def remove(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def lookup(self, name: str) -> NodeAddress:
+        try:
+            return self._entries[name].address
+        except KeyError:
+            raise AddressError(f"no directory entry for {name!r}") from None
+
+    def entry(self, name: str) -> DirectoryEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise AddressError(f"no directory entry for {name!r}") from None
+
+    def names(self, kind: str | None = None) -> list[str]:
+        """Registered names, optionally filtered by kind, sorted."""
+        return sorted(e.name for e in self._entries.values()
+                      if kind is None or e.kind == kind)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def to_dict(self) -> dict[str, str]:
+        """Wire-encodable snapshot (name -> "host:port")."""
+        return {name: str(e.address) for name, e in self._entries.items()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "AddressDirectory":
+        directory = cls()
+        for name, addr in data.items():
+            directory.register(name, NodeAddress.parse(addr))
+        return directory

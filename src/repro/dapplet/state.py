@@ -1,0 +1,148 @@
+"""Persistent dapplet state, partitioned into regions.
+
+The paper (§2.2, "Persistent State Across Multiple Temporary Sessions"):
+"the state of an executive committee member's appointments calendar must
+persist ... Different parts of the state may be accessed and modified by
+different distributed sessions. For instance, a distributed session to
+set up an executive committee meeting may have access to Mondays and
+Fridays on one user's calendar but not to other days ... Two sessions
+must not be allowed to proceed concurrently if one modifies variables
+accessed by the other."
+
+A :class:`PersistentState` is a set of named :class:`Region` objects —
+key/value stores that outlive sessions. A session declares, per member,
+which regions it reads and which it writes; the session manager's
+interference check (:mod:`repro.session.interference`) refuses to
+schedule conflicting sessions concurrently, and each session touches
+state only through :class:`RegionView` objects that enforce the declared
+access mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+#: Access modes a session may declare on a region.
+READ = "r"
+WRITE = "rw"
+MODES = (READ, WRITE)
+
+
+class Region:
+    """One named partition of a dapplet's persistent state."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._data: dict[str, Any] = {}
+        #: Bumped on every mutation; lets checkpoints and tests detect
+        #: writes cheaply.
+        self.version = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self.version += 1
+
+    def delete(self, key: str) -> None:
+        if key in self._data:
+            del self._data[key]
+            self.version += 1
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return iter(sorted(self._data.items()))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A shallow copy (used by checkpointing)."""
+        return dict(self._data)
+
+    def restore(self, data: dict[str, Any]) -> None:
+        """Replace contents (used by checkpoint recovery)."""
+        self._data = dict(data)
+        self.version += 1
+
+
+class RegionView:
+    """A session's handle on a region, enforcing its declared mode.
+
+    Reads are always allowed; mutating methods raise ``PermissionError``
+    unless the session declared write access.
+    """
+
+    def __init__(self, region: Region, mode: str) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self._region = region
+        self.mode = mode
+
+    @property
+    def name(self) -> str:
+        return self._region.name
+
+    @property
+    def writable(self) -> bool:
+        return self.mode == WRITE
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._region.get(key, default)
+
+    def keys(self) -> list[str]:
+        return self._region.keys()
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return self._region.items()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._region
+
+    def _require_write(self) -> None:
+        if not self.writable:
+            raise PermissionError(
+                f"session has read-only access to region {self.name!r}")
+
+    def set(self, key: str, value: Any) -> None:
+        self._require_write()
+        self._region.set(key, value)
+
+    def delete(self, key: str) -> None:
+        self._require_write()
+        self._region.delete(key)
+
+
+class PersistentState:
+    """The collection of a dapplet's regions."""
+
+    def __init__(self) -> None:
+        self._regions: dict[str, Region] = {}
+
+    def region(self, name: str) -> Region:
+        """The region called ``name``, created empty on first use."""
+        region = self._regions.get(name)
+        if region is None:
+            region = Region(name)
+            self._regions[name] = region
+        return region
+
+    def regions(self) -> list[str]:
+        return sorted(self._regions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Deep-enough copy of all regions (used by checkpointing)."""
+        return {name: r.snapshot() for name, r in self._regions.items()}
+
+    def restore(self, data: dict[str, dict[str, Any]]) -> None:
+        for name, contents in data.items():
+            self.region(name).restore(contents)

@@ -1,0 +1,151 @@
+"""Exception hierarchy for the ``repro`` distributed-system layer.
+
+The paper specifies several situations that must surface as exceptions
+rather than silent failures:
+
+* a message not delivered within a specified time (outbox ``send``),
+* deleting an inbox address that is not bound (outbox ``delete``),
+* releasing tokens the dapplet does not hold (token manager ``release``),
+* a deadlock among token requests (token manager ``request``).
+
+Every exception raised by this package derives from :class:`ReproError`
+so applications can catch the whole family with one handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class ProcessCrashed(SimulationError):
+    """A simulated process terminated with an unhandled exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+
+class InterruptError(SimulationError):
+    """Raised inside a process when another process interrupts it.
+
+    Mirrors the thread-interruption facility the paper's Java
+    implementation inherits from ``java.lang.Thread``.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class AddressError(ReproError):
+    """An address is malformed, unknown, or already in use."""
+
+
+class SerializationError(ReproError):
+    """A message could not be converted to or from its wire string."""
+
+
+class DeliveryTimeout(ReproError):
+    """A message was not delivered within the specified time.
+
+    The paper: "if a message is not delivered within a specified time an
+    exception is raised".
+    """
+
+    def __init__(self, message: str, *, destination: object = None,
+                 timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.destination = destination
+        self.timeout = timeout
+
+
+class ReceiveTimeout(ReproError):
+    """A timed ``receive`` on an inbox expired before a message arrived."""
+
+    def __init__(self, message: str, *, timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class BindingError(ReproError):
+    """An outbox binding operation failed.
+
+    The paper: ``delete(ipa)`` "removes the specified global address from
+    the list inboxes if it is in the list and otherwise throws an
+    exception".
+    """
+
+
+class DappletError(ReproError):
+    """A dapplet lifecycle or configuration error."""
+
+
+class SessionError(ReproError):
+    """A session could not be established, grown, shrunk or terminated."""
+
+
+class SessionRejected(SessionError):
+    """A participant rejected a link request.
+
+    Carries the participant and the machine-readable reason
+    (``"acl"`` — requester not on the access-control list, or
+    ``"interference"`` — a concurrent session would interfere), matching
+    the two rejection causes the paper enumerates.
+    """
+
+    def __init__(self, message: str, *, participant: object = None,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.participant = participant
+        self.reason = reason
+
+
+class InterferenceError(SessionError):
+    """Two sessions with conflicting state regions were scheduled together."""
+
+
+class RpcError(ReproError):
+    """A remote invocation failed at the callee; carries the remote reason."""
+
+    def __init__(self, message: str, *, remote_type: str = "",
+                 remote_message: str = "") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.remote_message = remote_message
+
+
+class RpcTimeout(RpcError):
+    """A synchronous remote call did not return within its timeout."""
+
+
+class TokenError(ReproError):
+    """An invalid token operation (e.g. releasing tokens not held)."""
+
+
+class DeadlockDetected(TokenError):
+    """The token managers detected a deadlock among blocked requests.
+
+    ``cycle`` lists the dapplet identifiers on the detected wait-for
+    cycle, in order.
+    """
+
+    def __init__(self, message: str, *, cycle: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class ClockError(ReproError):
+    """A logical-clock or snapshot protocol error."""
+
+
+class SynchronizationError(ReproError):
+    """An intra- or inter-dapplet synchronization construct was misused."""
+
+
+class SingleAssignmentError(SynchronizationError):
+    """A single-assignment variable was written more than once."""

@@ -1,0 +1,15 @@
+"""Inboxes, outboxes and channels — the paper's port layer.
+
+The paper (§3.2): "Each process has a set of inboxes and a set of
+outboxes. Inboxes and outboxes are message queues. A process can append
+a message to the tail of one of its outboxes, and it can remove the
+message at the head of one of its inboxes." Channels are directed FIFO
+links from exactly one outbox to exactly one inbox; an outbox bound to
+several inboxes sends a copy along every channel.
+"""
+
+from repro.mailbox.channel import Channel, channel_key
+from repro.mailbox.inbox import Inbox
+from repro.mailbox.outbox import Outbox, SendResult
+
+__all__ = ["Channel", "Inbox", "Outbox", "SendResult", "channel_key"]

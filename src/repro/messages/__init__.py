@@ -1,0 +1,26 @@
+"""The message model.
+
+The paper (§3.2): "Objects that are sent from one process to another are
+subclasses of a message class. An object that is sent by a process is
+converted into a string, sent across the network, and then reconstructed
+back into its original type by the receiving process."
+
+:class:`Message` is that base class; subclasses declare dataclass fields
+and register under a type name. :func:`dumps`/:func:`loads` are the
+string codec (JSON with tagged encodings for addresses and nested
+messages).
+"""
+
+from repro.messages.message import Message, message_type, registered_types
+from repro.messages.serialize import dumps, loads
+from repro.messages.system import Blob, Text
+
+__all__ = [
+    "Blob",
+    "Message",
+    "Text",
+    "dumps",
+    "loads",
+    "message_type",
+    "registered_types",
+]

@@ -1,0 +1,100 @@
+"""The object <-> wire-string codec.
+
+JSON, with tagged objects for the types that are not JSON-native:
+
+* ``{"$node": "host:port"}`` — :class:`NodeAddress`
+* ``{"$inbox": "host:port/ref"}`` — :class:`InboxAddress`
+* ``{"$msg": [name, fields]}`` — a nested :class:`Message`
+* ``{"$tuple": [...]}`` — a tuple (distinguished from list so
+  hashable payloads survive the round trip)
+
+The top level is ``{"t": name, "f": fields}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.messages.message import Message, lookup
+from repro.net.address import InboxAddress, NodeAddress
+
+
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, NodeAddress):
+        return {"$node": str(value)}
+    if isinstance(value, InboxAddress):
+        return {"$inbox": str(value)}
+    if isinstance(value, Message):
+        return {"$msg": [value.wire_name,
+                         {k: _encode(v) for k, v in value.to_fields().items()}]}
+    if isinstance(value, tuple):
+        return {"$tuple": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise SerializationError(
+                    f"dict keys on the wire must be strings, got {k!r}")
+            if k.startswith("$"):
+                raise SerializationError(
+                    f"dict keys may not start with '$' (reserved): {k!r}")
+            out[k] = _encode(v)
+        return out
+    raise SerializationError(
+        f"value of type {type(value).__name__} is not wire-encodable: {value!r}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    if isinstance(value, dict):
+        if "$node" in value:
+            return NodeAddress.parse(value["$node"])
+        if "$inbox" in value:
+            return InboxAddress.parse(value["$inbox"])
+        if "$tuple" in value:
+            return tuple(_decode(v) for v in value["$tuple"])
+        if "$msg" in value:
+            name, fields = value["$msg"]
+            return _instantiate(name, fields)
+        return {k: _decode(v) for k, v in value.items()}
+    return value
+
+
+def _instantiate(name: str, fields: dict[str, Any]) -> Message:
+    cls = lookup(name)
+    try:
+        return cls.from_fields({k: _decode(v) for k, v in fields.items()})
+    except TypeError as exc:
+        raise SerializationError(
+            f"cannot reconstruct {name!r} from fields {sorted(fields)}: {exc}"
+        ) from exc
+
+
+def dumps(message: Message) -> str:
+    """Serialize ``message`` to its wire string."""
+    if not isinstance(message, Message):
+        raise SerializationError(
+            f"can only send Message subclasses, got {type(message).__name__}")
+    if not message.wire_name:
+        raise SerializationError(
+            f"{type(message).__name__} is not registered; apply @message_type")
+    fields = {k: _encode(v) for k, v in message.to_fields().items()}
+    return json.dumps({"t": message.wire_name, "f": fields},
+                      separators=(",", ":"))
+
+
+def loads(wire: str) -> Message:
+    """Reconstruct a message from its wire string."""
+    try:
+        obj = json.loads(wire)
+        name, fields = obj["t"], obj["f"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed wire string: {wire[:80]!r}") from exc
+    return _instantiate(name, fields)

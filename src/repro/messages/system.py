@@ -1,0 +1,30 @@
+"""Generic application-payload messages.
+
+Protocol-specific messages (session link-up, token transfers, RPC
+envelopes, snapshot markers, ...) are defined next to the code that
+speaks them; only the two generic payload carriers every application can
+use live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.messages.message import Message, message_type
+
+
+@message_type("sys.text")
+@dataclass(frozen=True)
+class Text(Message):
+    """A plain text payload."""
+
+    text: str
+
+
+@message_type("sys.blob")
+@dataclass(frozen=True)
+class Blob(Message):
+    """An arbitrary wire-encodable mapping payload."""
+
+    data: dict[str, Any] = field(default_factory=dict)

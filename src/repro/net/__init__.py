@@ -1,0 +1,43 @@
+"""Simulated wide-area network substrate.
+
+The paper's implementation runs over UDP on the real Internet; this
+package provides the synthetic equivalent (see DESIGN.md §2): an
+unreliable datagram service with configurable latency models and fault
+injection (:mod:`repro.net.datagram`), and on top of it the ordering
+layer the paper describes — per-channel FIFO, exactly-once delivery via
+sequence numbers, acknowledgements and retransmission
+(:mod:`repro.net.transport`).
+"""
+
+from repro.net.address import InboxAddress, NodeAddress
+from repro.net.datagram import Datagram, DatagramNetwork, NetworkStats
+from repro.net.faults import FaultPlan
+from repro.net.latency import (
+    ConstantLatency,
+    GeoLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PerLinkLatency,
+    UniformLatency,
+    WAN_SITES,
+)
+from repro.net.transport import DeliveryReceipt, Endpoint, EndpointStats
+
+__all__ = [
+    "ConstantLatency",
+    "Datagram",
+    "DatagramNetwork",
+    "DeliveryReceipt",
+    "Endpoint",
+    "EndpointStats",
+    "FaultPlan",
+    "GeoLatency",
+    "InboxAddress",
+    "LatencyModel",
+    "LogNormalLatency",
+    "NetworkStats",
+    "NodeAddress",
+    "PerLinkLatency",
+    "UniformLatency",
+    "WAN_SITES",
+]

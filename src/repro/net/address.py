@@ -1,0 +1,97 @@
+"""Global addresses.
+
+The paper: "Associated with each dapplet is an Internet address (i.e. IP
+address and port id)"; "Each inbox has a global address (the address of
+its dapplet, i.e. its IP address and port) and a local reference within
+the dapplet process"; and, as a convenience, an inbox may be addressed
+"by a pair: its unique dapplet address ... and a string in place of its
+local id".
+
+:class:`NodeAddress` is the (host, port) pair; :class:`InboxAddress`
+pairs it with either an integer local reference or a string name.
+Both are immutable, hashable and round-trip through plain dicts/strings
+so they can travel inside messages (the paper: "Addresses of inboxes and
+dapplets can be communicated between dapplets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NodeAddress:
+    """The global address of a dapplet: host plus port."""
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.host or ":" in self.host:
+            raise AddressError(f"invalid host {self.host!r}")
+        if not (0 < self.port < 65536):
+            raise AddressError(f"invalid port {self.port!r}")
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeAddress":
+        """Parse ``"host:port"``."""
+        host, sep, port = text.rpartition(":")
+        if not sep:
+            raise AddressError(f"cannot parse node address {text!r}")
+        try:
+            return cls(host, int(port))
+        except ValueError as exc:
+            raise AddressError(f"cannot parse node address {text!r}") from exc
+
+    def inbox(self, ref: "int | str") -> "InboxAddress":
+        """The address of inbox ``ref`` (local id or string name) here."""
+        return InboxAddress(self, ref)
+
+
+@dataclass(frozen=True, slots=True)
+class InboxAddress:
+    """The global address of one inbox.
+
+    ``ref`` is either the inbox's integer local reference or its string
+    name — the paper's ``add``/``delete`` methods are polymorphic in
+    exactly this way.
+    """
+
+    node: NodeAddress
+    ref: "int | str"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.ref, bool) or not isinstance(self.ref, (int, str)):
+            raise AddressError(
+                f"inbox reference must be an int id or str name, got {self.ref!r}")
+        if isinstance(self.ref, str) and not self.ref:
+            raise AddressError("inbox name must be non-empty")
+
+    @property
+    def is_named(self) -> bool:
+        """True when this address uses a string name."""
+        return isinstance(self.ref, str)
+
+    def __str__(self) -> str:
+        return f"{self.node}/{self.ref}"
+
+    @classmethod
+    def parse(cls, text: str) -> "InboxAddress":
+        """Parse ``"host:port/ref"`` (ref is int if it looks like one)."""
+        nodepart, sep, ref = text.partition("/")
+        if not sep or not ref:
+            raise AddressError(f"cannot parse inbox address {text!r}")
+        node = NodeAddress.parse(nodepart)
+        return cls(node, int(ref) if ref.isdigit() else ref)
+
+    def to_wire(self) -> str:
+        return str(self)
+
+    @classmethod
+    def from_wire(cls, text: str) -> "InboxAddress":
+        return cls.parse(text)

@@ -1,0 +1,130 @@
+"""The unreliable datagram service (the simulated "UDP").
+
+"The initial implementation uses UDP" — this module is that bottom
+layer: best-effort, unordered, at-most-once-per-copy delivery of
+datagrams between registered node addresses, with latency drawn from a
+:class:`~repro.net.latency.LatencyModel` and faults injected by a
+:class:`~repro.net.faults.FaultPlan`. Everything above it (the FIFO
+ordering layer, inboxes, sessions) must cope with what this layer does,
+exactly as the paper's layer copes with real UDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import AddressError
+from repro.net.address import NodeAddress
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.sim.kernel import Kernel
+
+#: Fixed per-datagram header overhead charged to the latency model, in
+#: bytes (stands in for UDP/IP headers plus our layer's framing).
+HEADER_OVERHEAD = 64
+
+
+@dataclass(frozen=True, slots=True)
+class Datagram:
+    """One datagram on the wire.
+
+    ``header`` carries the ordering layer's framing (kind, channel, seq);
+    ``payload`` is the serialized message string. ``size`` in bytes
+    drives transmission delay in size-aware latency models.
+    """
+
+    src: NodeAddress
+    dst: NodeAddress
+    header: dict[str, Any]
+    payload: str
+
+    @property
+    def size(self) -> int:
+        return HEADER_OVERHEAD + len(self.payload)
+
+
+@dataclass
+class NetworkStats:
+    """Counters kept by the datagram network (read by benchmarks)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    undeliverable: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class DatagramNetwork:
+    """Best-effort datagram delivery between registered nodes.
+
+    One instance models the whole internetwork of a run. Nodes register
+    a handler for their address; ``send`` applies the fault plan, draws a
+    latency per surviving copy, and schedules handler invocation on the
+    kernel. Sending to an unregistered address silently drops the
+    datagram (as UDP does), counted in ``stats.undeliverable``.
+    """
+
+    def __init__(self, kernel: Kernel, *,
+                 latency: LatencyModel | None = None,
+                 faults: FaultPlan | None = None) -> None:
+        self.kernel = kernel
+        self.latency = latency if latency is not None else ConstantLatency(0.05)
+        self.faults = faults if faults is not None else FaultPlan()
+        self.stats = NetworkStats()
+        self._handlers: dict[NodeAddress, Callable[[Datagram], None]] = {}
+        #: Taps observing every datagram put on the wire (testing aid).
+        self.wire_taps: list[Callable[[float, Datagram], None]] = []
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, address: NodeAddress,
+                 handler: Callable[[Datagram], None]) -> None:
+        """Attach ``handler`` to ``address``. The address must be free."""
+        if address in self._handlers:
+            raise AddressError(f"address {address} is already registered")
+        self._handlers[address] = handler
+
+    def unregister(self, address: NodeAddress) -> None:
+        self._handlers.pop(address, None)
+
+    def is_registered(self, address: NodeAddress) -> bool:
+        return address in self._handlers
+
+    # -- sending --------------------------------------------------------
+
+    def send(self, datagram: Datagram) -> None:
+        """Fire-and-forget transmission of one datagram."""
+        self.stats.sent += 1
+        self.stats.bytes_sent += datagram.size
+        for tap in self.wire_taps:
+            tap(self.kernel.now, datagram)
+
+        link = f"net/{datagram.src}->{datagram.dst}"
+        fault_rng = self.kernel.rng.get(link + "/faults")
+        extra_delays = self.faults.copies(fault_rng, datagram.src, datagram.dst)
+        if not extra_delays:
+            self.stats.dropped += 1
+            return
+        if len(extra_delays) > 1:
+            self.stats.duplicated += 1
+
+        lat_rng = self.kernel.rng.get(link + "/latency")
+        for extra in extra_delays:
+            delay = extra + self.latency.sample(
+                lat_rng, datagram.src.host, datagram.dst.host, datagram.size)
+            self.kernel.call_later(delay, lambda d=datagram: self._deliver(d))
+
+    def _deliver(self, datagram: Datagram) -> None:
+        handler = self._handlers.get(datagram.dst)
+        if handler is None:
+            self.stats.undeliverable += 1
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += datagram.size
+        handler(datagram)

@@ -1,0 +1,83 @@
+"""Network fault injection.
+
+The paper (§2.2): "the system must also cope with faults in the network,
+such as undelivered messages", and (§3.2) delays are arbitrary and
+independent — i.e. datagrams may be reordered. A :class:`FaultPlan`
+decides, per datagram, whether it is dropped, duplicated, or delayed by
+extra reordering jitter, and supports directional link partitions for
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.net.address import NodeAddress
+
+
+class FaultPlan:
+    """Per-datagram fault decisions.
+
+    Parameters
+    ----------
+    drop_prob:
+        Probability a datagram is silently lost.
+    duplicate_prob:
+        Probability a datagram is delivered twice (the copy gets its own
+        latency draw, so duplicates can arrive out of order).
+    reorder_jitter:
+        Upper bound of an extra uniform delay added independently per
+        copy; any value > 0 lets later sends overtake earlier ones.
+    """
+
+    def __init__(self, *, drop_prob: float = 0.0, duplicate_prob: float = 0.0,
+                 reorder_jitter: float = 0.0) -> None:
+        for name, p in (("drop_prob", drop_prob),
+                        ("duplicate_prob", duplicate_prob)):
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if reorder_jitter < 0:
+            raise ValueError("reorder_jitter must be >= 0")
+        self.drop_prob = drop_prob
+        self.duplicate_prob = duplicate_prob
+        self.reorder_jitter = reorder_jitter
+        self._partitions: set[tuple[NodeAddress, NodeAddress]] = set()
+
+    # -- partitions -----------------------------------------------------
+
+    def partition(self, a: NodeAddress, b: NodeAddress,
+                  *, bidirectional: bool = True) -> None:
+        """Block all datagrams from ``a`` to ``b`` (and back by default)."""
+        self._partitions.add((a, b))
+        if bidirectional:
+            self._partitions.add((b, a))
+
+    def heal(self, a: NodeAddress, b: NodeAddress) -> None:
+        """Remove any partition between ``a`` and ``b`` in both directions."""
+        self._partitions.discard((a, b))
+        self._partitions.discard((b, a))
+
+    def is_partitioned(self, src: NodeAddress, dst: NodeAddress) -> bool:
+        return (src, dst) in self._partitions
+
+    # -- per-datagram decision ------------------------------------------
+
+    def copies(self, rng: Random, src: NodeAddress,
+               dst: NodeAddress) -> list[float]:
+        """Extra-delay list, one entry per copy to deliver.
+
+        ``[]`` means the datagram is lost; ``[j]`` a single delivery with
+        extra jitter ``j``; ``[j1, j2]`` a duplicated delivery.
+        """
+        if self.is_partitioned(src, dst):
+            return []
+        if self.drop_prob and rng.random() < self.drop_prob:
+            return []
+        n = 2 if (self.duplicate_prob and rng.random() < self.duplicate_prob) else 1
+        if self.reorder_jitter:
+            return [rng.uniform(0.0, self.reorder_jitter) for _ in range(n)]
+        return [0.0] * n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultPlan(drop={self.drop_prob}, dup={self.duplicate_prob}, "
+                f"jitter={self.reorder_jitter}, partitions={len(self._partitions)})")

@@ -1,0 +1,397 @@
+"""The ordering layer: reliable FIFO channels over unreliable datagrams.
+
+The paper (§3.2): "The initial implementation uses UDP ... and it
+includes a layer to ensure that messages are delivered in the order they
+were sent" and "Messages sent along a channel are delivered in the order
+sent." This module implements that layer with the classic mechanism:
+per-channel sequence numbers, cumulative acknowledgements, retransmission
+with exponential backoff, receiver-side reordering buffers and duplicate
+suppression — yielding per-channel FIFO, exactly-once delivery over a
+network that drops, duplicates and reorders.
+
+One :class:`Endpoint` exists per node (simulated machine); every inbox of
+every dapplet on that node registers with it, and every outbox sends
+through the endpoint of its node. The *channel key* identifies one
+outbox→inbox channel, so ordering is exactly per-channel, as the paper
+specifies (two channels between the same pair of nodes are independent).
+
+The paper also specifies: "if a message is not delivered within a
+specified time, an exception is raised" — :meth:`Endpoint.send` returns a
+:class:`DeliveryReceipt` whose ``confirmed`` event fails with
+:class:`~repro.errors.DeliveryTimeout` in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import AddressError, DeliveryTimeout
+from repro.net.address import InboxAddress, NodeAddress
+from repro.net.datagram import Datagram, DatagramNetwork
+from repro.sim.events import Event
+from repro.sim.kernel import Kernel
+
+#: Packet kinds used in datagram headers.
+KIND_DATA = "DATA"
+KIND_ACK = "ACK"
+KIND_RAW = "RAW"
+
+
+@dataclass
+class EndpointStats:
+    """Counters kept per endpoint (read by tests and benchmarks)."""
+
+    data_sent: int = 0
+    data_retransmitted: int = 0
+    acks_sent: int = 0
+    delivered: int = 0
+    duplicates_discarded: int = 0
+    buffered_out_of_order: int = 0
+    gave_up: int = 0
+    raw_sent: int = 0
+    raw_delivered: int = 0
+    no_such_inbox: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class DeliveryReceipt:
+    """Tracks delivery confirmation of one reliable send.
+
+    ``confirmed`` is an event that succeeds (with the elapsed
+    send-to-acknowledgement round-trip time) when the destination
+    endpoint acknowledges the message, or
+    fails with :class:`DeliveryTimeout` if a timeout was requested and
+    expired first. Callers that do not care may simply drop the receipt;
+    an unobserved timeout does not crash the run.
+    """
+
+    def __init__(self, kernel: Kernel, destination: InboxAddress) -> None:
+        self.kernel = kernel
+        self.destination = destination
+        self.sent_at = kernel.now
+        self.confirmed: Event = kernel.event()
+        #: Pre-defused: a failure here is an application-visible outcome
+        #: carried by the event, not an internal simulator error.
+        self.confirmed.defused = True
+
+    @property
+    def is_confirmed(self) -> bool:
+        return self.confirmed.triggered and self.confirmed._ok is True
+
+    @property
+    def is_failed(self) -> bool:
+        return self.confirmed.triggered and self.confirmed._ok is False
+
+    def _ack(self) -> None:
+        if not self.confirmed.triggered:
+            self.confirmed.succeed(self.kernel.now - self.sent_at)
+
+    def _fail(self, exc: Exception) -> None:
+        if not self.confirmed.triggered:
+            self.confirmed.fail(exc)
+            self.confirmed.defused = True
+
+
+@dataclass
+class _Pending:
+    """Sender-side state of one unacknowledged packet."""
+
+    seq: int
+    to_ref: "int | str"
+    payload: str
+    receipt: DeliveryReceipt
+    attempts: int = 1
+    rto: float = 0.2
+    deadline: float | None = None
+    timed_out: bool = False
+    first_sent_at: float = 0.0
+
+
+class _SendStream:
+    """Sender half of one reliable channel (fixed dst node + channel key).
+
+    In ``adaptive`` mode the stream keeps a Jacobson-style RTT estimate
+    from acknowledged packets (Karn's rule: retransmitted packets are
+    excluded) and new packets start from ``srtt + 4*rttvar`` instead of
+    the static initial RTO.
+    """
+
+    __slots__ = ("next_seq", "unacked", "rto_initial", "broken",
+                 "srtt", "rttvar")
+
+    def __init__(self, rto_initial: float) -> None:
+        self.next_seq = 0
+        self.unacked: dict[int, _Pending] = {}
+        self.rto_initial = rto_initial
+        self.broken = False
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+
+    def observe_rtt(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+
+    def current_rto(self, floor: float = 0.005) -> float:
+        if self.srtt is None:
+            return self.rto_initial
+        return max(self.srtt + 4 * self.rttvar, floor)
+
+
+class _RecvStream:
+    """Receiver half of one reliable channel (fixed src node + channel key)."""
+
+    __slots__ = ("expected", "buffer")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.buffer: dict[int, tuple["int | str", str]] = {}
+
+
+DeliverFn = Callable[[str, InboxAddress], None]
+
+
+class Endpoint:
+    """A node's attachment to the network; home of the ordering layer.
+
+    Parameters
+    ----------
+    reliable:
+        When True (default), sends go through the FIFO exactly-once
+        layer. When False, sends are raw datagrams — the "bare UDP"
+        baseline used by experiment E4.
+    rto_initial:
+        Initial retransmission timeout. ``None`` estimates it per
+        destination as 4x the latency model's mean.
+    rto_max / max_retries:
+        Backoff cap and retry budget; exhausting the budget marks the
+        channel broken (counted in ``stats.gave_up``) so runs always
+        quiesce even under pathological loss.
+    """
+
+    def __init__(self, kernel: Kernel, network: DatagramNetwork,
+                 address: NodeAddress, *, reliable: bool = True,
+                 rto_initial: float | None = None, rto_max: float = 5.0,
+                 max_retries: int = 30, rto_mode: str = "static") -> None:
+        if rto_mode not in ("static", "adaptive"):
+            raise ValueError("rto_mode must be 'static' or 'adaptive'")
+        self.kernel = kernel
+        self.network = network
+        self.address = address
+        self.reliable = reliable
+        self.rto_initial = rto_initial
+        self.rto_max = rto_max
+        self.max_retries = max_retries
+        self.rto_mode = rto_mode
+        self.stats = EndpointStats()
+        self._inboxes: dict["int | str", DeliverFn] = {}
+        self._send_streams: dict[tuple[NodeAddress, str], _SendStream] = {}
+        self._recv_streams: dict[tuple[NodeAddress, str], _RecvStream] = {}
+        self._rto_cache: dict[str, float] = {}
+        network.register(address, self._on_datagram)
+
+    def close(self) -> None:
+        """Detach from the network (in-flight datagrams to us are lost)."""
+        self.network.unregister(self.address)
+
+    # -- inbox registry ---------------------------------------------------
+
+    def register_inbox(self, ref: int, deliver: DeliverFn,
+                       name: str | None = None) -> None:
+        """Register delivery for local inbox ``ref`` and optional ``name``."""
+        if ref in self._inboxes:
+            raise AddressError(f"inbox ref {ref} already registered on {self.address}")
+        self._inboxes[ref] = deliver
+        if name is not None:
+            if name in self._inboxes:
+                raise AddressError(
+                    f"inbox name {name!r} already registered on {self.address}")
+            self._inboxes[name] = deliver
+
+    def unregister_inbox(self, ref: int, name: str | None = None) -> None:
+        self._inboxes.pop(ref, None)
+        if name is not None:
+            self._inboxes.pop(name, None)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: InboxAddress, payload: str, channel: str,
+             timeout: float | None = None) -> DeliveryReceipt | None:
+        """Send ``payload`` to ``dst`` on channel ``channel``.
+
+        Reliable endpoints return a :class:`DeliveryReceipt`; raw
+        endpoints return ``None`` (and reject ``timeout``, which cannot
+        be honoured without acknowledgements).
+        """
+        if not self.reliable:
+            if timeout is not None:
+                raise ValueError("delivery timeout requires a reliable endpoint")
+            self.stats.raw_sent += 1
+            self.network.send(Datagram(
+                self.address, dst.node,
+                {"kind": KIND_RAW, "to": dst.ref, "ch": channel}, payload))
+            return None
+
+        key = (dst.node, channel)
+        stream = self._send_streams.get(key)
+        if stream is None:
+            stream = _SendStream(self._pick_rto(dst.node))
+            self._send_streams[key] = stream
+
+        receipt = DeliveryReceipt(self.kernel, dst)
+        if stream.broken:
+            receipt._fail(DeliveryTimeout(
+                f"channel {channel!r} to {dst.node} is broken (retries exhausted)",
+                destination=dst, timeout=timeout))
+            return receipt
+
+        seq = stream.next_seq
+        stream.next_seq += 1
+        initial_rto = (stream.current_rto() if self.rto_mode == "adaptive"
+                       else stream.rto_initial)
+        pending = _Pending(seq=seq, to_ref=dst.ref, payload=payload,
+                           receipt=receipt, rto=initial_rto,
+                           deadline=(None if timeout is None
+                                     else self.kernel.now + timeout),
+                           first_sent_at=self.kernel.now)
+        stream.unacked[seq] = pending
+        self.stats.data_sent += 1
+        self._transmit(dst.node, channel, pending)
+        self._arm_timer(key, pending)
+        return receipt
+
+    def _pick_rto(self, dst: NodeAddress) -> float:
+        if self.rto_initial is not None:
+            return self.rto_initial
+        cached = self._rto_cache.get(dst.host)
+        if cached is None:
+            try:
+                mean = self.network.latency.mean_estimate(
+                    self.address.host, dst.host)
+            except Exception:
+                mean = 0.05
+            cached = max(4.0 * mean, 0.02)
+            self._rto_cache[dst.host] = cached
+        return cached
+
+    def _transmit(self, dst_node: NodeAddress, channel: str,
+                  pending: _Pending) -> None:
+        # "ts" is echoed back in acks (TCP-timestamps style) so RTT
+        # samples stay clean even under cumulative-ack delays and
+        # retransmission ambiguity.
+        self.network.send(Datagram(
+            self.address, dst_node,
+            {"kind": KIND_DATA, "to": pending.to_ref, "ch": channel,
+             "seq": pending.seq, "ts": self.kernel.now},
+            pending.payload))
+
+    def _arm_timer(self, key: tuple[NodeAddress, str],
+                   pending: _Pending) -> None:
+        self.kernel.call_later(
+            pending.rto, lambda: self._on_timer(key, pending.seq))
+
+    def _on_timer(self, key: tuple[NodeAddress, str], seq: int) -> None:
+        stream = self._send_streams.get(key)
+        if stream is None or seq not in stream.unacked:
+            return  # acknowledged in the meantime
+        pending = stream.unacked[seq]
+        now = self.kernel.now
+        if pending.deadline is not None and now >= pending.deadline \
+                and not pending.timed_out:
+            # Paper semantics: raise to the application; but keep
+            # retransmitting so the channel's FIFO stream is not holed.
+            pending.timed_out = True
+            pending.receipt._fail(DeliveryTimeout(
+                f"message on channel {key[1]!r} to {key[0]} not delivered "
+                f"within {pending.deadline - pending.receipt.sent_at:.3f}s",
+                destination=pending.receipt.destination,
+                timeout=pending.deadline - pending.receipt.sent_at))
+        if pending.attempts > self.max_retries:
+            # Give up: the channel is declared broken. All queued
+            # packets fail; later sends fail immediately.
+            self.stats.gave_up += 1
+            stream.broken = True
+            for p in stream.unacked.values():
+                p.receipt._fail(DeliveryTimeout(
+                    f"channel {key[1]!r} to {key[0]} broken after "
+                    f"{self.max_retries} retries",
+                    destination=p.receipt.destination))
+            stream.unacked.clear()
+            return
+        pending.attempts += 1
+        pending.rto = min(pending.rto * 2.0, self.rto_max)
+        self.stats.data_retransmitted += 1
+        self._transmit(key[0], key[1], pending)
+        self._arm_timer(key, pending)
+
+    # -- receiving ----------------------------------------------------------
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        kind = datagram.header.get("kind")
+        if kind == KIND_RAW:
+            self._deliver(datagram.header["to"], datagram.payload,
+                          datagram.src, raw=True)
+        elif kind == KIND_DATA:
+            self._on_data(datagram)
+        elif kind == KIND_ACK:
+            self._on_ack(datagram)
+
+    def _on_data(self, datagram: Datagram) -> None:
+        channel: str = datagram.header["ch"]
+        seq: int = datagram.header["seq"]
+        key = (datagram.src, channel)
+        stream = self._recv_streams.get(key)
+        if stream is None:
+            stream = _RecvStream()
+            self._recv_streams[key] = stream
+
+        if seq < stream.expected or seq in stream.buffer:
+            self.stats.duplicates_discarded += 1
+        else:
+            stream.buffer[seq] = (datagram.header["to"], datagram.payload)
+            if seq != stream.expected:
+                self.stats.buffered_out_of_order += 1
+            while stream.expected in stream.buffer:
+                to_ref, payload = stream.buffer.pop(stream.expected)
+                stream.expected += 1
+                self._deliver(to_ref, payload, datagram.src, raw=False)
+        # Cumulative acknowledgement (also re-sent on duplicates, since
+        # the previous ack may have been lost). "ets" echoes the
+        # triggering packet's transmit timestamp for RTT estimation.
+        self.stats.acks_sent += 1
+        self.network.send(Datagram(
+            self.address, datagram.src,
+            {"kind": KIND_ACK, "ch": channel, "cum": stream.expected - 1,
+             "ets": datagram.header.get("ts")},
+            ""))
+
+    def _on_ack(self, datagram: Datagram) -> None:
+        key = (datagram.src, datagram.header["ch"])
+        stream = self._send_streams.get(key)
+        if stream is None:
+            return
+        if self.rto_mode == "adaptive":
+            echoed = datagram.header.get("ets")
+            if echoed is not None:
+                stream.observe_rtt(self.kernel.now - echoed)
+        cum: int = datagram.header["cum"]
+        for seq in [s for s in stream.unacked if s <= cum]:
+            stream.unacked.pop(seq).receipt._ack()
+
+    def _deliver(self, to_ref: "int | str", payload: str,
+                 src: NodeAddress, *, raw: bool) -> None:
+        deliver = self._inboxes.get(to_ref)
+        if deliver is None:
+            self.stats.no_such_inbox += 1
+            return
+        if raw:
+            self.stats.raw_delivered += 1
+        else:
+            self.stats.delivered += 1
+        deliver(payload, InboxAddress(self.address, to_ref))

@@ -1,0 +1,38 @@
+"""Patterns of collaboration (§2.2 of the paper).
+
+"We can ease the programmer's burden of writing correct distributed
+applications if modifying one distributed application to obtain another
+one with the same patterns of communication and synchronization can be
+done by modifying only the sequential parts of the application, while
+leaving the concurrent and distributed parts unchanged. Our challenge is
+to identify these patterns, develop class libraries that encapsulate
+these patterns..."
+
+* :mod:`repro.patterns.topology` — session-spec builders for the common
+  shapes: star, ring, fully-connected mesh, chain.
+* :mod:`repro.patterns.coordinator` — the coordinator/participants
+  pattern: rounds of scatter (one request per participant) and gather
+  (one reply each), with the request construction and reply combination
+  as the *sequential* plug-in points.
+* :mod:`repro.patterns.pipeline` — linear dataflow, with each stage's
+  transform as the sequential plug-in.
+
+The application library (:mod:`repro.apps`) demonstrates the claim: the
+calendar scheduler and the collaborative-design poll are both the
+coordinator pattern with different sequential parts.
+"""
+
+from repro.patterns.coordinator import CoordinatorRounds, participant_loop
+from repro.patterns.pipeline import pipeline_spec, stage_loop
+from repro.patterns.topology import chain_spec, mesh_spec, ring_spec, star_spec
+
+__all__ = [
+    "CoordinatorRounds",
+    "chain_spec",
+    "mesh_spec",
+    "participant_loop",
+    "pipeline_spec",
+    "ring_spec",
+    "stage_loop",
+    "star_spec",
+]

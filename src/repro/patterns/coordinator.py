@@ -1,0 +1,123 @@
+"""The coordinator/participants pattern.
+
+The distributed part — scatter one request per participant, gather one
+reply each, tolerate stragglers with a timeout — is written once here.
+The sequential parts are plug-ins:
+
+* the coordinator supplies ``make_request(member) -> Message`` per round
+  and combines the replies however it likes;
+* each participant supplies ``handler(body) -> Message`` mapping a
+  request payload to a reply payload (:func:`participant_loop`).
+
+The calendar secretary (query free days, then book) and the design
+review poll are both this pattern with different sequential parts,
+which is precisely the paper's §2.2 claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.errors import ReceiveTimeout
+from repro.messages.message import Message
+from repro.patterns.messages import PatternReply, PatternRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session.session import SessionContext
+
+
+class CoordinatorRounds:
+    """Hub-side scatter/gather over a star session.
+
+    Expects the :func:`~repro.patterns.topology.star_spec` port naming:
+    per-spoke outboxes ``to:<member>`` and a hub inbox ``in``.
+    """
+
+    def __init__(self, ctx: "SessionContext", members: list[str]) -> None:
+        self.ctx = ctx
+        self.members = list(members)
+        self._rounds = itertools.count(1)
+
+    def round(self, make_request: Callable[[str], Message],
+              timeout: float | None = None,
+              members: list[str] | None = None) -> Generator:
+        """One scatter/gather round (generator; ``yield from`` it).
+
+        Returns ``{member: reply_body}``; members that missed the
+        timeout are absent. Without a timeout, blocks until every member
+        replies.
+        """
+        members = list(self.members if members is None else members)
+        round_id = next(self._rounds)
+        for member in members:
+            self.ctx.outbox(f"to:{member}").send(PatternRequest(
+                round_id=round_id, member=member,
+                body=make_request(member)))
+        replies: dict[str, Message] = {}
+        deadline = (None if timeout is None
+                    else self.ctx.dapplet.kernel.now + timeout)
+        awaiting = set(members)
+        while awaiting:
+            if deadline is None:
+                msg = yield self.ctx.inbox("in").receive()
+            else:
+                remaining = deadline - self.ctx.dapplet.kernel.now
+                if remaining <= 0:
+                    break
+                try:
+                    msg = yield self.ctx.inbox("in").receive(
+                        timeout=remaining)
+                except ReceiveTimeout:
+                    break
+            if isinstance(msg, PatternReply) and msg.round_id == round_id \
+                    and msg.member in awaiting:
+                awaiting.discard(msg.member)
+                replies[msg.member] = msg.body
+            # Late replies from earlier rounds and stray traffic are
+            # dropped; the pattern owns the hub inbox during rounds.
+        return replies
+
+    def sequential_round(self, make_request: Callable[[str], Message],
+                         timeout_per_member: float | None = None,
+                         ) -> Generator:
+        """The 'traditional approach' of the paper's Example One: ask
+        each member *in turn*, waiting for each reply before the next
+        request. Same sequential parts, serialized distribution — used
+        as the baseline in experiment E1."""
+        replies: dict[str, Message] = {}
+        for member in self.members:
+            round_id = next(self._rounds)
+            self.ctx.outbox(f"to:{member}").send(PatternRequest(
+                round_id=round_id, member=member,
+                body=make_request(member)))
+            while True:
+                try:
+                    msg = yield self.ctx.inbox("in").receive(
+                        timeout=timeout_per_member)
+                except ReceiveTimeout:
+                    break
+                if isinstance(msg, PatternReply) \
+                        and msg.round_id == round_id:
+                    replies[member] = msg.body
+                    break
+        return replies
+
+
+def participant_loop(ctx: "SessionContext",
+                     handler: Callable[[Message], "Message | None"],
+                     ) -> Generator:
+    """Spoke-side request server: run as the member's session process.
+
+    ``handler`` is the sequential part: request body in, reply body out
+    (``None`` replies nothing). The loop ends when the session ends
+    (its inbox closes and the process is simply never resumed again).
+    """
+    while ctx.active:
+        msg = yield ctx.inbox("in").receive()
+        if not isinstance(msg, PatternRequest):
+            continue
+        body = handler(msg.body)
+        if body is not None:
+            ctx.outbox("out").send(PatternReply(
+                round_id=msg.round_id, member=ctx.member, body=body))

@@ -1,0 +1,43 @@
+"""Envelopes used by the pattern runtimes.
+
+Application payloads are ordinary :class:`Message` objects; the pattern
+runtimes wrap them so rounds and senders can be correlated without
+constraining the payload types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.message import Message, message_type
+
+
+@message_type("pat.request")
+@dataclass(frozen=True)
+class PatternRequest(Message):
+    round_id: int
+    member: str  # addressee
+    body: Message = None
+
+
+@message_type("pat.reply")
+@dataclass(frozen=True)
+class PatternReply(Message):
+    round_id: int
+    member: str  # replier
+    body: Message = None
+
+
+@message_type("pat.item")
+@dataclass(frozen=True)
+class PipelineItem(Message):
+    seq: int
+    body: Message = None
+
+
+@message_type("pat.eos")
+@dataclass(frozen=True)
+class PipelineEnd(Message):
+    """End-of-stream marker flowing through a pipeline."""
+
+    count: int  # items that preceded it

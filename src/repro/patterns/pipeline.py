@@ -1,0 +1,66 @@
+"""The pipeline pattern: linear dataflow across dapplets.
+
+The distributed part — forwarding items stage to stage in order and
+propagating end-of-stream — is here; each stage's ``transform`` is the
+sequential plug-in. Built on :func:`~repro.patterns.topology.chain_spec`
+port names (inbox ``in``, outbox ``out``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.messages.message import Message
+from repro.patterns.messages import PipelineEnd, PipelineItem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session.session import SessionContext
+
+from repro.patterns.topology import chain_spec
+
+__all__ = ["pipeline_spec", "stage_loop", "feed", "collect"]
+
+#: Re-exported builder so pipeline users need one import.
+pipeline_spec = chain_spec
+
+
+def stage_loop(ctx: "SessionContext",
+               transform: Callable[[Message], "Message | None"],
+               ) -> Generator:
+    """An intermediate stage: transform and forward each item.
+
+    ``transform`` returning ``None`` filters the item out. The
+    end-of-stream marker is forwarded with the count of items that were
+    actually passed along.
+    """
+    forwarded = 0
+    while ctx.active:
+        msg = yield ctx.inbox("in").receive()
+        if isinstance(msg, PipelineEnd):
+            ctx.outbox("out").send(PipelineEnd(count=forwarded))
+            forwarded = 0
+            continue
+        if not isinstance(msg, PipelineItem):
+            continue
+        body = transform(msg.body)
+        if body is not None:
+            ctx.outbox("out").send(PipelineItem(seq=msg.seq, body=body))
+            forwarded += 1
+
+
+def feed(ctx: "SessionContext", items: list[Message]) -> None:
+    """Source side: push a finite stream followed by end-of-stream."""
+    for seq, body in enumerate(items):
+        ctx.outbox("out").send(PipelineItem(seq=seq, body=body))
+    ctx.outbox("out").send(PipelineEnd(count=len(items)))
+
+
+def collect(ctx: "SessionContext") -> Generator:
+    """Sink side: gather bodies until end-of-stream (generator)."""
+    results: list[Message] = []
+    while True:
+        msg = yield ctx.inbox("in").receive()
+        if isinstance(msg, PipelineEnd):
+            return results
+        if isinstance(msg, PipelineItem):
+            results.append(msg.body)

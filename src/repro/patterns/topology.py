@@ -1,0 +1,93 @@
+"""Session-spec builders for the common collaboration shapes.
+
+Each builder returns a :class:`~repro.session.SessionSpec` with a
+conventional port naming scheme, so pattern runtimes (coordinator,
+pipeline) and applications agree on names:
+
+* star: hub has inbox ``in`` and outbox per spoke (``to:<spoke>``) plus
+  broadcast outbox ``bcast``; every spoke has inbox ``in`` and outbox
+  ``out`` to the hub.
+* ring: every member has inbox ``in`` and outbox ``next`` (clockwise);
+  bidirectional rings add inbox/outbox pairs for the other direction.
+* mesh: every member has inbox ``in`` and a broadcast outbox ``bcast``
+  bound to all the others, plus per-peer outboxes ``to:<peer>``.
+* chain: stage *i* has inbox ``in`` and outbox ``out`` to stage *i+1*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.session.spec import SessionSpec
+
+
+def star_spec(app: str, hub: str, spokes: Iterable[str],
+              params: dict | None = None,
+              regions: Mapping[str, dict[str, str]] | None = None,
+              ) -> SessionSpec:
+    """Figure 1's shape: one coordinator, many members."""
+    spokes = list(spokes)
+    regions = dict(regions or {})
+    spec = SessionSpec(app, params=params)
+    spec.add_member(hub, inboxes=("in",), regions=regions.get(hub, {}))
+    for spoke in spokes:
+        spec.add_member(spoke, inboxes=("in",),
+                        regions=regions.get(spoke, {}))
+        spec.bind(hub, f"to:{spoke}", spoke, "in")
+        spec.bind(hub, "bcast", spoke, "in")
+        spec.bind(spoke, "out", hub, "in")
+    return spec
+
+
+def ring_spec(app: str, members: Iterable[str],
+              params: dict | None = None, *,
+              bidirectional: bool = False) -> SessionSpec:
+    """A cycle: each member talks to its successor (and predecessor,
+    if bidirectional) — the card-game shape."""
+    members = list(members)
+    if len(members) < 2:
+        raise ValueError("a ring needs at least two members")
+    spec = SessionSpec(app, params=params)
+    for member in members:
+        spec.add_member(member, inboxes=("in",))
+    n = len(members)
+    for i, member in enumerate(members):
+        spec.bind(member, "next", members[(i + 1) % n], "in")
+        if bidirectional:
+            spec.bind(member, "prev", members[(i - 1) % n], "in")
+    return spec
+
+
+def mesh_spec(app: str, members: Iterable[str],
+              params: dict | None = None,
+              regions: Mapping[str, dict[str, str]] | None = None,
+              ) -> SessionSpec:
+    """Fully connected: everyone can broadcast to everyone."""
+    members = list(members)
+    if len(members) < 2:
+        raise ValueError("a mesh needs at least two members")
+    regions = dict(regions or {})
+    spec = SessionSpec(app, params=params)
+    for member in members:
+        spec.add_member(member, inboxes=("in",),
+                        regions=regions.get(member, {}))
+    for member in members:
+        for other in members:
+            if other != member:
+                spec.bind(member, "bcast", other, "in")
+                spec.bind(member, f"to:{other}", other, "in")
+    return spec
+
+
+def chain_spec(app: str, stages: Iterable[str],
+               params: dict | None = None) -> SessionSpec:
+    """A pipeline: stage i feeds stage i+1."""
+    stages = list(stages)
+    if len(stages) < 2:
+        raise ValueError("a chain needs at least two stages")
+    spec = SessionSpec(app, params=params)
+    for stage in stages:
+        spec.add_member(stage, inboxes=("in",))
+    for src, dst in zip(stages, stages[1:]):
+        spec.bind(src, "out", dst, "in")
+    return spec

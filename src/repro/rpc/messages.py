@@ -1,0 +1,30 @@
+"""Wire messages of the RPC protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.messages.message import Message, message_type
+from repro.net.address import InboxAddress
+
+
+@message_type("rpc.invoke")
+@dataclass(frozen=True)
+class Invoke(Message):
+    """A method invocation. ``reply_to`` of ``None`` makes it one-way."""
+
+    call_id: int
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    reply_to: "InboxAddress | None" = None
+
+
+@message_type("rpc.reply")
+@dataclass(frozen=True)
+class Reply(Message):
+    call_id: int
+    ok: bool
+    value: object = None
+    error_type: str = ""
+    error_message: str = ""

@@ -1,0 +1,17 @@
+"""Services ("servlets") composable into dapplets.
+
+The paper (§4): "We do not expect each dapplet developer to also develop
+all the operating-system services — e.g. checkpointing, termination
+detection and multiway synchronization — that an application needs. Our
+challenge is to facilitate the development of a library of operating
+systems services, which we could call *servlets*, that dapplet
+developers could use in their dapplets as needed."
+
+* :mod:`repro.services.tokens` — tokens and capabilities (§4.1)
+* :mod:`repro.services.clocks` — logical clocks, checkpointing,
+  snapshots, timestamp conflict resolution (§4.2)
+* :mod:`repro.services.sync` — synchronization constructs, intra- and
+  inter-dapplet (§4.3)
+* :mod:`repro.services.termination` — termination detection (named in
+  §2.2 as a service dapplets should be able to compose in)
+"""

@@ -1,0 +1,55 @@
+"""Logical clocks and what the paper builds on them (§4.2).
+
+"Our message-passing layer is designed to provide local clocks that
+satisfy the global snapshot criterion. Our local clocks can be used for
+checkpointing and conflict resolution just as though they were global
+clocks."
+
+* :class:`LamportClock` — attached to **every** dapplet by the layer
+  itself: each message is timestamped by a send hook, and "upon
+  receiving a message, if the receiver's clock value does not exceed
+  the timestamp of the message, then the receiver's clock is set to a
+  value greater than the timestamp" (the paper's algorithm, after
+  Lamport 1978).
+* :class:`CheckpointService` — the paper's first use: "a global state
+  can be easily checkpointed: all processes checkpoint their local
+  states at some predetermined time T, and the states of the channels
+  are the sequences of messages sent on the channels before T and
+  received after T."
+* :class:`ChandyLamportSnapshot` — the marker-based distributed
+  snapshot of the paper's reference [3] (Chandy & Lamport 1985), run
+  over a session's FIFO channels.
+* The paper's second use, timestamp conflict resolution, is the token
+  coordinator's ``policy="timestamp"``;
+  :class:`~repro.services.clocks.conflict.PrioritizedResources` is the
+  convenience wrapper.
+* :class:`VectorClock` — an extension (not in the paper) used by the
+  collaborative-design application to detect concurrent edits.
+"""
+
+from repro.services.clocks.checkpoint import (
+    Checkpoint,
+    CheckpointService,
+    GlobalCheckpoint,
+)
+from repro.services.clocks.conflict import PrioritizedResources
+from repro.services.clocks.lamport import LamportClock, Stamped
+from repro.services.clocks.snapshot import (
+    ChandyLamportSnapshot,
+    LocalSnapshot,
+    incoming_channels,
+)
+from repro.services.clocks.vector import VectorClock
+
+__all__ = [
+    "ChandyLamportSnapshot",
+    "Checkpoint",
+    "CheckpointService",
+    "GlobalCheckpoint",
+    "LamportClock",
+    "LocalSnapshot",
+    "PrioritizedResources",
+    "Stamped",
+    "VectorClock",
+    "incoming_channels",
+]

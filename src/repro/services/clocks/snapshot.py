@@ -1,0 +1,180 @@
+"""The Chandy–Lamport distributed snapshot (the paper's reference [3]).
+
+Runs over a session's channels, which the transport guarantees are FIFO
+— the algorithm's precondition. Any member may initiate:
+
+1. The initiator records its local state and sends a *marker* on every
+   session outbox.
+2. On the first marker a member receives, it records its state, marks
+   that incoming channel empty, sends markers on all its outboxes, and
+   starts recording every other incoming channel.
+3. Messages arriving on a channel after the member recorded its state
+   but before that channel's marker are that channel's in-transit state.
+4. A member's snapshot is complete when a marker has arrived on every
+   incoming channel.
+
+Channel identification: session inboxes may have several writers, so
+each participant tags outgoing application messages with its channel id
+(``member/outbox``); tags and markers are stripped by delivery hooks
+before the application sees anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ClockError
+from repro.messages.message import Message, message_type
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session.session import SessionContext
+    from repro.session.spec import SessionSpec
+
+
+@message_type("snap.marker")
+@dataclass(frozen=True)
+class Marker(Message):
+    snap_id: str
+    channel: str  # "member/outbox" of the sending side
+
+
+@message_type("snap.tagged")
+@dataclass(frozen=True)
+class Tagged(Message):
+    """Channel-attribution envelope around application messages."""
+
+    channel: str
+    inner: Message
+
+
+def incoming_channels(spec: "SessionSpec",
+                      member: str) -> dict[str, tuple[str, ...]]:
+    """Map each of ``member``'s inboxes to its incoming channel ids."""
+    incoming: dict[str, list[str]] = {}
+    for b in spec.bindings:
+        if b.dst_member == member:
+            incoming.setdefault(b.inbox, []).append(
+                f"{b.src_member}/{b.outbox}")
+    return {name: tuple(sorted(chans)) for name, chans in incoming.items()}
+
+
+@dataclass
+class LocalSnapshot:
+    """One member's recorded state plus per-channel in-transit messages."""
+
+    member: str
+    snap_id: str
+    state: dict[str, Any]
+    #: channel id -> messages recorded in transit, in arrival order
+    channels: dict[str, list[Message]] = field(default_factory=dict)
+
+
+class ChandyLamportSnapshot:
+    """One member's participation in marker snapshots.
+
+    Parameters
+    ----------
+    ctx:
+        The member's session context (ports must exist, i.e. construct
+        from ``on_session_start``).
+    incoming:
+        inbox name -> incoming channel ids, from :func:`incoming_channels`.
+    state_fn:
+        Zero-argument callable producing this member's recordable state.
+        Defaults to snapshotting the dapplet's persistent state.
+    """
+
+    def __init__(self, ctx: "SessionContext",
+                 incoming: dict[str, tuple[str, ...]],
+                 state_fn: Callable[[], dict] | None = None) -> None:
+        self.ctx = ctx
+        self.kernel = ctx.dapplet.kernel
+        self.incoming = {inbox: tuple(chans)
+                         for inbox, chans in incoming.items()}
+        self.state_fn = state_fn or ctx.dapplet.state.snapshot
+        self._all_channels = {c for chans in self.incoming.values()
+                              for c in chans}
+        self.snapshot: LocalSnapshot | None = None
+        self.done: Event | None = None
+        self._recording: set[str] = set()
+        self._snap_id: str | None = None
+        for name in ctx.outbox_names():
+            # Wrap *before* the clock stamps (insert at 0): the wire is
+            # Stamped(Tagged(app)) and unwrap order is clock, then us.
+            ctx.outbox(name).send_hooks.insert(
+                0, self._make_send_hook(name))
+        for name in ctx.inbox_names():
+            inbox = ctx.inbox(name)
+            inbox.delivery_hooks.append(self._on_deliver)
+            # Messages that raced ahead of this constructor are queued
+            # still wrapped; normalize them (no snapshot is running yet,
+            # so recording does not apply and markers cannot occur).
+            inbox.transform_queued(
+                lambda m: m.inner if isinstance(m, Tagged) else m)
+
+    # -- hooks ------------------------------------------------------------
+
+    def _make_send_hook(self, outbox_name: str):
+        channel = f"{self.ctx.member}/{outbox_name}"
+
+        def hook(message: Message) -> Message:
+            if isinstance(message, Marker):
+                return message
+            return Tagged(channel=channel, inner=message)
+
+        return hook
+
+    def _on_deliver(self, message: Message) -> "Message | None":
+        if isinstance(message, Marker):
+            self._on_marker(message)
+            return None  # the application never sees markers
+        if isinstance(message, Tagged):
+            if message.channel in self._recording:
+                self.snapshot.channels[message.channel].append(message.inner)
+            return message.inner
+        return message
+
+    # -- the algorithm ---------------------------------------------------------
+
+    def initiate(self, snap_id: str) -> Event:
+        """Record state and flood markers; returns the ``done`` event."""
+        if self._snap_id is not None:
+            raise ClockError(
+                f"member {self.ctx.member!r} is already in snapshot "
+                f"{self._snap_id!r}")
+        self._record_and_flood(snap_id)
+        return self.done
+
+    def _on_marker(self, marker: Marker) -> None:
+        if self._snap_id is None:
+            self._record_and_flood(marker.snap_id)
+        elif marker.snap_id != self._snap_id:
+            return  # a different snapshot generation; ignore
+        # The channel the marker arrived on is now fully recorded.
+        self._recording.discard(marker.channel)
+        if not self._recording and self.done is not None \
+                and not self.done.triggered:
+            self.done.succeed(self.snapshot)
+
+    def _record_and_flood(self, snap_id: str) -> None:
+        self._snap_id = snap_id
+        self.done = self.kernel.event()
+        self.snapshot = LocalSnapshot(
+            member=self.ctx.member, snap_id=snap_id, state=self.state_fn(),
+            channels={c: [] for c in self._all_channels})
+        self._recording = set(self._all_channels)
+        for name in self.ctx.outbox_names():
+            self.ctx.outbox(name).send(
+                Marker(snap_id=snap_id,
+                       channel=f"{self.ctx.member}/{name}"))
+        if not self._recording:
+            self.done.succeed(self.snapshot)
+
+    def reset(self) -> None:
+        """Forget the last snapshot so a new generation can run."""
+        self._snap_id = None
+        self.snapshot = None
+        self.done = None
+        self._recording = set()

@@ -1,0 +1,71 @@
+"""Vector clocks (an extension beyond the paper).
+
+Lamport clocks order events consistently but cannot *detect*
+concurrency; vector clocks can, which the collaborative-design
+application uses to flag conflicting edits to the same document part.
+Pure data structure — no ports involved — so it travels inside messages
+as a plain dict.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+class VectorClock:
+    """An immutable-by-convention mapping of process id -> counter."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[str, int] | None = None) -> None:
+        self._counts = {k: int(v) for k, v in (counts or {}).items() if v}
+
+    def get(self, process: str) -> int:
+        return self._counts.get(process, 0)
+
+    def tick(self, process: str) -> "VectorClock":
+        """A new clock with ``process``'s component advanced."""
+        counts = dict(self._counts)
+        counts[process] = counts.get(process, 0) + 1
+        return VectorClock(counts)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum (the receive rule)."""
+        counts = dict(self._counts)
+        for k, v in other._counts.items():
+            if v > counts.get(k, 0):
+                counts[k] = v
+        return VectorClock(counts)
+
+    # -- ordering -----------------------------------------------------------
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(v <= other.get(k) for k, v in self._counts.items())
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Strictly causally precedes."""
+        return self <= other and self._counts != other._counts
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self <= other and not other <= self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    # -- wire -----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "VectorClock":
+        return cls(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self._counts.items()))
+        return f"VC({inner})"

@@ -1,0 +1,367 @@
+"""Cross-dapplet synchronization constructs.
+
+The extension the paper announces in §4.3: barriers, semaphores and
+single-assignment variables "between threads in different dapplets in
+different address spaces". Each construct is a named entity living on a
+:class:`SyncHost` servlet; client handles on other dapplets speak the
+message protocol of :mod:`repro.services.sync.messages`, correlating
+replies by request id so one client may have several operations in
+flight.
+
+A construct's parameters (barrier parties, semaphore permits) are fixed
+by the first message that names it; later messages with conflicting
+parameters are answered with a protocol error, which client handles
+surface as :class:`~repro.errors.SynchronizationError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SingleAssignmentError, SynchronizationError
+from repro.mailbox.outbox import Outbox
+from repro.net.address import InboxAddress
+from repro.services.sync import messages as ym
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dapplet.dapplet import Dapplet
+
+#: Well-known inbox name of the sync host servlet.
+SYNC_INBOX = "_sync"
+
+
+class _HostBarrier:
+    __slots__ = ("parties", "generation", "waiting")
+
+    def __init__(self, parties: int) -> None:
+        self.parties = parties
+        self.generation = 0
+        #: (reply_to, req_id) pairs of the current generation.
+        self.waiting: list[tuple[InboxAddress, int]] = []
+
+
+class _HostSemaphore:
+    __slots__ = ("permits", "waiters")
+
+    def __init__(self, permits: int) -> None:
+        self.permits = permits
+        self.waiters: deque[tuple[InboxAddress, int]] = deque()
+
+
+class _HostSingle:
+    __slots__ = ("value", "is_set", "readers")
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.is_set = False
+        self.readers: list[tuple[InboxAddress, int]] = []
+
+
+class _HostChannel:
+    __slots__ = ("capacity", "items", "putters", "getters")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        #: blocked puts: (reply_to, req_id, value)
+        self.putters: deque[tuple[InboxAddress, int, Any]] = deque()
+        self.getters: deque[tuple[InboxAddress, int]] = deque()
+
+
+class SyncHost:
+    """The servlet hosting named synchronization constructs."""
+
+    def __init__(self, dapplet: "Dapplet", name: str = SYNC_INBOX) -> None:
+        self.dapplet = dapplet
+        self.inbox = dapplet.create_inbox(name=name)
+        self._barriers: dict[str, _HostBarrier] = {}
+        self._semaphores: dict[str, _HostSemaphore] = {}
+        self._singles: dict[str, _HostSingle] = {}
+        self._channels: dict[str, _HostChannel] = {}
+        self._outboxes: dict[InboxAddress, Outbox] = {}
+        self.server = dapplet.spawn(self._serve(), name="sync-host")
+
+    @property
+    def pointer(self) -> InboxAddress:
+        return self.inbox.named_address
+
+    def _send(self, to: InboxAddress, message) -> None:
+        outbox = self._outboxes.get(to)
+        if outbox is None:
+            outbox = self.dapplet.create_outbox()
+            outbox.add(to)
+            self._outboxes[to] = outbox
+        outbox.send(message)
+
+    def _serve(self):
+        while True:
+            msg = yield self.inbox.receive()
+            if isinstance(msg, ym.BarrierArrive):
+                self._on_barrier_arrive(msg)
+            elif isinstance(msg, ym.SemAcquire):
+                self._on_sem_acquire(msg)
+            elif isinstance(msg, ym.SemRelease):
+                self._on_sem_release(msg)
+            elif isinstance(msg, ym.SaSet):
+                self._on_sa_set(msg)
+            elif isinstance(msg, ym.SaGet):
+                self._on_sa_get(msg)
+            elif isinstance(msg, ym.ChPut):
+                self._on_ch_put(msg)
+            elif isinstance(msg, ym.ChGet):
+                self._on_ch_get(msg)
+
+    # -- barrier ------------------------------------------------------------
+
+    def _on_barrier_arrive(self, msg: ym.BarrierArrive) -> None:
+        barrier = self._barriers.get(msg.name)
+        if barrier is None:
+            if msg.parties < 1:
+                self._send(msg.reply_to, ym.SyncError(
+                    msg.req_id, msg.name, "barrier needs at least one party"))
+                return
+            barrier = _HostBarrier(msg.parties)
+            self._barriers[msg.name] = barrier
+        elif barrier.parties != msg.parties:
+            self._send(msg.reply_to, ym.SyncError(
+                msg.req_id, msg.name,
+                f"barrier {msg.name!r} has {barrier.parties} parties, "
+                f"not {msg.parties}"))
+            return
+        barrier.waiting.append((msg.reply_to, msg.req_id))
+        if len(barrier.waiting) == barrier.parties:
+            generation = barrier.generation
+            barrier.generation += 1
+            waiting, barrier.waiting = barrier.waiting, []
+            for reply_to, req_id in waiting:
+                self._send(reply_to, ym.BarrierRelease(
+                    req_id, msg.name, generation))
+
+    # -- semaphore ------------------------------------------------------------
+
+    def _on_sem_acquire(self, msg: ym.SemAcquire) -> None:
+        sem = self._semaphores.get(msg.name)
+        if sem is None:
+            if msg.permits < 0:
+                self._send(msg.reply_to, ym.SyncError(
+                    msg.req_id, msg.name, "permit count must be >= 0"))
+                return
+            sem = _HostSemaphore(msg.permits)
+            self._semaphores[msg.name] = sem
+        if sem.permits > 0 and not sem.waiters:
+            sem.permits -= 1
+            self._send(msg.reply_to, ym.SemGrant(msg.req_id, msg.name))
+        else:
+            sem.waiters.append((msg.reply_to, msg.req_id))
+
+    def _on_sem_release(self, msg: ym.SemRelease) -> None:
+        sem = self._semaphores.get(msg.name)
+        if sem is None:
+            return  # releasing an unknown semaphore: drop
+        if sem.waiters:
+            reply_to, req_id = sem.waiters.popleft()
+            self._send(reply_to, ym.SemGrant(req_id, msg.name))
+        else:
+            sem.permits += 1
+
+    # -- single assignment -----------------------------------------------------
+
+    def _on_sa_set(self, msg: ym.SaSet) -> None:
+        single = self._singles.setdefault(msg.name, _HostSingle())
+        if single.is_set:
+            self._send(msg.reply_to, ym.SaSetAck(
+                msg.req_id, msg.name, ok=False,
+                error="single-assignment variable written twice"))
+            return
+        single.is_set = True
+        single.value = msg.value
+        self._send(msg.reply_to, ym.SaSetAck(msg.req_id, msg.name, ok=True))
+        readers, single.readers = single.readers, []
+        for reply_to, req_id in readers:
+            self._send(reply_to, ym.SaValue(req_id, msg.name, single.value))
+
+    def _on_sa_get(self, msg: ym.SaGet) -> None:
+        single = self._singles.setdefault(msg.name, _HostSingle())
+        if single.is_set:
+            self._send(msg.reply_to,
+                       ym.SaValue(msg.req_id, msg.name, single.value))
+        else:
+            single.readers.append((msg.reply_to, msg.req_id))
+
+    # -- bounded channel -----------------------------------------------------
+
+    def _channel(self, msg) -> "_HostChannel | None":
+        chan = self._channels.get(msg.name)
+        if chan is None:
+            if msg.capacity < 0:
+                self._send(msg.reply_to, ym.SyncError(
+                    msg.req_id, msg.name, "capacity must be >= 0"))
+                return None
+            chan = _HostChannel(msg.capacity)
+            self._channels[msg.name] = chan
+        elif chan.capacity != msg.capacity:
+            self._send(msg.reply_to, ym.SyncError(
+                msg.req_id, msg.name,
+                f"channel {msg.name!r} has capacity {chan.capacity}, "
+                f"not {msg.capacity}"))
+            return None
+        return chan
+
+    def _on_ch_put(self, msg: ym.ChPut) -> None:
+        chan = self._channel(msg)
+        if chan is None:
+            return
+        if chan.getters:
+            reply_to, req_id = chan.getters.popleft()
+            self._send(reply_to, ym.ChItem(req_id, msg.name, msg.value))
+            self._send(msg.reply_to, ym.ChPutOk(msg.req_id, msg.name))
+        elif len(chan.items) < chan.capacity:
+            chan.items.append(msg.value)
+            self._send(msg.reply_to, ym.ChPutOk(msg.req_id, msg.name))
+        else:
+            chan.putters.append((msg.reply_to, msg.req_id, msg.value))
+
+    def _on_ch_get(self, msg: ym.ChGet) -> None:
+        chan = self._channel(msg)
+        if chan is None:
+            return
+        if chan.items:
+            value = chan.items.popleft()
+            self._send(msg.reply_to, ym.ChItem(msg.req_id, msg.name, value))
+            if chan.putters:
+                reply_to, req_id, pending = chan.putters.popleft()
+                chan.items.append(pending)
+                self._send(reply_to, ym.ChPutOk(req_id, msg.name))
+        elif chan.putters:
+            reply_to, req_id, pending = chan.putters.popleft()
+            self._send(msg.reply_to,
+                       ym.ChItem(msg.req_id, msg.name, pending))
+            self._send(reply_to, ym.ChPutOk(req_id, msg.name))
+        else:
+            chan.getters.append((msg.reply_to, msg.req_id))
+
+
+class _Client:
+    """Shared plumbing of the client handles: req-id correlation."""
+
+    def __init__(self, dapplet: "Dapplet", host: InboxAddress,
+                 name: str) -> None:
+        self.dapplet = dapplet
+        self.kernel = dapplet.kernel
+        self.name = name
+        self.inbox = dapplet.create_inbox()
+        self.outbox = dapplet.create_outbox()
+        self.outbox.add(host)
+        self._req_ids = itertools.count(1)
+        self._pending: dict[int, Event] = {}
+        self.dispatcher = dapplet.spawn(
+            self._dispatch(), name=f"sync:{name}")
+
+    def _issue(self) -> tuple[int, Event]:
+        req_id = next(self._req_ids)
+        event = Event(self.kernel)
+        self._pending[req_id] = event
+        return req_id, event
+
+    def _dispatch(self):
+        while True:
+            msg = yield self.inbox.receive()
+            req_id = getattr(msg, "req_id", None)
+            waiter = self._pending.pop(req_id, None)
+            if waiter is None or waiter.triggered:
+                continue
+            if isinstance(msg, ym.SyncError):
+                waiter.fail(SynchronizationError(msg.error))
+            elif isinstance(msg, ym.SaSetAck):
+                if msg.ok:
+                    waiter.succeed(None)
+                else:
+                    waiter.fail(SingleAssignmentError(msg.error))
+            elif isinstance(msg, ym.BarrierRelease):
+                waiter.succeed(msg.generation)
+            elif isinstance(msg, (ym.SaValue, ym.ChItem)):
+                waiter.succeed(msg.value)
+            else:
+                waiter.succeed(None)
+
+
+class DistributedBarrier(_Client):
+    """A named barrier across dapplets."""
+
+    def __init__(self, dapplet: "Dapplet", host: InboxAddress, name: str,
+                 parties: int) -> None:
+        super().__init__(dapplet, host, name)
+        self.parties = parties
+
+    def arrive(self) -> Event:
+        """Blocks until all parties arrive; yields the generation."""
+        req_id, event = self._issue()
+        self.outbox.send(ym.BarrierArrive(
+            req_id, self.name, self.parties, reply_to=self.inbox.address))
+        return event
+
+
+class DistributedSemaphore(_Client):
+    """A named counting semaphore across dapplets."""
+
+    def __init__(self, dapplet: "Dapplet", host: InboxAddress, name: str,
+                 permits: int = 1) -> None:
+        super().__init__(dapplet, host, name)
+        self.permits = permits
+
+    def acquire(self) -> Event:
+        req_id, event = self._issue()
+        self.outbox.send(ym.SemAcquire(
+            req_id, self.name, self.permits, reply_to=self.inbox.address))
+        return event
+
+    def release(self) -> None:
+        self.outbox.send(ym.SemRelease(self.name))
+
+
+class DistributedChannel(_Client):
+    """A named CSP-style bounded channel across dapplets.
+
+    ``put`` blocks while the channel is full; ``get`` blocks while it
+    is empty. Capacity 0 gives rendezvous semantics: a put completes
+    only when matched by a get.
+    """
+
+    def __init__(self, dapplet: "Dapplet", host: InboxAddress, name: str,
+                 capacity: int = 1) -> None:
+        super().__init__(dapplet, host, name)
+        self.capacity = capacity
+
+    def put(self, value: Any) -> Event:
+        req_id, event = self._issue()
+        self.outbox.send(ym.ChPut(req_id, self.name, self.capacity,
+                                  value=value,
+                                  reply_to=self.inbox.address))
+        return event
+
+    def get(self) -> Event:
+        req_id, event = self._issue()
+        self.outbox.send(ym.ChGet(req_id, self.name, self.capacity,
+                                  reply_to=self.inbox.address))
+        return event
+
+
+class DistributedSingleAssignment(_Client):
+    """A named write-once variable across dapplets."""
+
+    def set(self, value: Any) -> Event:
+        """Write; fails with :class:`SingleAssignmentError` if already set."""
+        req_id, event = self._issue()
+        self.outbox.send(ym.SaSet(req_id, self.name, value=value,
+                                  reply_to=self.inbox.address))
+        return event
+
+    def get(self) -> Event:
+        """Read; blocks until some dapplet sets the variable."""
+        req_id, event = self._issue()
+        self.outbox.send(ym.SaGet(req_id, self.name,
+                                  reply_to=self.inbox.address))
+        return event

@@ -1,0 +1,169 @@
+"""Intra-dapplet synchronization constructs.
+
+The paper's Java implementation synchronizes threads within a dapplet
+with verified thread libraries (its reference [5], Chandy & Sivilotti);
+here "threads within a dapplet" are kernel processes, and the four
+constructs the paper names — barriers, single-assignment variables,
+channels and semaphores — are built on kernel events.
+
+All blocking operations return events; ``yield`` them from a process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SingleAssignmentError, SynchronizationError
+from repro.sim.events import Event
+from repro.sim.kernel import Kernel
+
+
+class Barrier:
+    """A cyclic barrier for a fixed party count.
+
+    The n-th arrival releases everyone and starts the next generation.
+    ``arrive()`` yields the generation number that completed.
+    """
+
+    def __init__(self, kernel: Kernel, parties: int) -> None:
+        if parties < 1:
+            raise SynchronizationError("barrier needs at least one party")
+        self.kernel = kernel
+        self.parties = parties
+        self.generation = 0
+        self._waiting: list[Event] = []
+
+    def arrive(self) -> Event:
+        ev = Event(self.kernel)
+        self._waiting.append(ev)
+        if len(self._waiting) == self.parties:
+            generation = self.generation
+            self.generation += 1
+            waiting, self._waiting = self._waiting, []
+            for waiter in waiting:
+                waiter.succeed(generation)
+        return ev
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiting)
+
+
+class Semaphore:
+    """A counting semaphore; waiters are served FIFO."""
+
+    def __init__(self, kernel: Kernel, permits: int = 1) -> None:
+        if permits < 0:
+            raise SynchronizationError("permit count must be >= 0")
+        self.kernel = kernel
+        self.permits = permits
+        self._waiters: deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        ev = Event(self.kernel)
+        if self.permits > 0 and not self._waiters:
+            self.permits -= 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire."""
+        if self.permits > 0 and not self._waiters:
+            self.permits -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self.permits += 1
+
+
+class SingleAssignment:
+    """A write-once variable; reads block until the write.
+
+    The second write raises :class:`SingleAssignmentError` — the
+    construct's defining property.
+    """
+
+    _UNSET = object()
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._value: Any = self._UNSET
+        self._readers: list[Event] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._value is not self._UNSET
+
+    def set(self, value: Any) -> None:
+        if self.is_set:
+            raise SingleAssignmentError(
+                "single-assignment variable written twice")
+        self._value = value
+        readers, self._readers = self._readers, []
+        for reader in readers:
+            reader.succeed(value)
+
+    def get(self) -> Event:
+        ev = Event(self.kernel)
+        if self.is_set:
+            ev.succeed(self._value)
+        else:
+            self._readers.append(ev)
+        return ev
+
+
+class BoundedChannel:
+    """A CSP-style bounded FIFO channel between processes.
+
+    ``put`` blocks while the channel is full; ``get`` blocks while it is
+    empty. Capacity 0 is rendezvous-like in effect (a put completes only
+    when a getter takes the item).
+    """
+
+    def __init__(self, kernel: Kernel, capacity: int = 1) -> None:
+        if capacity < 0:
+            raise SynchronizationError("capacity must be >= 0")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.kernel)
+        if self._getters:
+            # Hand straight to the oldest getter (keeps capacity-0 alive).
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.kernel)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters:
+                putter, item = self._putters.popleft()
+                self._items.append(item)
+                putter.succeed(None)
+        elif self._putters:
+            putter, item = self._putters.popleft()
+            ev.succeed(item)
+            putter.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,128 @@
+"""Wire messages of the distributed synchronization constructs.
+
+Every request carries a client-chosen ``req_id`` which the host echoes
+in the reply, so one client can have several operations in flight
+without ambiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.message import Message, message_type
+from repro.net.address import InboxAddress
+
+
+@message_type("sync.barrier_arrive")
+@dataclass(frozen=True)
+class BarrierArrive(Message):
+    req_id: int
+    name: str
+    parties: int
+    reply_to: InboxAddress = None
+
+
+@message_type("sync.barrier_release")
+@dataclass(frozen=True)
+class BarrierRelease(Message):
+    req_id: int
+    name: str
+    generation: int
+
+
+@message_type("sync.sem_acquire")
+@dataclass(frozen=True)
+class SemAcquire(Message):
+    req_id: int
+    name: str
+    permits: int  # initial permit count, fixed by first declaration
+    reply_to: InboxAddress = None
+
+
+@message_type("sync.sem_grant")
+@dataclass(frozen=True)
+class SemGrant(Message):
+    req_id: int
+    name: str
+
+
+@message_type("sync.sem_release")
+@dataclass(frozen=True)
+class SemRelease(Message):
+    name: str
+
+
+@message_type("sync.sa_set")
+@dataclass(frozen=True)
+class SaSet(Message):
+    req_id: int
+    name: str
+    value: object = None
+    reply_to: InboxAddress = None
+
+
+@message_type("sync.sa_set_ack")
+@dataclass(frozen=True)
+class SaSetAck(Message):
+    req_id: int
+    name: str
+    ok: bool
+    error: str = ""
+
+
+@message_type("sync.sa_get")
+@dataclass(frozen=True)
+class SaGet(Message):
+    req_id: int
+    name: str
+    reply_to: InboxAddress = None
+
+
+@message_type("sync.sa_value")
+@dataclass(frozen=True)
+class SaValue(Message):
+    req_id: int
+    name: str
+    value: object = None
+
+
+@message_type("sync.ch_put")
+@dataclass(frozen=True)
+class ChPut(Message):
+    req_id: int
+    name: str
+    capacity: int
+    value: object = None
+    reply_to: InboxAddress = None
+
+
+@message_type("sync.ch_put_ok")
+@dataclass(frozen=True)
+class ChPutOk(Message):
+    req_id: int
+    name: str
+
+
+@message_type("sync.ch_get")
+@dataclass(frozen=True)
+class ChGet(Message):
+    req_id: int
+    name: str
+    capacity: int
+    reply_to: InboxAddress = None
+
+
+@message_type("sync.ch_item")
+@dataclass(frozen=True)
+class ChItem(Message):
+    req_id: int
+    name: str
+    value: object = None
+
+
+@message_type("sync.error")
+@dataclass(frozen=True)
+class SyncError(Message):
+    req_id: int
+    name: str
+    error: str

@@ -1,0 +1,182 @@
+"""Termination detection (a service the paper names in §2.2).
+
+"We do not expect each dapplet developer to also develop all the
+operating systems services — e.g. checkpointing, **termination
+detection** and multiway synchronization — that an application needs."
+
+Implementation: Safra's token algorithm (the classic refinement of
+Dijkstra's ring detector for asynchronous message passing):
+
+* every member keeps a message counter (sends minus receipts) and a
+  colour; receiving a basic message makes it *active* and *black*;
+* the root, when passive, circulates a white token with count 0;
+* a member forwards the token only while passive, adding its counter,
+  blackening the token if it is black itself, and turning white;
+* when the token returns to a white, passive root and the token is
+  white with total count zero, the computation has terminated; the root
+  then circulates an announcement.
+
+Members hook the detector onto the ports carrying basic (application)
+messages via :meth:`TerminationDetector.watch_outbox` /
+:meth:`watch_inbox`, and report idleness with :meth:`set_passive`.
+Detection is sound (never announces before quiescence) and live
+(announces within two token rounds after quiescence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.mailbox.inbox import Inbox
+from repro.mailbox.outbox import Outbox
+from repro.messages.message import Message, message_type
+from repro.net.address import NodeAddress
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dapplet.dapplet import Dapplet
+
+WHITE = "white"
+BLACK = "black"
+
+
+@message_type("term.token")
+@dataclass(frozen=True)
+class Token(Message):
+    group: str
+    count: int
+    color: str
+
+
+@message_type("term.announce")
+@dataclass(frozen=True)
+class Announce(Message):
+    group: str
+    hops: int = 0
+
+
+class TerminationDetector:
+    """One member's participation in a Safra ring.
+
+    Parameters
+    ----------
+    dapplet:
+        The hosting dapplet.
+    group:
+        Name of the detection group (several may coexist).
+    ring:
+        Node addresses of all members, in ring order, identical at
+        every member.
+    index:
+        This member's position in ``ring``; index 0 is the root.
+    """
+
+    def __init__(self, dapplet: "Dapplet", group: str,
+                 ring: list[NodeAddress], index: int) -> None:
+        if not (0 <= index < len(ring)):
+            raise ValueError(f"index {index} out of range for ring of "
+                             f"{len(ring)}")
+        if ring[index] != dapplet.address:
+            raise ValueError("ring[index] must be this dapplet's address")
+        self.dapplet = dapplet
+        self.kernel = dapplet.kernel
+        self.group = group
+        self.is_root = index == 0
+        self.counter = 0
+        self.color = WHITE
+        self.passive = False
+        self._holding_token: Token | None = None
+        self._announced = False
+        self._probing = False
+        #: Fires (with the root's virtual detection time) when the ring
+        #: announces termination.
+        self.detected: Event = dapplet.kernel.event()
+        self.token_rounds = 0
+
+        inbox_name = f"_term:{group}"
+        self.inbox = dapplet.create_inbox(name=inbox_name)
+        self.next_outbox = dapplet.create_outbox()
+        self.next_outbox.add(ring[(index + 1) % len(ring)].inbox(inbox_name))
+        self.server = dapplet.spawn(self._serve(), name=f"term:{group}")
+
+    # -- counting hooks ---------------------------------------------------
+
+    def watch_outbox(self, outbox: Outbox) -> None:
+        """Count basic messages sent through ``outbox``."""
+        def hook(message: Message) -> Message:
+            self.counter += 1
+            return message
+        outbox.send_hooks.append(hook)
+
+    def watch_inbox(self, inbox: Inbox) -> None:
+        """Count basic messages delivered to ``inbox``."""
+        def hook(message: Message) -> "Message":
+            self.counter -= 1
+            self.color = BLACK
+            self.passive = False
+            return message
+        inbox.delivery_hooks.append(hook)
+
+    # -- activity ------------------------------------------------------------
+
+    def set_passive(self) -> None:
+        """Report that this member has no local work left."""
+        self.passive = True
+        self._maybe_forward()
+        if self.is_root:
+            self._maybe_probe()
+
+    def set_active(self) -> None:
+        self.passive = False
+
+    # -- the ring ------------------------------------------------------------
+
+    def _maybe_probe(self) -> None:
+        """Root: launch a probe when passive and none is circulating."""
+        if self.is_root and self.passive and self._holding_token is None \
+                and not self._announced and not self._probing:
+            self._probing = True
+            # A fresh probe: white token, count 0. The root's own counter
+            # and colour are folded in when the token returns.
+            self.next_outbox.send(Token(self.group, 0, WHITE))
+
+    def _serve(self):
+        while True:
+            msg = yield self.inbox.receive()
+            if isinstance(msg, Token) and msg.group == self.group:
+                self._holding_token = msg
+                self._maybe_forward()
+            elif isinstance(msg, Announce) and msg.group == self.group:
+                self._announce(msg)
+
+    def _maybe_forward(self) -> None:
+        token = self._holding_token
+        if token is None or not self.passive or self._announced:
+            return
+        self._holding_token = None
+        if self.is_root:
+            self.token_rounds += 1
+            self._probing = False
+            terminated = (token.color == WHITE and self.color == WHITE
+                          and token.count + self.counter == 0)
+            if terminated:
+                self._announced = True
+                self.detected.succeed(self.kernel.now)
+                self.next_outbox.send(Announce(self.group, hops=1))
+            else:
+                self.color = WHITE
+                self._maybe_probe()
+        else:
+            color = BLACK if self.color == BLACK else token.color
+            self.next_outbox.send(Token(self.group,
+                                        token.count + self.counter, color))
+            self.color = WHITE
+
+    def _announce(self, msg: Announce) -> None:
+        if self._announced:
+            return  # the announcement completed the ring at the root
+        self._announced = True
+        if not self.detected.triggered:
+            self.detected.succeed(self.kernel.now)
+        self.next_outbox.send(Announce(self.group, hops=msg.hops + 1))

@@ -1,0 +1,31 @@
+"""Tokens and capabilities (§4.1 of the paper).
+
+"We treat each resource as a token. Tokens are objects that are neither
+created nor destroyed: a fixed number of them are communicated and
+shared among the processes of a system. Tokens have colors; tokens of
+one color cannot be transmuted into tokens of another color."
+
+A :class:`TokenCoordinator` servlet hosts the token pool;
+:class:`TokenAgent` is the per-dapplet manager with the paper's
+operations — ``request(tokenList)`` (blocking; raises
+:class:`~repro.errors.DeadlockDetected` if the managers detect a
+deadlock), ``release(tokenList)`` (raises on releasing tokens not held),
+and ``totalTokens()``. :mod:`repro.services.tokens.protocols` builds the
+paper's two worked examples on top: single-token mutual exclusion and
+the all-tokens-to-write readers/writer protocol.
+"""
+
+from repro.services.tokens.manager import (
+    ALL,
+    TokenAgent,
+    TokenCoordinator,
+)
+from repro.services.tokens.protocols import ReadersWriterLock, TokenMutex
+
+__all__ = [
+    "ALL",
+    "ReadersWriterLock",
+    "TokenAgent",
+    "TokenCoordinator",
+    "TokenMutex",
+]

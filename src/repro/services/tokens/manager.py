@@ -1,0 +1,440 @@
+"""The token-manager network.
+
+"A network of token-manager objects manages tokens shared by all the
+dapplets in a session. A token is either held by a dapplet or by the
+network of token managers."
+
+The network has a star shape: one :class:`TokenCoordinator` servlet
+holds the pool and the global wait-for view, and a :class:`TokenAgent`
+runs on each participating dapplet, tracking ``holdsTokens`` locally.
+Agents and coordinator talk over ordinary channels, so the service works
+across the simulated WAN like any dapplet.
+
+Deadlock handling follows the paper exactly: sharing "avoids deadlock if
+dapplets release all resources before next requesting resources"
+(two-phase use — nothing to detect), "and detect[s] deadlock if it does
+occur (if a dapplet holds on to some resources and then requests more)".
+Detection builds the wait-for graph (waiter -> holders of colours it
+still needs) on every blocked request; any cycle through the new request
+fails that request with :class:`DeadlockDetected`.
+
+Grant policies:
+
+* ``"fifo"`` (default) — scan blocked requests in arrival order and
+  grant every one that is now satisfiable. Simple, but a stream of
+  small requests can starve a large one.
+* ``"timestamp"`` — grant strictly in (timestamp, agent-id) order, the
+  paper's §4.2 conflict-resolution rule: "Conflicts between two or more
+  requests for a common indivisible resource are resolved in favor of
+  the request with the earlier timestamp. Ties are broken in favor of
+  the process with the lower id." No starvation if holders release in
+  finite time; experiment E11 measures the fairness difference.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import DeadlockDetected, TokenError
+from repro.mailbox.outbox import Outbox
+from repro.net.address import InboxAddress
+from repro.services.tokens import messages as tm
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dapplet.dapplet import Dapplet
+
+#: Sentinel count meaning "all tokens of this colour".
+ALL = "all"
+
+#: Well-known inbox name of the coordinator servlet.
+COORDINATOR_INBOX = "_tokens"
+
+POLICIES = ("fifo", "timestamp")
+
+
+def _validate_tokens(tokens: dict) -> dict:
+    if not tokens:
+        raise TokenError("token list must name at least one colour")
+    for color, n in tokens.items():
+        if n == ALL:
+            continue
+        if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+            raise TokenError(
+                f"count for colour {color!r} must be a positive int or "
+                f"'all', got {n!r}")
+    return dict(tokens)
+
+
+class _Blocked:
+    """Coordinator-side record of one blocked request."""
+
+    __slots__ = ("req_id", "agent", "tokens", "reply_to", "timestamp", "seq")
+
+    def __init__(self, msg: tm.Request, seq: int) -> None:
+        self.req_id = msg.req_id
+        self.agent = msg.agent
+        self.tokens = dict(msg.tokens)
+        self.reply_to = msg.reply_to
+        self.timestamp = msg.timestamp
+        self.seq = seq
+
+
+class TokenCoordinator:
+    """The pool-holding servlet of the token-manager network.
+
+    Host it on any dapplet::
+
+        coordinator = TokenCoordinator(host, {"file-a": 1, "file-b": 3})
+
+    ``initial`` fixes the total number of tokens of each colour for the
+    lifetime of the system — the paper's conservation invariant,
+    checkable at any instant with :meth:`check_conservation`.
+    """
+
+    def __init__(self, dapplet: "Dapplet", initial: dict[str, int],
+                 *, policy: str = "fifo", name: str = COORDINATOR_INBOX) -> None:
+        if policy not in POLICIES:
+            raise TokenError(f"policy must be one of {POLICIES}")
+        for color, n in initial.items():
+            if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+                raise TokenError(
+                    f"initial count for colour {color!r} must be an int >= 0")
+        self.dapplet = dapplet
+        self.policy = policy
+        self.totals = dict(initial)
+        self.pool = dict(initial)
+        #: agent name -> {color: held}
+        self.holders: dict[str, dict[str, int]] = {}
+        self._blocked: list[_Blocked] = []
+        self._seq = itertools.count()
+        self._agent_inboxes: dict[str, InboxAddress] = {}
+        self._outboxes: dict[InboxAddress, Outbox] = {}
+        self.inbox = dapplet.create_inbox(name=name)
+        self.grants = 0
+        self.deadlocks = 0
+        self.server = dapplet.spawn(self._serve(), name="token-coordinator")
+
+    @property
+    def pointer(self) -> InboxAddress:
+        """Where agents connect."""
+        return self.inbox.named_address
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_conservation(self) -> None:
+        """Assert the paper's invariant: totals never change."""
+        for color, total in self.totals.items():
+            held = sum(h.get(color, 0) for h in self.holders.values())
+            pending_none = self.pool.get(color, 0)
+            if held + pending_none != total:
+                raise TokenError(
+                    f"conservation violated for colour {color!r}: "
+                    f"pool={pending_none} held={held} total={total}")
+
+    # -- server ----------------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            msg = yield self.inbox.receive()
+            if isinstance(msg, tm.Request):
+                self._on_request(msg)
+            elif isinstance(msg, tm.Release):
+                self._on_release(msg)
+            elif isinstance(msg, tm.Transfer):
+                self._on_transfer(msg)
+            elif isinstance(msg, tm.TotalsQuery):
+                if msg.agent:
+                    self._agent_inboxes[msg.agent] = msg.reply_to
+                self._send(msg.reply_to,
+                           tm.Totals(msg.req_id, dict(self.totals)))
+
+    def _send(self, to: InboxAddress, message) -> None:
+        outbox = self._outboxes.get(to)
+        if outbox is None:
+            outbox = self.dapplet.create_outbox()
+            outbox.add(to)
+            self._outboxes[to] = outbox
+        outbox.send(message)
+
+    # -- request handling -----------------------------------------------------
+
+    def _need(self, blocked: _Blocked) -> dict[str, int]:
+        """Concrete counts for a request (resolving ``"all"``)."""
+        need = {}
+        for color, n in blocked.tokens.items():
+            total = self.totals.get(color, 0)
+            need[color] = total if n == ALL else n
+        return need
+
+    def _satisfiable(self, blocked: _Blocked) -> bool:
+        need = self._need(blocked)
+        return all(self.pool.get(c, 0) >= n for c, n in need.items())
+
+    def _grant(self, blocked: _Blocked) -> None:
+        need = self._need(blocked)
+        held = self.holders.setdefault(blocked.agent, {})
+        for color, n in need.items():
+            self.pool[color] = self.pool.get(color, 0) - n
+            held[color] = held.get(color, 0) + n
+        self.grants += 1
+        self._agent_inboxes[blocked.agent] = blocked.reply_to
+        self._send(blocked.reply_to, tm.Grant(blocked.req_id, need))
+
+    def _on_request(self, msg: tm.Request) -> None:
+        for color in msg.tokens:
+            if color not in self.totals:
+                self._send(msg.reply_to, tm.DeadlockNotice(msg.req_id, ()))
+                return
+        blocked = _Blocked(msg, next(self._seq))
+        self._agent_inboxes[msg.agent] = msg.reply_to
+        self._blocked.append(blocked)
+        self._drain()
+        self._detect_all()
+
+    def _detect_all(self) -> None:
+        """Fail every blocked request on a wait-for cycle.
+
+        Cycles can appear both when a request arrives and when a grant
+        makes a colour scarce, so this sweeps after every pool change.
+        Failing a request removes its edges, which can break other
+        cycles, hence the loop-until-stable.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for blocked in list(self._blocked):
+                cycle = self._find_cycle(blocked)
+                if cycle:
+                    self.deadlocks += 1
+                    self._blocked.remove(blocked)
+                    self._send(blocked.reply_to,
+                               tm.DeadlockNotice(blocked.req_id, tuple(cycle)))
+                    changed = True
+                    break
+
+    def _on_release(self, msg: tm.Release) -> None:
+        held = self.holders.get(msg.agent, {})
+        for color, n in msg.tokens.items():
+            count = held.get(color, 0) if n == ALL else n
+            have = held.get(color, 0)
+            if count > have:
+                # The agent validated locally; a mismatch here means a
+                # protocol bug — surface loudly.
+                raise TokenError(
+                    f"agent {msg.agent!r} released {count} {color!r} tokens "
+                    f"but holds {have}")
+            held[color] = have - count
+            if held[color] == 0:
+                del held[color]
+            self.pool[color] = self.pool.get(color, 0) + count
+        self._drain()
+        self._detect_all()  # a grant inside drain can create new scarcity
+
+    def _on_transfer(self, msg: tm.Transfer) -> None:
+        src = self.holders.get(msg.agent, {})
+        moved: dict[str, int] = {}
+        for color, n in msg.tokens.items():
+            count = src.get(color, 0) if n == ALL else n
+            if count > src.get(color, 0):
+                raise TokenError(
+                    f"agent {msg.agent!r} transferred {count} {color!r} "
+                    f"tokens but holds {src.get(color, 0)}")
+            if count == 0:
+                continue  # 'all of nothing' moves nothing
+            src[color] -= count
+            if src[color] == 0:
+                del src[color]
+            moved[color] = count
+        if not moved:
+            return
+        dst = self.holders.setdefault(msg.to_agent, {})
+        for color, count in moved.items():
+            dst[color] = dst.get(color, 0) + count
+        target = self._agent_inboxes.get(msg.to_agent)
+        if target is not None:
+            self._send(target, tm.TransferNotice(msg.agent, moved))
+        self._detect_all()  # moved holdings can close a wait-for cycle
+
+    def _drain(self) -> None:
+        """Grant blocked requests according to the policy."""
+        if self.policy == "timestamp":
+            # Strict (timestamp, agent) order: only the head may go.
+            while self._blocked:
+                head = min(self._blocked,
+                           key=lambda b: (b.timestamp, b.agent, b.seq))
+                if not self._satisfiable(head):
+                    return
+                self._blocked.remove(head)
+                self._grant(head)
+        else:
+            progressed = True
+            while progressed:
+                progressed = False
+                for blocked in list(self._blocked):
+                    if self._satisfiable(blocked):
+                        self._blocked.remove(blocked)
+                        self._grant(blocked)
+                        progressed = True
+
+    # -- deadlock detection ----------------------------------------------------
+
+    def _find_cycle(self, start: _Blocked) -> list[str] | None:
+        """A wait-for cycle through ``start``'s agent, if one exists.
+
+        Edge w -> h iff w has a blocked request needing more of some
+        colour than the pool offers while h holds at least one token of
+        that colour (AND-request model).
+        """
+        edges: dict[str, set[str]] = {}
+        for blocked in self._blocked:
+            need = self._need(blocked)
+            for color, n in need.items():
+                if self.pool.get(color, 0) >= n:
+                    continue
+                for holder, held in self.holders.items():
+                    if holder != blocked.agent and held.get(color, 0) > 0:
+                        edges.setdefault(blocked.agent, set()).add(holder)
+
+        # DFS from the requesting agent looking for a path back to it.
+        target = start.agent
+        path: list[str] = []
+        seen: set[str] = set()
+
+        def dfs(node: str) -> list[str] | None:
+            for nxt in sorted(edges.get(node, ())):
+                if nxt == target:
+                    return path + [node, target]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    path.append(node)
+                    found = dfs(nxt)
+                    path.pop()
+                    if found:
+                        return found
+            return None
+
+        return dfs(target)
+
+
+class TokenAgent:
+    """The per-dapplet token manager.
+
+    ``holds`` is the paper's ``holdsTokens`` data member. The paper's
+    three operations map to :meth:`request` (an event to yield on),
+    :meth:`release`, and :meth:`total_tokens` (an event).
+    """
+
+    def __init__(self, dapplet: "Dapplet", coordinator: InboxAddress) -> None:
+        self.dapplet = dapplet
+        self.kernel = dapplet.kernel
+        self.name = dapplet.name
+        self.holds: dict[str, int] = {}
+        self._req_ids = itertools.count(1)
+        self._pending: dict[int, Event] = {}
+        self.inbox = dapplet.create_inbox()
+        self.outbox = dapplet.create_outbox()
+        self.outbox.add(coordinator)
+        self.transfers_received: list[tuple[str, dict[str, int]]] = []
+        self.dispatcher = dapplet.spawn(self._dispatch(), name="token-agent")
+
+    def request(self, tokens: dict) -> Event:
+        """Block until the requested tokens are granted.
+
+        Yields the granted ``{color: count}`` map (with ``"all"``
+        resolved). Fails with :class:`DeadlockDetected` if the managers
+        detect a deadlock involving this request.
+        """
+        tokens = _validate_tokens(tokens)
+        req_id = next(self._req_ids)
+        event = self.kernel.event()
+        self._pending[req_id] = event
+        self.outbox.send(tm.Request(
+            req_id=req_id, agent=self.name, tokens=tokens,
+            reply_to=self.inbox.address, timestamp=self._timestamp()))
+        return event
+
+    def release(self, tokens: dict) -> None:
+        """Return tokens to the managers; raises if not held."""
+        tokens = _validate_tokens(tokens)
+        resolved: dict[str, int] = {}
+        for color, n in tokens.items():
+            have = self.holds.get(color, 0)
+            count = have if n == ALL else n
+            if count > have:
+                raise TokenError(
+                    f"dapplet {self.name!r} holds {have} {color!r} tokens, "
+                    f"cannot release {count}")
+            resolved[color] = count
+        for color, count in resolved.items():
+            if count == 0:
+                continue
+            self.holds[color] -= count
+            if self.holds[color] == 0:
+                del self.holds[color]
+        self.outbox.send(tm.Release(agent=self.name, tokens=resolved))
+
+    def transfer(self, to_agent: str, tokens: dict) -> None:
+        """Hand held tokens directly to another dapplet's agent.
+
+        (The paper: tokens "are communicated and shared among the
+        processes of a system".)
+        """
+        tokens = _validate_tokens(tokens)
+        resolved: dict[str, int] = {}
+        for color, n in tokens.items():
+            have = self.holds.get(color, 0)
+            count = have if n == ALL else n
+            if count > have:
+                raise TokenError(
+                    f"dapplet {self.name!r} holds {have} {color!r} tokens, "
+                    f"cannot transfer {count}")
+            resolved[color] = count
+        for color, count in resolved.items():
+            if count == 0:
+                continue
+            self.holds[color] -= count
+            if self.holds[color] == 0:
+                del self.holds[color]
+        self.outbox.send(tm.Transfer(agent=self.name, to_agent=to_agent,
+                                     tokens=resolved))
+
+    def total_tokens(self) -> Event:
+        """The paper's ``totalTokens()``: yields ``{color: total}``."""
+        req_id = next(self._req_ids)
+        event = self.kernel.event()
+        self._pending[req_id] = event
+        self.outbox.send(tm.TotalsQuery(req_id=req_id, agent=self.name,
+                                        reply_to=self.inbox.address))
+        return event
+
+    def _timestamp(self) -> int:
+        clock = getattr(self.dapplet, "clock", None)
+        return clock.time if clock is not None else 0
+
+    def _dispatch(self):
+        while True:
+            msg = yield self.inbox.receive()
+            if isinstance(msg, tm.Grant):
+                waiter = self._pending.pop(msg.req_id, None)
+                for color, n in msg.tokens.items():
+                    self.holds[color] = self.holds.get(color, 0) + n
+                if waiter is not None:
+                    waiter.succeed(dict(msg.tokens))
+            elif isinstance(msg, tm.DeadlockNotice):
+                waiter = self._pending.pop(msg.req_id, None)
+                if waiter is not None:
+                    waiter.fail(DeadlockDetected(
+                        f"token request of {self.name!r} is deadlocked "
+                        f"(cycle: {' -> '.join(msg.cycle) or 'unknown colour'})",
+                        cycle=msg.cycle))
+            elif isinstance(msg, tm.TransferNotice):
+                for color, n in msg.tokens.items():
+                    self.holds[color] = self.holds.get(color, 0) + n
+                self.transfers_received.append((msg.from_agent,
+                                                dict(msg.tokens)))
+            elif isinstance(msg, tm.Totals):
+                waiter = self._pending.pop(msg.req_id, None)
+                if waiter is not None:
+                    waiter.succeed(dict(msg.totals))

@@ -1,0 +1,77 @@
+"""Wire messages of the token protocol.
+
+Token counts travel as ``{color: n}`` dicts; ``n`` is a positive int or
+the string ``"all"`` (the paper: "a specific positive number of tokens
+of a given color can be requested, or the request can ask for all tokens
+of a given color").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.messages.message import Message, message_type
+from repro.net.address import InboxAddress
+
+
+@message_type("tok.request")
+@dataclass(frozen=True)
+class Request(Message):
+    req_id: int
+    agent: str
+    tokens: dict  # color -> int | "all"
+    reply_to: InboxAddress = None
+    timestamp: int = 0  # logical time, used by the "timestamp" policy
+
+
+@message_type("tok.grant")
+@dataclass(frozen=True)
+class Grant(Message):
+    req_id: int
+    tokens: dict  # color -> int actually granted
+
+
+@message_type("tok.deadlock")
+@dataclass(frozen=True)
+class DeadlockNotice(Message):
+    req_id: int
+    cycle: tuple = ()
+
+
+@message_type("tok.release")
+@dataclass(frozen=True)
+class Release(Message):
+    agent: str
+    tokens: dict
+
+
+@message_type("tok.transfer")
+@dataclass(frozen=True)
+class Transfer(Message):
+    """Move held tokens from ``agent`` directly to ``to_agent``."""
+
+    agent: str
+    to_agent: str
+    tokens: dict
+
+
+@message_type("tok.transfer_notice")
+@dataclass(frozen=True)
+class TransferNotice(Message):
+    from_agent: str
+    tokens: dict
+
+
+@message_type("tok.totals_query")
+@dataclass(frozen=True)
+class TotalsQuery(Message):
+    req_id: int
+    agent: str = ""
+    reply_to: InboxAddress = None
+
+
+@message_type("tok.totals")
+@dataclass(frozen=True)
+class Totals(Message):
+    req_id: int
+    totals: dict = field(default_factory=dict)

@@ -1,0 +1,56 @@
+"""Session interference.
+
+The paper (§2.2): "Two sessions must not be allowed to proceed
+concurrently if one modifies variables accessed by the other." A session
+declares, per member, the persistent-state regions it touches and the
+mode (``"r"`` or ``"rw"``); two region maps *conflict* when some region
+appears in both and at least one side writes it.
+
+:class:`InterferenceMonitor` is an execution monitor used by tests and
+benchmarks: session managers report activation and deactivation, and the
+monitor asserts the exclusion invariant on every transition.
+"""
+
+from __future__ import annotations
+
+from repro.dapplet.state import WRITE
+from repro.errors import InterferenceError
+
+
+def regions_conflict(a: dict[str, str], b: dict[str, str]) -> bool:
+    """True when the two region-mode maps must not run concurrently."""
+    shared = a.keys() & b.keys()
+    return any(a[r] == WRITE or b[r] == WRITE for r in shared)
+
+
+class InterferenceMonitor:
+    """Asserts the paper's exclusion requirement over a whole run.
+
+    Attach via :meth:`watch`; every session activation on a dapplet is
+    checked against the sessions already active there.
+    """
+
+    def __init__(self) -> None:
+        #: dapplet name -> {session_id: region map}
+        self._active: dict[str, dict[str, dict[str, str]]] = {}
+        self.activations = 0
+        self.max_concurrent = 0
+
+    def activated(self, dapplet_name: str, session_id: str,
+                  regions: dict[str, str]) -> None:
+        sessions = self._active.setdefault(dapplet_name, {})
+        for other_id, other_regions in sessions.items():
+            if regions_conflict(regions, other_regions):
+                raise InterferenceError(
+                    f"sessions {session_id!r} and {other_id!r} are "
+                    f"concurrently active on {dapplet_name!r} with "
+                    f"conflicting regions")
+        sessions[session_id] = dict(regions)
+        self.activations += 1
+        self.max_concurrent = max(self.max_concurrent, len(sessions))
+
+    def deactivated(self, dapplet_name: str, session_id: str) -> None:
+        self._active.get(dapplet_name, {}).pop(session_id, None)
+
+    def concurrently_active(self, dapplet_name: str) -> int:
+        return len(self._active.get(dapplet_name, {}))

@@ -1,0 +1,123 @@
+"""Wire messages of the session link-up protocol.
+
+The protocol is the two-phase shape the paper sketches in §3.1: the
+initiator *requests* each component to link itself up; a component
+*accepts* (exposing the global addresses of the session inboxes it
+created) or *rejects* (ACL or interference); when all accept, the
+initiator *commits* the bindings, and each member reports *ready*; any
+rejection *aborts* the accepted members. Termination is the paper's
+"component dapplets unlink themselves": *unlink*/*unlink-ack*.
+``BindAdd``/``BindRemove`` implement session growth and shrinkage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.messages.message import Message, message_type
+from repro.net.address import InboxAddress, NodeAddress
+
+
+@message_type("session.prepare")
+@dataclass(frozen=True)
+class Prepare(Message):
+    session_id: str
+    app: str
+    member: str
+    initiator: NodeAddress
+    reply_to: InboxAddress
+    inboxes: tuple = ()
+    regions: dict = field(default_factory=dict)
+    #: When true, an interfering prepare is queued until the conflicting
+    #: sessions end, instead of being rejected ("sessions that interfere
+    #: ... are not *scheduled* concurrently"). ACL rejections are never
+    #: queued.
+    queue: bool = False
+
+
+@message_type("session.accept")
+@dataclass(frozen=True)
+class Accept(Message):
+    session_id: str
+    member: str
+    ports: dict = field(default_factory=dict)  # port name -> InboxAddress
+
+
+@message_type("session.reject")
+@dataclass(frozen=True)
+class Reject(Message):
+    session_id: str
+    member: str
+    reason: str = ""
+
+
+@message_type("session.commit")
+@dataclass(frozen=True)
+class Commit(Message):
+    session_id: str
+    member: str
+    outboxes: dict = field(default_factory=dict)  # name -> tuple[InboxAddress]
+    params: dict = field(default_factory=dict)
+
+
+@message_type("session.ready")
+@dataclass(frozen=True)
+class Ready(Message):
+    session_id: str
+    member: str
+
+
+@message_type("session.abort")
+@dataclass(frozen=True)
+class Abort(Message):
+    session_id: str
+    member: str
+
+
+@message_type("session.unlink")
+@dataclass(frozen=True)
+class Unlink(Message):
+    session_id: str
+    member: str
+
+
+@message_type("session.unlink_ack")
+@dataclass(frozen=True)
+class UnlinkAck(Message):
+    session_id: str
+    member: str
+
+
+@message_type("session.bind_add")
+@dataclass(frozen=True)
+class BindAdd(Message):
+    session_id: str
+    member: str
+    outbox: str
+    targets: tuple = ()  # tuple[InboxAddress]
+
+
+@message_type("session.bind_ack")
+@dataclass(frozen=True)
+class BindAck(Message):
+    session_id: str
+    member: str
+    outbox: str
+
+
+@message_type("session.bind_remove")
+@dataclass(frozen=True)
+class BindRemove(Message):
+    session_id: str
+    member: str
+    outbox: str
+    targets: tuple = ()
+
+
+@message_type("session.leave")
+@dataclass(frozen=True)
+class Leave(Message):
+    """Courtesy notice from a member that unilaterally left."""
+
+    session_id: str
+    member: str
+    reason: str = ""

@@ -1,0 +1,105 @@
+"""Session specifications.
+
+A :class:`SessionSpec` is what the center director hands the initiator
+in Figure 2: which dapplets participate (by directory name), which
+session ports each creates, which persistent-state regions each member
+needs (and in which mode), and how outboxes are wired to inboxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dapplet.state import MODES
+from repro.errors import SessionError
+from repro.net.address import NodeAddress
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    """One channel of the session: ``src_member.outbox -> dst_member.inbox``."""
+
+    src_member: str
+    outbox: str
+    dst_member: str
+    inbox: str
+
+
+@dataclass
+class MemberSpec:
+    """One participant.
+
+    ``directory_name`` is looked up in the world's address directory
+    unless an explicit ``address`` is given.
+    """
+
+    member: str
+    directory_name: str = ""
+    address: NodeAddress | None = None
+    inboxes: tuple[str, ...] = ()
+    regions: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.directory_name:
+            self.directory_name = self.member
+        for region, mode in self.regions.items():
+            if mode not in MODES:
+                raise SessionError(
+                    f"member {self.member!r}: region {region!r} mode must be "
+                    f"one of {MODES}, got {mode!r}")
+
+
+class SessionSpec:
+    """The blueprint an initiator builds a session from."""
+
+    def __init__(self, app: str, params: dict | None = None) -> None:
+        self.app = app
+        self.params = dict(params or {})
+        self.members: dict[str, MemberSpec] = {}
+        self.bindings: list[Binding] = []
+
+    def add_member(self, member: str, *, directory_name: str = "",
+                   address: NodeAddress | None = None,
+                   inboxes: tuple[str, ...] | list[str] = (),
+                   regions: dict[str, str] | None = None) -> MemberSpec:
+        """Declare a participant and its session ports / state regions."""
+        if member in self.members:
+            raise SessionError(f"member {member!r} declared twice")
+        spec = MemberSpec(member=member, directory_name=directory_name,
+                          address=address, inboxes=tuple(inboxes),
+                          regions=dict(regions or {}))
+        self.members[member] = spec
+        return spec
+
+    def bind(self, src_member: str, outbox: str, dst_member: str,
+             inbox: str) -> None:
+        """Add a channel from ``src_member``'s ``outbox`` to
+        ``dst_member``'s ``inbox``."""
+        self.bindings.append(Binding(src_member, outbox, dst_member, inbox))
+
+    # -- derived views ------------------------------------------------------
+
+    def outboxes_of(self, member: str) -> dict[str, list[Binding]]:
+        """The member's outbox names with the bindings on each."""
+        out: dict[str, list[Binding]] = {}
+        for b in self.bindings:
+            if b.src_member == member:
+                out.setdefault(b.outbox, []).append(b)
+        return out
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`SessionError`."""
+        if not self.members:
+            raise SessionError("session spec has no members")
+        for b in self.bindings:
+            for side, m in (("source", b.src_member),
+                            ("destination", b.dst_member)):
+                if m not in self.members:
+                    raise SessionError(
+                        f"binding {b} references unknown {side} member {m!r}")
+            if b.inbox not in self.members[b.dst_member].inboxes:
+                raise SessionError(
+                    f"binding {b} targets inbox {b.inbox!r} which member "
+                    f"{b.dst_member!r} does not declare")
+            if b.src_member == b.dst_member:
+                raise SessionError(f"binding {b} is a self-loop")

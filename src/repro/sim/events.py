@@ -1,0 +1,195 @@
+"""Event objects for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence with a value (or an
+exception). Processes wait on events by yielding them; arbitrary code can
+wait by registering a callback. Composite events (:class:`AnyOf`,
+:class:`AllOf`) fire when any/all of their children have fired.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.kernel import Kernel
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Lifecycle: *pending* -> *triggered* (``succeed``/``fail`` called and
+    the event is queued) -> *processed* (callbacks have run). An event
+    can only be triggered once.
+    """
+
+    __slots__ = ("kernel", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        #: Set to True when a failure has been delivered to a waiter; an
+        #: unprocessed failed event with no waiter crashes the run so
+        #: errors are never silently dropped.
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event is not yet triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.kernel._enqueue(self, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside any process waiting on the
+        event; if nothing ever waits, the kernel surfaces it at
+        :meth:`Kernel.run` time.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.kernel._enqueue(self, 0.0)
+        return self
+
+    # -- composition ---------------------------------------------------
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.kernel, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.kernel, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of virtual time after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, kernel: "Kernel", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(kernel)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        kernel._enqueue(self, delay)
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, kernel: "Kernel", events: Iterable[Event]) -> None:
+        super().__init__(kernel)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.kernel is not kernel:
+                raise ValueError("cannot mix events from different kernels")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._results())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._child_fired(ev)
+            else:
+                ev.callbacks.append(self._child_fired)
+
+    def _results(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _child_fired(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _fail_from(self, event: Event) -> None:
+        event.defused = True
+        if not self.triggered:
+            self.fail(event.value)
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires.
+
+    Value: a dict mapping the fired events to their values. A child
+    failure fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            self._fail_from(event)
+        else:
+            self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired.
+
+    Value: a dict mapping all events to their values. The first child
+    failure fails the condition immediately.
+    """
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            self._fail_from(event)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._results())

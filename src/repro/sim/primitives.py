@@ -1,0 +1,137 @@
+"""Blocking coordination primitives for processes on one kernel.
+
+These are the kernel-level building blocks from which the paper-level
+constructs are made: :class:`Store` backs inboxes (a FIFO queue with a
+blocking ``get``), and :class:`Gate` backs broadcast conditions such as
+``awaitNonEmpty`` wake-ups and barrier releases.
+
+These primitives coordinate *processes within one kernel*; the
+paper-level synchronization constructs for threads within a dapplet live
+in :mod:`repro.services.sync.local` and the cross-dapplet ones in
+:mod:`repro.services.sync.distributed`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class Store:
+    """An unbounded FIFO queue with blocking ``get``.
+
+    ``put`` never blocks (the paper's channels have unbounded buffering;
+    outboxes/inboxes are unbounded message queues). ``get`` returns an
+    event that fires with the oldest item as soon as one is available —
+    immediately if the store is non-empty. Waiting getters are served in
+    FIFO order.
+    """
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._drain_scheduled = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter, if any.
+
+        The item stays visible in the queue until the getter's wake-up
+        event is processed (a zero-delay drain). This matters for
+        consistency: observers that inspect the queue synchronously
+        during a delivery cascade (e.g. snapshot state functions) must
+        never see an item vanish into a not-yet-resumed process.
+        """
+        self._items.append(item)
+        self._schedule_drain()
+
+    def put_front(self, item: Any) -> None:
+        """Prepend ``item`` (used to undo a consumed-but-unwanted get)."""
+        self._items.appendleft(item)
+        self._schedule_drain()
+
+    def get(self) -> Event:
+        """An event firing with the item at the head of the queue."""
+        ev = Event(self.kernel)
+        if self._items and not self._getters:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+            self._schedule_drain()
+        return ev
+
+    def _schedule_drain(self) -> None:
+        if self._getters and self._items and not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.kernel.call_later(0.0, self._drain)
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        while self._getters and self._items:
+            self._getters.popleft().succeed(self._items.popleft())
+        self._schedule_drain()
+
+    def peek(self) -> Any:
+        """The head item without removing it (raises if empty)."""
+        if not self._items:
+            raise LookupError("store is empty")
+        return self._items[0]
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending ``get`` (used by timed receives)."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+
+class Gate:
+    """A broadcast condition: ``wait()`` events all fire on ``open()``.
+
+    After ``open()`` the gate stays open (subsequent waits return
+    immediately) until ``reset()``. The value passed to ``open`` becomes
+    each waiter's event value.
+    """
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._waiters: list[Event] = []
+        self._open = False
+        self._value: Any = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        ev = Event(self.kernel)
+        if self._open:
+            ev.succeed(self._value)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self, value: Any = None) -> None:
+        if self._open:
+            return
+        self._open = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+
+    def reset(self) -> None:
+        self._open = False
+        self._value = None

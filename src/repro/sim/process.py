@@ -1,0 +1,128 @@
+"""Processes: generator coroutines driven by the kernel.
+
+A process plays the role of a Java thread in the paper's implementation.
+Its body is a generator that yields :class:`~repro.sim.events.Event`
+objects; the kernel resumes it with the event's value (or throws the
+event's exception into it). A process is itself an event that fires when
+the generator returns, so processes can ``yield`` other processes to
+join them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import InterruptError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+ProcessBody = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    Created via :meth:`Kernel.process`. As an event, it succeeds with the
+    generator's return value, or fails with the generator's unhandled
+    exception (wrapped in :class:`ProcessCrashed` when surfaced by the
+    kernel).
+    """
+
+    __slots__ = ("body", "name", "_waiting_on")
+
+    def __init__(self, kernel: "Kernel", body: ProcessBody,
+                 name: str | None = None) -> None:
+        if not hasattr(body, "send") or not hasattr(body, "throw"):
+            raise TypeError(
+                f"process body must be a generator, got {type(body).__name__}; "
+                "did you forget to call the generator function?")
+        super().__init__(kernel)
+        self.body = body
+        self.name = name or getattr(body, "__name__", "process")
+        self._waiting_on: Event | None = None
+        kernel._register_process(self)
+        # Bootstrap: resume the generator at time-now with a trivial event.
+        start = Event(kernel)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process.
+
+        Mirrors ``Thread.interrupt`` in the paper's Java substrate: a
+        process blocked on any event is woken with the exception; the
+        interrupted wait is cancelled.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is None:
+            raise RuntimeError(
+                f"process {self.name!r} is not waiting; cannot interrupt")
+        # Detach from the event we were waiting on, then resume with the
+        # interrupt as a failed one-shot event.
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        wake = Event(self.kernel)
+        wake.callbacks.append(self._resume)
+        wake.fail(InterruptError(cause))
+
+    # -- kernel plumbing -------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.body.send(event.value)
+            else:
+                event.defused = True
+                target = self.body.throw(event.value)
+        except StopIteration as stop:
+            self.kernel._unregister_process(self)
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - crash is recorded
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.kernel._unregister_process(self)
+            # Fail with the *original* exception so joiners can catch the
+            # domain type; the kernel wraps it in ProcessCrashed only if
+            # nobody ever handles it.
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            crash = TypeError(f"process {self.name!r} yielded {target!r}, "
+                              "which is not an Event")
+            self.kernel._unregister_process(self)
+            try:
+                self.body.close()
+            finally:
+                self.fail(crash)
+            return
+        if target.kernel is not self.kernel:
+            raise RuntimeError("process yielded an event from another kernel")
+
+        self._waiting_on = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (same instant).
+            wake = Event(self.kernel)
+            wake.callbacks.append(self._resume)
+            if target.ok:
+                wake.succeed(target.value)
+            else:
+                target.defused = True
+                wake.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else ("ok" if self.ok else "crashed")
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,120 @@
+"""The ``World``: one simulated internetwork of dapplets.
+
+A convenience facade that owns the kernel, the datagram network, the
+address directory, and port allocation — the pieces every run needs.
+Everything it does can be assembled by hand from the lower layers; the
+examples and benchmarks all start with::
+
+    world = World(seed=1, latency=GeoLatency())
+    alice = world.dapplet(CalendarDapplet, "caltech.edu", "alice")
+    ...
+    world.run()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Type, TypeVar
+
+from repro.dapplet.dapplet import Dapplet
+from repro.dapplet.directory import AddressDirectory
+from repro.errors import DappletError
+from repro.net.datagram import DatagramNetwork
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.sim.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+D = TypeVar("D", bound=Dapplet)
+
+#: First port handed out on each host.
+BASE_PORT = 2000
+
+
+class World:
+    """A complete simulated deployment.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all randomness in the run.
+    latency / faults:
+        The network's latency model and fault plan (see
+        :mod:`repro.net`).
+    endpoint_options:
+        Keyword arguments applied to every dapplet's transport endpoint
+        (e.g. ``rto_initial``, ``max_retries``, ``reliable``).
+    realtime:
+        Pace virtual time against the wall clock (for demos).
+    """
+
+    def __init__(self, seed: int = 0, *,
+                 latency: LatencyModel | None = None,
+                 faults: FaultPlan | None = None,
+                 endpoint_options: dict[str, Any] | None = None,
+                 realtime: bool = False,
+                 realtime_factor: float = 1.0) -> None:
+        self.kernel = Kernel(seed=seed, realtime=realtime,
+                             realtime_factor=realtime_factor)
+        self.network = DatagramNetwork(self.kernel, latency=latency,
+                                       faults=faults)
+        self.directory = AddressDirectory()
+        self.endpoint_options = dict(endpoint_options or {})
+        #: Optional :class:`repro.session.InterferenceMonitor`; when set,
+        #: session managers report activations to it and the paper's
+        #: exclusion requirement is asserted throughout the run.
+        self.interference_monitor = None
+        self._next_port: dict[str, int] = {}
+        self._dapplets: dict[str, Dapplet] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def allocate_port(self, host: str) -> int:
+        port = self._next_port.get(host, BASE_PORT)
+        self._next_port[host] = port + 1
+        return port
+
+    def dapplet(self, cls: Type[D], host: str, name: str,
+                **kwargs: Any) -> D:
+        """Create a dapplet of ``cls`` on ``host`` and register it.
+
+        ``name`` must be unique in this world; it becomes the dapplet's
+        directory name. Extra keyword arguments go to the subclass
+        constructor.
+        """
+        if name in self._dapplets:
+            raise DappletError(f"a dapplet named {name!r} already exists")
+        from repro.net.address import NodeAddress
+        address = NodeAddress(host, self.allocate_port(host))
+        instance = cls(self, address, name, **kwargs)
+        self._dapplets[name] = instance
+        self.directory.register(name, address, kind=cls.kind)
+        return instance
+
+    def _forget_dapplet(self, dapplet: Dapplet) -> None:
+        self._dapplets.pop(dapplet.name, None)
+        self.directory.remove(dapplet.name)
+
+    def get(self, name: str) -> Dapplet:
+        try:
+            return self._dapplets[name]
+        except KeyError:
+            raise DappletError(f"no dapplet named {name!r}") from None
+
+    def dapplets(self) -> list[Dapplet]:
+        return [self._dapplets[n] for n in sorted(self._dapplets)]
+
+    # -- running ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation (see :meth:`repro.sim.Kernel.run`)."""
+        return self.kernel.run(until)
+
+    def process(self, body, name: str | None = None):
+        """Start a free-standing process (not owned by any dapplet)."""
+        return self.kernel.process(body, name=name)

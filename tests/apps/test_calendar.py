@@ -1,0 +1,157 @@
+"""Integration tests for the calendar application (Example One)."""
+
+import pytest
+
+from repro.apps.calendar import (
+    CalendarDapplet,
+    MeetingDirector,
+    SecretaryDapplet,
+    busy_days,
+    free_days,
+    load_calendar,
+    schedule_meeting,
+)
+from repro.net import GeoLatency
+from repro.world import World
+
+#: The Figure 1 deployment: members at Caltech, Rice and Tennessee.
+SITES = {
+    "mani": "caltech.edu", "herb": "caltech.edu", "dan": "caltech.edu",
+    "ken": "rice.edu", "linda": "rice.edu", "john": "rice.edu",
+    "jack": "utk.edu", "ginger": "utk.edu",
+}
+
+
+def build_world(seed=31, busy=None):
+    world = World(seed=seed, latency=GeoLatency())
+    members = []
+    for name, host in SITES.items():
+        d = world.dapplet(CalendarDapplet, host, name)
+        load_calendar(d.state, (busy or {}).get(name, []))
+        members.append(name)
+    world.dapplet(SecretaryDapplet, "caltech.edu", "joann")
+    director = world.dapplet(MeetingDirector, "caltech.edu", "director")
+    return world, director, members
+
+
+def run(world, gen):
+    p = world.process(gen)
+    result = world.run(until=p)
+    world.run()  # drain teardown traffic
+    return result
+
+
+def test_state_helpers():
+    from repro.dapplet import PersistentState
+    state = PersistentState()
+    load_calendar(state, {1: "dentist", 3: "travel"})
+    region = state.region("calendar")
+    assert busy_days(region, 5) == [1, 3]
+    assert free_days(region, 5) == [0, 2, 4]
+
+
+@pytest.mark.parametrize("algorithm", ["session", "traditional", "negotiated"])
+def test_schedules_earliest_common_day(algorithm):
+    # Everyone is busy on day 0 somewhere; day 2 is the earliest common.
+    busy = {"mani": [0, 1], "ken": [0], "jack": [1], "ginger": [0, 1]}
+    world, director, members = build_world(busy=busy)
+    outcome = run(world, schedule_meeting(
+        director, "joann", members, horizon=6, algorithm=algorithm))
+    assert outcome.scheduled
+    assert outcome.day == 2
+    # Every member's calendar now shows the meeting (persistent state).
+    for name in members:
+        assert 2 in busy_days(world.get(name).state.region("calendar"), 6)
+
+
+def test_no_common_day_reports_failure():
+    busy = {name: [d] for d, name in enumerate(SITES)}  # pairwise covers 0-7
+    world, director, members = build_world(busy=busy)
+    outcome = run(world, schedule_meeting(
+        director, "joann", members, horizon=8, algorithm="session"))
+    assert not outcome.scheduled
+    assert outcome.day == -1
+    # No calendar was modified.
+    for name in members:
+        assert len(busy_days(world.get(name).state.region("calendar"), 8)) == 1
+
+
+def test_session_beats_traditional_in_elapsed_time():
+    """The paper's motivation: parallel sessions beat sequential calls.
+    Same outcome, much lower latency."""
+    results = {}
+    for algorithm in ("session", "traditional"):
+        world, director, members = build_world(seed=31)
+        outcome = run(world, schedule_meeting(
+            director, "joann", members, horizon=6, algorithm=algorithm))
+        results[algorithm] = outcome
+    assert results["session"].day == results["traditional"].day == 0
+    assert results["traditional"].elapsed > 2 * results["session"].elapsed
+
+
+def test_negotiated_respects_votes():
+    """With pickiness, the most-approved candidate wins even if it is
+    not the earliest common day."""
+    # Days 0..5; all free. Members approve at most 1 candidate: their
+    # earliest free day -> day 0 gets all votes; earliest wins anyway.
+    world, director, members = build_world()
+    outcome = run(world, schedule_meeting(
+        director, "joann", members, horizon=6, algorithm="negotiated",
+        candidates=3, max_approvals=1))
+    assert outcome.day == 0
+    assert outcome.rounds == 3  # query, vote, book
+
+
+def test_consecutive_sessions_share_persistent_state():
+    """Two sessions in sequence: the second sees the first's booking."""
+    world, director, members = build_world()
+    out1 = run(world, schedule_meeting(director, "joann", members,
+                                       horizon=4))
+    out2 = run(world, schedule_meeting(director, "joann", members,
+                                       horizon=4))
+    assert out1.day == 0
+    assert out2.day == 1  # day 0 is now booked everywhere
+
+
+def test_interfering_scheduling_sessions_are_rejected():
+    """Two concurrent sessions writing the same member's calendar must
+    not run together (the paper's §2.2 requirement)."""
+    from repro.errors import SessionRejected
+    from repro.session import InterferenceMonitor
+
+    world, director, members = build_world()
+    monitor = InterferenceMonitor()
+    world.interference_monitor = monitor  # raises on any violation
+    world.dapplet(SecretaryDapplet, "rice.edu", "sec2")
+    director2 = world.dapplet(MeetingDirector, "rice.edu", "director2")
+    outcomes = {}
+    rejections = [0]
+
+    def contender(tag, dirc, sec, backoff):
+        while True:
+            try:
+                out = yield from schedule_meeting(dirc, sec, members,
+                                                  horizon=6, label=tag)
+                outcomes[tag] = out.day
+                return
+            except SessionRejected as exc:
+                assert exc.reason == "interference"
+                rejections[0] += 1
+                yield world.kernel.timeout(backoff)
+
+    world.process(contender("first", director, "joann", 0.7))
+    world.process(contender("second", director2, "sec2", 1.1))
+    world.run()
+    # Both eventually scheduled (distinct days), at least one retry
+    # happened, and the monitor observed no conflicting overlap.
+    assert sorted(outcomes.values()) == [0, 1]
+    assert rejections[0] >= 1
+
+
+def test_outcome_accounting():
+    world, director, members = build_world()
+    outcome = run(world, schedule_meeting(director, "joann", members,
+                                          horizon=4))
+    assert outcome.rounds == 2  # query + book
+    assert outcome.elapsed > 0
+    assert outcome.datagrams > 0

@@ -1,0 +1,57 @@
+"""Tests for place selection — "pick a date *and place* for a meeting"."""
+
+from repro.apps.calendar import schedule_meeting
+from repro.apps.calendar.state import set_place_preferences
+
+from tests.apps.test_calendar import build_world, run
+
+PLACES = ("caltech", "rice", "tennessee")
+
+
+def test_place_chosen_by_majority():
+    world, director, members = build_world()
+    # Rice members refuse to travel to Tennessee; Caltech members refuse
+    # Rice. Caltech is acceptable to everyone.
+    for name in ("ken", "linda", "john"):
+        set_place_preferences(world.get(name).state, avoid=["tennessee"])
+    for name in ("mani", "herb", "dan"):
+        set_place_preferences(world.get(name).state, avoid=["rice"])
+    outcome = run(world, schedule_meeting(
+        director, "joann", members, horizon=4, places=PLACES))
+    assert outcome.scheduled
+    assert outcome.place == "caltech"
+    assert outcome.rounds == 3  # query, book, place vote
+
+
+def test_no_places_means_empty_place():
+    world, director, members = build_world()
+    outcome = run(world, schedule_meeting(director, "joann", members,
+                                          horizon=4))
+    assert outcome.place == ""
+    assert outcome.rounds == 2
+
+
+def test_place_tie_breaks_alphabetically():
+    world, director, members = build_world()
+    outcome = run(world, schedule_meeting(
+        director, "joann", members, horizon=4, places=("zurich", "austin")))
+    assert outcome.place == "austin"  # everyone approves both
+
+
+def test_no_place_vote_when_no_day_found():
+    busy = {name: [d] for d, name in enumerate(
+        ["mani", "herb", "dan", "ken", "linda", "john", "jack", "ginger"])}
+    world, director, members = build_world(busy=busy)
+    outcome = run(world, schedule_meeting(
+        director, "joann", members, horizon=8, places=PLACES))
+    assert not outcome.scheduled
+    assert outcome.place == ""
+
+
+def test_places_work_with_traditional_algorithm():
+    world, director, members = build_world()
+    set_place_preferences(world.get("mani").state, avoid=["rice"])
+    outcome = run(world, schedule_meeting(
+        director, "joann", members, horizon=4, algorithm="traditional",
+        places=("rice", "caltech")))
+    assert outcome.place == "caltech"

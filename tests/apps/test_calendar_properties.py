@@ -1,0 +1,82 @@
+"""Property-based tests: scheduling correctness over arbitrary calendars."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.calendar import (
+    CalendarDapplet,
+    MeetingDirector,
+    SecretaryDapplet,
+    busy_days,
+    load_calendar,
+    ring_schedule,
+    schedule_meeting,
+)
+from repro.net import ConstantLatency
+from repro.world import World
+
+HORIZON = 6
+
+busy_maps = st.lists(
+    st.sets(st.integers(min_value=0, max_value=HORIZON - 1), max_size=HORIZON),
+    min_size=2, max_size=5)
+
+
+def expected_day(busy_lists):
+    common = set(range(HORIZON))
+    for busy in busy_lists:
+        common -= set(busy)
+    return min(common) if common else -1
+
+
+def build(busy_lists, seed):
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    members = []
+    for i, busy in enumerate(busy_lists):
+        d = world.dapplet(CalendarDapplet, f"s{i}.edu", f"m{i}")
+        load_calendar(d.state, sorted(busy))
+        members.append(f"m{i}")
+    world.dapplet(SecretaryDapplet, "caltech.edu", "sec")
+    director = world.dapplet(MeetingDirector, "caltech.edu", "dir")
+    return world, director, members
+
+
+@settings(max_examples=25, deadline=None)
+@given(busy=busy_maps, seed=st.integers(min_value=0, max_value=1000),
+       algorithm=st.sampled_from(["session", "traditional"]))
+def test_secretary_algorithms_book_earliest_common_day(busy, seed, algorithm):
+    world, director, members = build(busy, seed)
+    box = []
+
+    def driver():
+        out = yield from schedule_meeting(director, "sec", members,
+                                          horizon=HORIZON,
+                                          algorithm=algorithm)
+        box.append(out)
+
+    world.run(until=world.process(driver()))
+    world.run()
+    out = box[0]
+    want = expected_day(busy)
+    assert out.day == want
+    for i, original in enumerate(busy):
+        region = world.get(f"m{i}").state.region("calendar")
+        now_busy = set(busy_days(region, HORIZON))
+        if want == -1:
+            assert now_busy == set(original)  # untouched on failure
+        else:
+            assert now_busy == set(original) | {want}
+
+
+@settings(max_examples=15, deadline=None)
+@given(busy=busy_maps, seed=st.integers(min_value=0, max_value=1000))
+def test_ring_agrees_with_secretary(busy, seed):
+    world, director, members = build(busy, seed)
+    box = []
+
+    def driver():
+        out = yield from ring_schedule(director, members, horizon=HORIZON)
+        box.append(out)
+
+    world.run(until=world.process(driver()))
+    world.run()
+    assert box[0].day == expected_day(busy)

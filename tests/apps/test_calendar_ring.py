@@ -1,0 +1,57 @@
+"""Tests for the decentralized ring scheduler (pattern-swap claim)."""
+
+import pytest
+
+from repro.apps.calendar import (
+    busy_days,
+    ring_schedule,
+    schedule_meeting,
+)
+
+from tests.apps.test_calendar import build_world, run
+
+
+def test_ring_schedules_earliest_common_day():
+    busy = {"mani": [0, 1], "ken": [0], "jack": [1], "ginger": [0, 1]}
+    world, director, members = build_world(busy=busy)
+    outcome = run(world, ring_schedule(director, members, horizon=6))
+    assert outcome.scheduled
+    assert outcome.day == 2
+    assert outcome.algorithm == "ring"
+    assert outcome.rounds == 2
+    for name in members:
+        assert 2 in busy_days(world.get(name).state.region("calendar"), 6)
+
+
+def test_ring_reports_failure_when_no_common_day():
+    busy = {name: [d] for d, name in enumerate(
+        ["mani", "herb", "dan", "ken", "linda", "john", "jack", "ginger"])}
+    world, director, members = build_world(busy=busy)
+    outcome = run(world, ring_schedule(director, members, horizon=8))
+    assert not outcome.scheduled
+    assert outcome.rounds == 1  # no booking lap
+
+
+def test_ring_agrees_with_star_and_costs_fewer_datagrams():
+    """Same sequential parts, different pattern: identical outcome; the
+    ring saves messages (no coordinator hop) at the price of summed
+    link latency."""
+    busy = {"mani": [0], "ken": [0, 1]}
+    world1, director1, members = build_world(seed=31, busy=busy)
+    star = run(world1, schedule_meeting(director1, "joann", members,
+                                        horizon=6, algorithm="session"))
+    world2, director2, members = build_world(seed=31, busy=busy)
+    ring = run(world2, ring_schedule(director2, members, horizon=6))
+    assert star.day == ring.day == 2
+    assert ring.datagrams < star.datagrams
+
+
+def test_ring_requires_two_members():
+    world, director, members = build_world()
+
+    def driver():
+        with pytest.raises(ValueError):
+            yield from ring_schedule(director, members[:1])
+
+    p = world.process(driver())
+    world.run(until=p)

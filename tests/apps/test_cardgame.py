@@ -1,0 +1,98 @@
+"""Integration tests for the hot-potato card game (ring sessions)."""
+
+import pytest
+
+from repro.apps.cardgame import DealerDapplet, PlayerDapplet, game_spec
+from repro.net import ConstantLatency
+from repro.world import World
+
+PLAYERS = ["north", "east", "south", "west"]
+
+
+def build(seed=51, n=4):
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    players = [world.dapplet(PlayerDapplet, f"site{i}.edu", name)
+               for i, name in enumerate(PLAYERS[:n])]
+    dealer = world.dapplet(DealerDapplet, "caltech.edu", "dealer")
+    return world, players, dealer
+
+
+def test_game_spec_shape():
+    spec = game_spec(["a", "b", "c"], dealer="d")
+    spec.validate()
+    assert set(spec.outboxes_of("a")) == {"next", "report"}
+    assert set(spec.outboxes_of("d")) == {"to:a", "to:b", "to:c"}
+    with pytest.raises(ValueError):
+        game_spec(["solo"], dealer="d")
+
+
+def test_full_game_produces_winner_and_eliminations():
+    world, players, dealer = build()
+    results = []
+
+    def run():
+        winner, eliminated = yield from dealer.run_game(PLAYERS)
+        results.append((winner, eliminated))
+
+    p = world.process(run())
+    world.run(until=p)
+    world.run()
+    winner, eliminated = results[0]
+    assert winner in PLAYERS
+    assert len(eliminated) == 3
+    assert set(eliminated) | {winner} == set(PLAYERS)
+    # The winner was told.
+    winner_dapplet = world.get(winner)
+    assert winner_dapplet.winner_notice == winner
+
+
+def test_two_player_game():
+    world, players, dealer = build(n=2)
+    results = []
+
+    def run():
+        winner, eliminated = yield from dealer.run_game(PLAYERS[:2])
+        results.append((winner, eliminated))
+
+    p = world.process(run())
+    world.run(until=p)
+    winner, eliminated = results[0]
+    assert len(eliminated) == 1
+    assert winner != eliminated[0]
+
+
+def test_games_are_deterministic_per_seed():
+    def play(seed):
+        world, players, dealer = build(seed=seed)
+        results = []
+
+        def run():
+            results.append((yield from dealer.run_game(PLAYERS)))
+
+        p = world.process(run())
+        world.run(until=p)
+        return results[0]
+
+    assert play(7) == play(7)
+    outcomes = {play(s)[0] for s in range(8)}
+    assert len(outcomes) > 1  # ttl randomness varies the winner
+
+
+def test_eliminated_players_stop_receiving_potatoes():
+    world, players, dealer = build(seed=52)
+    results = []
+
+    def run():
+        winner, eliminated = yield from dealer.run_game(PLAYERS)
+        # Record message counts right at game end.
+        counts = {p.name: p.potatoes_handled for p in players}
+        results.append((eliminated[0], counts))
+
+    p = world.process(run())
+    world.run(until=p)
+    world.run()
+    first_out, counts_at_end = results[0]
+    # The first eliminated player's count must not have grown after the
+    # game (its ports are long gone).
+    assert world.get(first_out).potatoes_handled == \
+        counts_at_end[first_out]

@@ -1,0 +1,194 @@
+"""Integration tests for the collaborative design application."""
+
+import pytest
+
+from repro.apps.design import DesignerDapplet, DocumentStore, design_spec
+from repro.dapplet import Dapplet
+from repro.net import ConstantLatency, GeoLatency
+from repro.services.clocks import VectorClock
+from repro.services.tokens import TokenCoordinator
+from repro.session import Initiator
+from repro.world import World
+
+PARTS = ["engine", "chassis", "ui"]
+TEAM = ["alice", "bob", "carol"]
+HOSTS = ["caltech.edu", "ethz.ch", "u-tokyo.ac.jp"]
+
+
+class Host(Dapplet):
+    kind = "host"
+
+
+def build(seed=41, with_tokens=True, latency=None):
+    world = World(seed=seed, latency=latency or ConstantLatency(0.05))
+    designers = {name: world.dapplet(DesignerDapplet, host, name)
+                 for name, host in zip(TEAM, HOSTS)}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    coordinator = None
+    if with_tokens:
+        token_host = world.dapplet(Host, "caltech.edu", "tokens")
+        coordinator = TokenCoordinator(
+            token_host, {f"part:{p}": len(TEAM) for p in PARTS})
+    spec = design_spec(TEAM, PARTS,
+                       token_coordinator=(coordinator.pointer
+                                          if coordinator else None))
+    return world, designers, initiator, spec, coordinator
+
+
+def test_store_local_edits_advance_version():
+    store = DocumentStore("alice")
+    p1 = store.edit("engine", "v1")
+    p2 = store.edit("engine", "v2")
+    assert p2.version.get("alice") == 2
+    assert p1.version.happens_before(p2.version) or p1.version == p2.version
+
+
+def test_store_applies_newer_and_rejects_stale():
+    store = DocumentStore("bob")
+    vc1 = VectorClock().tick("alice")
+    assert store.apply_remote("engine", "a1", vc1, "alice")
+    assert store.part("engine").content == "a1"
+    assert not store.apply_remote("engine", "a1", vc1, "alice")  # dup
+    assert store.notices_stale == 1
+
+
+def test_store_detects_concurrent_edits_and_converges():
+    a = DocumentStore("alice")
+    b = DocumentStore("bob")
+    pa = a.edit("engine", "from-alice")
+    pb = b.edit("engine", "from-bob")
+    # Capture before cross-applying: Part objects are live replicas.
+    a_state = (pa.content, pa.version)
+    b_state = (pb.content, pb.version)
+    a.apply_remote("engine", b_state[0], b_state[1], "bob")
+    b.apply_remote("engine", a_state[0], a_state[1], "alice")
+    assert len(a.conflicts) == 1 and len(b.conflicts) == 1
+    # Deterministic resolution: both replicas converge.
+    assert a.part("engine").content == b.part("engine").content == "from-alice"
+    assert a.part("engine").version == b.part("engine").version
+
+
+def test_locked_edits_propagate_without_conflicts():
+    world, designers, initiator, spec, coord = build()
+    done = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        yield from designers["alice"].edit("engine", "v8 block")
+        yield from designers["bob"].edit("chassis", "carbon tub")
+        yield from designers["carol"].edit("engine", "v8 block, tuned")
+        yield world.kernel.timeout(2.0)  # let notices spread
+        done.append(True)
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert done
+    for d in designers.values():
+        assert d.store.part("engine").content == "v8 block, tuned"
+        assert d.store.part("chassis").content == "carbon tub"
+        assert d.store.conflicts == []
+    coord.check_conservation()
+
+
+def test_concurrent_locked_edits_serialize():
+    """Two members editing the same part 'at the same time' take the
+    write lock in turn; every replica converges on the later edit."""
+    world, designers, initiator, spec, coord = build(seed=42)
+    contents = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        a = world.process(designers["alice"].edit("engine", "alice-design"))
+        b = world.process(designers["bob"].edit("engine", "bob-design"))
+        yield a & b
+        yield world.kernel.timeout(2.0)
+        contents.extend(d.store.part("engine").content
+                        for d in designers.values())
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert len(set(contents)) == 1  # all replicas agree
+    for d in designers.values():
+        assert d.store.conflicts == []
+
+
+def test_unlocked_edits_conflict_and_are_detected():
+    world, designers, initiator, spec, coord = build(seed=43)
+    conflicts = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        # Simultaneous unlocked edits to the same part.
+        designers["alice"].edit_unlocked("ui", "blue theme")
+        designers["bob"].edit_unlocked("ui", "red theme")
+        yield world.kernel.timeout(2.0)
+        conflicts.extend(len(d.store.conflicts) for d in designers.values())
+        contents = {d.store.part("ui").content for d in designers.values()}
+        assert len(contents) == 1  # still converged, deterministically
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    # At least the two editors noticed the concurrency.
+    assert sum(conflicts) >= 2
+
+
+def test_fetch_pulls_part_state():
+    world, designers, initiator, spec, coord = build(seed=44)
+    got = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        yield from designers["alice"].edit("engine", "prototype")
+        yield world.kernel.timeout(1.0)
+        # carol lost her replica; she re-fetches from alice.
+        carol = designers["carol"]
+        carol.store = DocumentStore("carol")
+        carol.fetch("engine", "alice")
+        yield world.kernel.timeout(1.0)
+        got.append(carol.store.part("engine").content)
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert got == ["prototype"]
+
+
+def test_edit_requires_session_and_coordinator():
+    world, designers, initiator, spec, coord = build(with_tokens=False)
+    with pytest.raises(RuntimeError):
+        designers["alice"].edit_unlocked("engine", "x")
+    errors = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        try:
+            yield from designers["alice"].edit("engine", "x")
+        except RuntimeError as exc:
+            errors.append("no-coordinator")
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert errors == ["no-coordinator"]
+
+
+def test_design_session_lasts_across_wan(world=None):
+    """Example Two over realistic geography (Caltech/Zurich/Tokyo)."""
+    world, designers, initiator, spec, coord = build(
+        seed=45, latency=GeoLatency())
+    done = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        yield from designers["carol"].edit("ui", "kanji support")
+        yield world.kernel.timeout(5.0)
+        done.append(all(d.store.part("ui").content == "kanji support"
+                        for d in designers.values()))
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert done == [True]

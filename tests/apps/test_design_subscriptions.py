@@ -1,0 +1,109 @@
+"""Tests for per-part change-notice routing in the design app."""
+
+import pytest
+
+from repro.apps.design import DesignerDapplet, design_spec
+from repro.net import ConstantLatency
+from repro.session import Initiator
+from repro.world import World
+
+TEAM = ["alice", "bob", "carol"]
+PARTS = ["engine", "chassis", "ui"]
+
+
+def build(subscriptions, seed=95):
+    world = World(seed=seed, latency=ConstantLatency(0.02))
+    designers = {n: world.dapplet(DesignerDapplet, f"{n}.edu", n)
+                 for n in TEAM}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec = design_spec(TEAM, PARTS, subscriptions=subscriptions)
+    return world, designers, initiator, spec
+
+
+def test_notices_reach_only_subscribers():
+    subscriptions = {
+        "alice": ["engine", "chassis", "ui"],
+        "bob": ["engine"],          # bob only cares about the engine
+        "carol": ["ui"],            # carol only about the ui
+    }
+    world, designers, initiator, spec = build(subscriptions)
+    snapshot = {}
+
+    def director():
+        session = yield from initiator.establish(spec)
+        designers["alice"].edit_unlocked("engine", "turbo")
+        designers["alice"].edit_unlocked("ui", "flat design")
+        yield world.kernel.timeout(1.0)
+        snapshot["bob_engine"] = designers["bob"].store.part("engine").content
+        snapshot["bob_ui"] = designers["bob"].store.part("ui").content
+        snapshot["carol_ui"] = designers["carol"].store.part("ui").content
+        snapshot["carol_engine"] = \
+            designers["carol"].store.part("engine").content
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    assert snapshot["bob_engine"] == "turbo"
+    assert snapshot["bob_ui"] == ""            # never notified
+    assert snapshot["carol_ui"] == "flat design"
+    assert snapshot["carol_engine"] == ""      # never notified
+
+
+def test_member_missing_from_subscriptions_hears_everything():
+    subscriptions = {"bob": ["engine"]}  # alice and carol: everything
+    world, designers, initiator, spec = build(subscriptions)
+    results = {}
+
+    def director():
+        session = yield from initiator.establish(spec)
+        designers["alice"].edit_unlocked("ui", "v2")
+        yield world.kernel.timeout(1.0)
+        results["carol"] = designers["carol"].store.part("ui").content
+        results["bob"] = designers["bob"].store.part("ui").content
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    assert results["carol"] == "v2"
+    assert results["bob"] == ""
+
+
+def test_no_subscriptions_means_broadcast():
+    world, designers, initiator, spec = build(None)
+    results = {}
+
+    def director():
+        session = yield from initiator.establish(spec)
+        designers["alice"].edit_unlocked("chassis", "steel")
+        yield world.kernel.timeout(1.0)
+        results.update({n: designers[n].store.part("chassis").content
+                        for n in TEAM})
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    assert results == {"alice": "steel", "bob": "steel", "carol": "steel"}
+
+
+def test_subscription_saves_traffic():
+    """Narrow subscriptions materially reduce datagram volume."""
+    def run(subscriptions):
+        world, designers, initiator, spec = build(subscriptions)
+        count = {}
+
+        def director():
+            session = yield from initiator.establish(spec)
+            before = world.network.stats.sent
+            for i in range(10):
+                designers["alice"].edit_unlocked("engine", f"rev{i}")
+            yield world.kernel.timeout(2.0)
+            count["sent"] = world.network.stats.sent - before
+            yield from session.terminate()
+
+        world.run(until=world.process(director()))
+        world.run()
+        return count["sent"]
+
+    broadcast = run(None)
+    narrow = run({"alice": [], "bob": ["engine"], "carol": []})
+    assert narrow < broadcast

@@ -1,0 +1,62 @@
+"""Unit tests for access-control lists."""
+
+from repro.dapplet import AccessControlList
+from repro.net import NodeAddress
+
+CALTECH = NodeAddress("cs.caltech.edu", 2000)
+RICE = NodeAddress("owlnet.rice.edu", 2000)
+
+
+def test_default_is_open():
+    acl = AccessControlList()
+    assert acl.allows(CALTECH)
+    assert acl.allows(RICE)
+
+
+def test_exact_address_allow_switches_to_allowlist():
+    acl = AccessControlList()
+    acl.allow(CALTECH)
+    assert acl.allows(CALTECH)
+    assert not acl.allows(RICE)
+    assert not acl.allows(NodeAddress("cs.caltech.edu", 2001))  # other port
+
+
+def test_hostname_allow_matches_any_port():
+    acl = AccessControlList()
+    acl.allow("cs.caltech.edu")
+    assert acl.allows(NodeAddress("cs.caltech.edu", 1))
+    assert acl.allows(NodeAddress("cs.caltech.edu", 60000))
+    assert not acl.allows(RICE)
+
+
+def test_domain_suffix_pattern():
+    acl = AccessControlList()
+    acl.allow("*.caltech.edu")
+    assert acl.allows(CALTECH)
+    assert acl.allows(NodeAddress("hss.caltech.edu", 5))
+    # The bare domain itself is not matched by the wildcard form.
+    assert not acl.allows(NodeAddress("caltech.edu", 5))
+    assert not acl.allows(RICE)
+
+
+def test_deny_overrides_allow():
+    acl = AccessControlList()
+    acl.allow("*.caltech.edu")
+    acl.deny(CALTECH)
+    assert not acl.allows(CALTECH)
+    assert acl.allows(NodeAddress("hss.caltech.edu", 5))
+
+
+def test_deny_on_open_acl():
+    acl = AccessControlList()
+    acl.deny("*.rice.edu")
+    assert acl.allows(CALTECH)
+    assert not acl.allows(RICE)
+
+
+def test_clear_restores_open():
+    acl = AccessControlList()
+    acl.allow(CALTECH)
+    acl.deny(RICE)
+    acl.clear()
+    assert acl.allows(RICE)

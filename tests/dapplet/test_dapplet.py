@@ -1,0 +1,160 @@
+"""Unit tests for the Dapplet base class and the World facade."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.errors import DappletError
+from repro.messages import Text
+from repro.net import ConstantLatency
+from repro.world import World
+
+
+class Plain(Dapplet):
+    kind = "plain"
+
+
+class Greeter(Dapplet):
+    kind = "greeter"
+
+    def setup(self):
+        self.inbox = self.create_inbox(name="hello")
+        self.greeted = []
+
+    def main(self):
+        def run():
+            while True:
+                msg = yield self.inbox.receive()
+                self.greeted.append(msg.text)
+
+        return run()
+
+
+@pytest.fixture
+def world():
+    return World(seed=2, latency=ConstantLatency(0.01))
+
+
+def test_world_allocates_unique_addresses(world):
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    b = world.dapplet(Plain, "caltech.edu", "b")
+    c = world.dapplet(Plain, "rice.edu", "c")
+    assert a.address != b.address
+    assert a.address.host == b.address.host == "caltech.edu"
+    assert c.address.host == "rice.edu"
+
+
+def test_world_registers_in_directory(world):
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    assert world.directory.lookup("a") == a.address
+    assert world.directory.entry("a").kind == "plain"
+    assert world.get("a") is a
+    assert world.dapplets() == [a]
+
+
+def test_world_rejects_duplicate_names(world):
+    world.dapplet(Plain, "caltech.edu", "a")
+    with pytest.raises(DappletError):
+        world.dapplet(Plain, "rice.edu", "a")
+
+
+def test_world_get_unknown_raises(world):
+    with pytest.raises(DappletError):
+        world.get("nobody")
+
+
+def test_setup_hook_runs_at_creation(world):
+    g = world.dapplet(Greeter, "caltech.edu", "g")
+    assert g.inbox_named("hello") is g.inbox
+
+
+def test_main_starts_and_processes_messages(world):
+    g = world.dapplet(Greeter, "caltech.edu", "g")
+    g.start()
+    sender = world.dapplet(Plain, "rice.edu", "s")
+    out = sender.create_outbox()
+    out.add(g.inbox.named_address)
+    out.send(Text("hi"))
+    world.run()
+    assert g.greeted == ["hi"]
+
+
+def test_start_without_main_returns_none(world):
+    p = world.dapplet(Plain, "caltech.edu", "p")
+    assert p.start() is None
+
+
+def test_named_inbox_uniqueness(world):
+    d = world.dapplet(Plain, "caltech.edu", "d")
+    d.create_inbox(name="x")
+    with pytest.raises(DappletError):
+        d.create_inbox(name="x")
+    with pytest.raises(DappletError):
+        d.inbox_named("missing")
+
+
+def test_close_inbox_releases_name(world):
+    d = world.dapplet(Plain, "caltech.edu", "d")
+    inbox = d.create_inbox(name="x")
+    d.close_inbox(inbox)
+    d.create_inbox(name="x")  # name is reusable
+
+
+def test_stop_unregisters_everywhere(world):
+    d = world.dapplet(Plain, "caltech.edu", "d")
+    address = d.address
+    d.stop()
+    assert d.stopped
+    assert "d" not in world.directory
+    assert not world.network.is_registered(address)
+    with pytest.raises(DappletError):
+        world.get("d")
+    # Ports cannot be created on a stopped dapplet.
+    with pytest.raises(DappletError):
+        d.create_inbox()
+    with pytest.raises(DappletError):
+        d.create_outbox()
+    d.stop()  # idempotent
+
+
+def test_port_hooks_cover_existing_and_future_ports(world):
+    d = world.dapplet(Plain, "caltech.edu", "d")
+    existing = d.create_inbox()
+    seen = []
+    d.port_hooks.append(seen.append)
+    new_in = d.create_inbox()
+    new_out = d.create_outbox()
+    assert new_in in seen and new_out in seen
+    assert existing not in seen  # hooks apply from registration onward
+
+
+def test_spawn_names_processes_after_dapplet(world):
+    d = world.dapplet(Plain, "caltech.edu", "d")
+
+    def body():
+        yield world.kernel.timeout(1.0)
+
+    p = d.spawn(body(), name="worker")
+    assert p.name == "d/worker"
+    world.run()
+
+
+def test_every_dapplet_has_session_manager_and_clock(world):
+    d = world.dapplet(Plain, "caltech.edu", "d")
+    assert d.sessions is d.sessions  # stable instance
+    assert d.clock.time >= 0
+    # The control inbox is reachable by name.
+    assert d.inbox_named("_session") is d.sessions.inbox
+
+
+def test_world_run_until_and_process(world):
+    log = []
+
+    def body():
+        yield world.kernel.timeout(2.0)
+        log.append(world.now)
+        return "done"
+
+    p = world.process(body())
+    assert world.run(until=p) == "done"
+    assert log == [2.0]
+    assert world.now == 2.0

@@ -1,0 +1,68 @@
+"""Unit tests for the address directory."""
+
+import pytest
+
+from repro.dapplet import AddressDirectory
+from repro.errors import AddressError
+from repro.net import NodeAddress
+
+A = NodeAddress("caltech.edu", 2000)
+B = NodeAddress("rice.edu", 2000)
+
+
+def test_register_and_lookup():
+    d = AddressDirectory()
+    d.register("mani", A, kind="calendar")
+    assert d.lookup("mani") == A
+    assert d.entry("mani").kind == "calendar"
+    assert "mani" in d
+    assert len(d) == 1
+
+
+def test_lookup_unknown_raises():
+    d = AddressDirectory()
+    with pytest.raises(AddressError):
+        d.lookup("ghost")
+    with pytest.raises(AddressError):
+        d.entry("ghost")
+
+
+def test_reregistering_same_address_is_fine():
+    d = AddressDirectory()
+    d.register("mani", A)
+    d.register("mani", A, kind="calendar")  # refresh kind
+    assert d.entry("mani").kind == "calendar"
+
+
+def test_reregistering_different_address_raises():
+    d = AddressDirectory()
+    d.register("mani", A)
+    with pytest.raises(AddressError):
+        d.register("mani", B)
+
+
+def test_remove_is_idempotent():
+    d = AddressDirectory()
+    d.register("mani", A)
+    d.remove("mani")
+    d.remove("mani")
+    assert "mani" not in d
+
+
+def test_names_filtered_by_kind():
+    d = AddressDirectory()
+    d.register("mani", A, kind="calendar")
+    d.register("joann", B, kind="secretary")
+    d.register("herb", NodeAddress("caltech.edu", 2001), kind="calendar")
+    assert d.names() == ["herb", "joann", "mani"]
+    assert d.names(kind="calendar") == ["herb", "mani"]
+    assert d.names(kind="nothing") == []
+
+
+def test_dict_roundtrip():
+    d = AddressDirectory()
+    d.register("mani", A)
+    d.register("joann", B)
+    back = AddressDirectory.from_dict(d.to_dict())
+    assert back.lookup("mani") == A
+    assert back.lookup("joann") == B

@@ -1,0 +1,86 @@
+"""Unit tests for persistent state regions and views."""
+
+import pytest
+
+from repro.dapplet import PersistentState, RegionView
+
+
+def test_regions_created_on_demand():
+    state = PersistentState()
+    region = state.region("calendar")
+    assert state.regions() == ["calendar"]
+    assert state.region("calendar") is region
+    assert "calendar" in state and "other" not in state
+
+
+def test_region_crud_and_versioning():
+    state = PersistentState()
+    r = state.region("cal")
+    assert r.version == 0
+    r.set("monday", "busy")
+    assert r.get("monday") == "busy"
+    assert r.version == 1
+    assert "monday" in r and len(r) == 1
+    r.set("monday", "free")
+    assert r.version == 2
+    r.delete("monday")
+    assert r.version == 3
+    r.delete("monday")  # deleting absent key does not bump
+    assert r.version == 3
+    assert r.get("monday", "default") == "default"
+
+
+def test_region_iteration_is_sorted():
+    r = PersistentState().region("x")
+    for k in ("c", "a", "b"):
+        r.set(k, k.upper())
+    assert r.keys() == ["a", "b", "c"]
+    assert list(r.items()) == [("a", "A"), ("b", "B"), ("c", "C")]
+
+
+def test_snapshot_and_restore():
+    state = PersistentState()
+    state.region("cal").set("k", 1)
+    state.region("docs").set("d", "x")
+    snap = state.snapshot()
+    state.region("cal").set("k", 2)
+    state.restore(snap)
+    assert state.region("cal").get("k") == 1
+    assert state.region("docs").get("d") == "x"
+    # Snapshot is a copy: mutating it does not touch live state.
+    snap["cal"]["k"] = 99
+    assert state.region("cal").get("k") == 1
+
+
+def test_region_view_modes():
+    state = PersistentState()
+    region = state.region("cal")
+    region.set("k", "v")
+
+    ro = RegionView(region, "r")
+    assert ro.get("k") == "v"
+    assert not ro.writable
+    assert ro.keys() == ["k"]
+    assert "k" in ro
+    with pytest.raises(PermissionError):
+        ro.set("k", "w")
+    with pytest.raises(PermissionError):
+        ro.delete("k")
+
+    rw = RegionView(region, "rw")
+    assert rw.writable
+    rw.set("k2", "v2")
+    rw.delete("k")
+    assert region.get("k2") == "v2"
+    assert "k" not in region
+
+
+def test_region_view_invalid_mode():
+    region = PersistentState().region("x")
+    with pytest.raises(ValueError):
+        RegionView(region, "write")
+
+
+def test_view_name_passthrough():
+    region = PersistentState().region("cal")
+    assert RegionView(region, "r").name == "cal"

@@ -1,0 +1,297 @@
+"""Unit tests for the inbox/outbox port layer."""
+
+import pytest
+
+from repro.errors import BindingError, DeliveryTimeout, ReceiveTimeout
+from repro.mailbox import Inbox, Outbox
+from repro.messages import Text
+from repro.net import (
+    ConstantLatency,
+    DatagramNetwork,
+    Endpoint,
+    FaultPlan,
+    NodeAddress,
+)
+from repro.sim import Kernel
+
+A = NodeAddress("caltech.edu", 5000)
+B = NodeAddress("rice.edu", 5000)
+
+
+def world(seed=0, *, faults=None, latency=None):
+    k = Kernel(seed=seed)
+    net = DatagramNetwork(k, latency=latency or ConstantLatency(0.02),
+                          faults=faults)
+    ea = Endpoint(k, net, A, rto_initial=0.1)
+    eb = Endpoint(k, net, B, rto_initial=0.1)
+    return k, ea, eb
+
+
+def test_send_receive_roundtrip():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    got = []
+
+    def receiver():
+        msg = yield inbox.receive()
+        got.append((msg.text, k.now))
+
+    k.process(receiver())
+    outbox.send(Text("hello"))
+    k.run()
+    assert got == [("hello", 0.02)]
+    assert inbox.messages_received == 1
+    assert outbox.messages_sent == 1
+
+
+def test_is_empty_and_await_nonempty():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    assert inbox.is_empty
+    log = []
+
+    def watcher():
+        yield inbox.await_nonempty()
+        log.append(("nonempty", len(inbox)))
+        # awaiting again on a non-empty inbox returns immediately
+        yield inbox.await_nonempty()
+        log.append(("again", k.now))
+
+    k.process(watcher())
+    k.call_later(1.0, lambda: outbox.send(Text("x")))
+    k.run()
+    assert log == [("nonempty", 1), ("again", 1.02)]
+    assert not inbox.is_empty
+    assert inbox.peek().text == "x"
+
+
+def test_fanout_copies_to_all_bound_inboxes():
+    """Figure 3: one outbox bound to inboxes of dapplets 3, 4 and 5."""
+    k, ea, eb = world()
+    inboxes = [Inbox(k, eb, i) for i in range(3)]
+    outbox = Outbox(k, ea, 0)
+    for ib in inboxes:
+        outbox.add(ib.address)
+    result = outbox.send(Text("multi"))
+    assert result.copies == 3
+    k.run()
+    assert all(len(ib) == 1 for ib in inboxes)
+
+
+def test_fanin_many_outboxes_one_inbox():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    out1 = Outbox(k, ea, 0)
+    out2 = Outbox(k, eb, 1)  # local sender too
+    out1.add(inbox.address)
+    out2.add(inbox.address)
+    out1.send(Text("from-a"))
+    out2.send(Text("from-b"))
+    k.run()
+    assert len(inbox) == 2
+
+
+def test_add_is_idempotent_delete_raises_when_absent():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    outbox.add(inbox.address)  # idempotent per the paper
+    assert outbox.destinations() == (inbox.address,)
+    outbox.delete(inbox.address)
+    assert outbox.destinations() == ()
+    with pytest.raises(BindingError):
+        outbox.delete(inbox.address)
+
+
+def test_add_accepts_inbox_object_and_address():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox)  # object form
+    assert outbox.is_bound_to(inbox.address)
+    outbox.delete(inbox)  # object form for delete too
+    with pytest.raises(TypeError):
+        outbox.add("rice.edu:5000/0")  # type: ignore[arg-type]
+
+
+def test_named_inbox_binding():
+    """The paper: bind to the 'students' inbox of a professor dapplet."""
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 7, name="students")
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.named_address)
+    outbox.send(Text("enroll"))
+    k.run()
+    assert len(inbox) == 1
+    # The named and numbered addresses reach the same queue.
+    out2 = Outbox(k, ea, 1)
+    out2.add(inbox.address)
+    out2.send(Text("by-ref"))
+    k.run()
+    assert len(inbox) == 2
+
+
+def test_unnamed_inbox_has_no_named_address():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    with pytest.raises(ValueError):
+        _ = inbox.named_address
+
+
+def test_fifo_per_channel_under_reordering():
+    k, ea, eb = world(seed=13, faults=FaultPlan(reorder_jitter=0.4),
+                      latency=ConstantLatency(0.01))
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    for i in range(40):
+        outbox.send(Text(str(i)))
+    received = []
+
+    def drain():
+        for _ in range(40):
+            msg = yield inbox.receive()
+            received.append(int(msg.text))
+
+    p = k.process(drain())
+    k.run(until=p)
+    assert received == list(range(40))
+
+
+def test_receive_timeout_raises_and_preserves_messages():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outcomes = []
+
+    def receiver():
+        try:
+            yield inbox.receive(timeout=0.5)
+        except ReceiveTimeout as exc:
+            outcomes.append(("timeout", exc.timeout))
+
+    k.process(receiver())
+    k.run()
+    assert outcomes == [("timeout", 0.5)]
+    # A message arriving later is not lost to the dead receive.
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    outbox.send(Text("late"))
+    k.run()
+    assert len(inbox) == 1
+
+
+def test_receive_with_timeout_succeeds_when_in_time():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    got = []
+
+    def receiver():
+        msg = yield inbox.receive(timeout=5.0)
+        got.append(msg.text)
+
+    k.process(receiver())
+    outbox.send(Text("quick"))
+    k.run()
+    assert got == ["quick"]
+
+
+def test_send_confirmed_blocks_until_all_acked():
+    k, ea, eb = world()
+    inboxes = [Inbox(k, eb, i) for i in range(3)]
+    outbox = Outbox(k, ea, 0)
+    for ib in inboxes:
+        outbox.add(ib.address)
+    done = []
+
+    def sender():
+        yield outbox.send_confirmed(Text("m"), timeout=10.0)
+        done.append(k.now)
+
+    k.process(sender())
+    k.run()
+    assert done and done[0] == pytest.approx(0.04)  # one RTT
+
+
+def test_send_confirmed_raises_delivery_timeout():
+    k, ea, eb = world(faults=FaultPlan(drop_prob=1.0))
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    failures = []
+
+    def sender():
+        try:
+            yield outbox.send_confirmed(Text("m"), timeout=0.3)
+        except DeliveryTimeout:
+            failures.append(k.now)
+
+    k.process(sender())
+    k.run(until=30.0)
+    assert len(failures) == 1
+
+
+def test_send_confirmed_requires_bindings():
+    k, ea, eb = world()
+    outbox = Outbox(k, ea, 0)
+    with pytest.raises(BindingError):
+        outbox.send_confirmed(Text("m"), timeout=1.0)
+
+
+def test_send_with_no_bindings_is_noop():
+    k, ea, eb = world()
+    outbox = Outbox(k, ea, 0)
+    result = outbox.send(Text("void"))
+    assert result.copies == 0
+    k.run()
+
+
+def test_hooks_transform_messages():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    outbox.send_hooks.append(lambda m: Text(m.text + "+sent"))
+    inbox.delivery_hooks.append(lambda m: Text(m.text + "+recv"))
+    got = []
+
+    def receiver():
+        msg = yield inbox.receive()
+        got.append(msg.text)
+
+    k.process(receiver())
+    outbox.send(Text("m"))
+    k.run()
+    assert got == ["m+sent+recv"]
+
+
+def test_closed_inbox_stops_receiving_new_messages():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    outbox.send(Text("first"))
+    k.run()
+    inbox.close()
+    outbox.send(Text("second"))
+    k.run()
+    assert len(inbox) == 1  # 'second' was dropped at the endpoint
+    assert eb.stats.no_such_inbox == 1
+
+
+def test_channel_counters():
+    k, ea, eb = world()
+    inbox = Inbox(k, eb, 0)
+    outbox = Outbox(k, ea, 0)
+    outbox.add(inbox.address)
+    outbox.send(Text("x"))
+    outbox.send(Text("y"))
+    chan = outbox._channels[inbox.address]
+    assert chan.copies_sent == 2
+    assert chan.bytes_sent > 0

@@ -1,0 +1,148 @@
+"""Unit tests for the message model and wire codec."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.messages import Blob, Message, Text, dumps, loads, message_type
+from repro.messages import registered_types
+from repro.net import InboxAddress, NodeAddress
+
+
+@message_type("test.point")
+@dataclass(frozen=True)
+class Point(Message):
+    x: int
+    y: int
+
+
+@message_type("test.envelope")
+@dataclass(frozen=True)
+class Envelope(Message):
+    to: InboxAddress
+    inner: Message
+    tags: tuple = ()
+    meta: dict = field(default_factory=dict)
+
+
+def test_simple_roundtrip():
+    msg = Point(3, 4)
+    assert loads(dumps(msg)) == msg
+
+
+def test_text_and_blob_builtins():
+    assert loads(dumps(Text("hi"))).text == "hi"
+    blob = Blob({"k": [1, 2.5, None, True]})
+    assert loads(dumps(blob)).data == {"k": [1, 2.5, None, True]}
+
+
+def test_addresses_roundtrip_inside_messages():
+    to = NodeAddress("rice.edu", 4000).inbox("students")
+    msg = Envelope(to=to, inner=Point(1, 2))
+    back = loads(dumps(msg))
+    assert back.to == to
+    assert back.to.is_named
+    assert back.inner == Point(1, 2)
+
+
+def test_nested_message_roundtrip():
+    msg = Envelope(to=NodeAddress("a.edu", 1).inbox(0),
+                   inner=Envelope(to=NodeAddress("b.edu", 2).inbox(1),
+                                  inner=Text("deep")))
+    back = loads(dumps(msg))
+    assert back.inner.inner.text == "deep"
+
+
+def test_tuples_survive_roundtrip():
+    msg = Envelope(to=NodeAddress("a.edu", 1).inbox(0), inner=Point(0, 0),
+                   tags=("a", ("b", 1)))
+    back = loads(dumps(msg))
+    assert back.tags == ("a", ("b", 1))
+    assert isinstance(back.tags, tuple)
+
+
+def test_dict_fields_roundtrip():
+    msg = Blob({"nested": {"x": [1, {"y": "z"}]}})
+    assert loads(dumps(msg)).data == {"nested": {"x": [1, {"y": "z"}]}}
+
+
+def test_unregistered_message_rejected():
+    @dataclass(frozen=True)
+    class Rogue(Message):
+        a: int = 1
+
+    with pytest.raises(SerializationError):
+        dumps(Rogue())
+
+
+def test_non_message_rejected():
+    with pytest.raises(SerializationError):
+        dumps({"not": "a message"})  # type: ignore[arg-type]
+
+
+def test_unknown_type_on_decode_rejected():
+    with pytest.raises(SerializationError):
+        loads('{"t":"no.such.type","f":{}}')
+
+
+def test_malformed_wire_rejected():
+    with pytest.raises(SerializationError):
+        loads("not json at all {")
+    with pytest.raises(SerializationError):
+        loads('{"missing": "keys"}')
+
+
+def test_unencodable_field_value_rejected():
+    with pytest.raises(SerializationError):
+        dumps(Blob({"bad": object()}))
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(SerializationError):
+        dumps(Blob({1: "x"}))  # type: ignore[dict-item]
+
+
+def test_reserved_dollar_keys_rejected():
+    with pytest.raises(SerializationError):
+        dumps(Blob({"$node": "spoof"}))
+
+
+def test_name_collision_rejected():
+    with pytest.raises(SerializationError):
+        @message_type("test.point")  # already taken by Point
+        @dataclass(frozen=True)
+        class Other(Message):
+            z: int = 0
+
+
+def test_re_registration_of_same_class_tolerated():
+    cls = message_type("test.point")(Point)
+    assert cls is Point
+
+
+def test_decorator_requires_dataclass_message():
+    with pytest.raises(TypeError):
+        @message_type("test.nodataclass")
+        class NotDc(Message):
+            pass
+
+    with pytest.raises(TypeError):
+        message_type("test.notmsg")(int)  # type: ignore[arg-type]
+
+
+def test_registry_introspection():
+    types = registered_types()
+    assert types["test.point"] is Point
+    assert "sys.text" in types
+
+
+def test_wire_format_is_compact_json():
+    wire = dumps(Point(1, 2))
+    assert wire == '{"t":"test.point","f":{"x":1,"y":2}}'
+
+
+def test_field_mismatch_on_decode_rejected():
+    # Valid type but wrong fields.
+    with pytest.raises(SerializationError):
+        loads('{"t":"test.point","f":{"wrong":1}}')

@@ -1,0 +1,68 @@
+"""Unit tests for node and inbox addresses."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.net import InboxAddress, NodeAddress
+
+
+def test_node_address_str_roundtrip():
+    a = NodeAddress("caltech.edu", 5000)
+    assert str(a) == "caltech.edu:5000"
+    assert NodeAddress.parse(str(a)) == a
+
+
+def test_node_address_validation():
+    with pytest.raises(AddressError):
+        NodeAddress("", 80)
+    with pytest.raises(AddressError):
+        NodeAddress("host:bad", 80)
+    with pytest.raises(AddressError):
+        NodeAddress("ok.edu", 0)
+    with pytest.raises(AddressError):
+        NodeAddress("ok.edu", 70000)
+
+
+def test_node_address_parse_errors():
+    with pytest.raises(AddressError):
+        NodeAddress.parse("no-port")
+    with pytest.raises(AddressError):
+        NodeAddress.parse("host:notanint")
+
+
+def test_node_addresses_are_hashable_and_ordered():
+    a = NodeAddress("a.edu", 1)
+    b = NodeAddress("b.edu", 1)
+    assert len({a, b, NodeAddress("a.edu", 1)}) == 2
+    assert a < b
+
+
+def test_inbox_address_with_int_ref():
+    a = NodeAddress("rice.edu", 4000).inbox(3)
+    assert a.ref == 3
+    assert not a.is_named
+    assert str(a) == "rice.edu:4000/3"
+    assert InboxAddress.parse(str(a)) == a
+
+
+def test_inbox_address_with_name():
+    a = NodeAddress("rice.edu", 4000).inbox("students")
+    assert a.is_named
+    assert InboxAddress.parse("rice.edu:4000/students") == a
+
+
+def test_inbox_address_wire_roundtrip():
+    a = NodeAddress("utk.edu", 1234).inbox("grades")
+    assert InboxAddress.from_wire(a.to_wire()) == a
+
+
+def test_inbox_address_validation():
+    node = NodeAddress("x.edu", 1)
+    with pytest.raises(AddressError):
+        InboxAddress(node, "")
+    with pytest.raises(AddressError):
+        InboxAddress(node, 1.5)  # type: ignore[arg-type]
+    with pytest.raises(AddressError):
+        InboxAddress(node, True)  # type: ignore[arg-type]
+    with pytest.raises(AddressError):
+        InboxAddress.parse("x.edu:1")  # missing ref

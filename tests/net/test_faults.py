@@ -1,0 +1,68 @@
+"""Unit tests for fault injection."""
+
+import random
+
+import pytest
+
+from repro.net import FaultPlan, NodeAddress
+
+A = NodeAddress("a.edu", 1)
+B = NodeAddress("b.edu", 1)
+
+
+def test_default_plan_is_faultless():
+    plan = FaultPlan()
+    r = random.Random(0)
+    for _ in range(50):
+        assert plan.copies(r, A, B) == [0.0]
+
+
+def test_drop_probability_respected():
+    plan = FaultPlan(drop_prob=0.5)
+    r = random.Random(1)
+    outcomes = [plan.copies(r, A, B) for _ in range(2000)]
+    dropped = sum(1 for c in outcomes if not c)
+    assert 850 < dropped < 1150
+
+
+def test_duplicate_probability_respected():
+    plan = FaultPlan(duplicate_prob=0.3)
+    r = random.Random(2)
+    outcomes = [plan.copies(r, A, B) for _ in range(2000)]
+    dups = sum(1 for c in outcomes if len(c) == 2)
+    assert 480 < dups < 720
+
+
+def test_reorder_jitter_bounds():
+    plan = FaultPlan(reorder_jitter=0.25)
+    r = random.Random(3)
+    for _ in range(200):
+        for extra in plan.copies(r, A, B):
+            assert 0.0 <= extra <= 0.25
+
+
+def test_partition_blocks_and_heals():
+    plan = FaultPlan()
+    r = random.Random(4)
+    plan.partition(A, B)
+    assert plan.copies(r, A, B) == []
+    assert plan.copies(r, B, A) == []
+    plan.heal(A, B)
+    assert plan.copies(r, A, B) == [0.0]
+
+
+def test_unidirectional_partition():
+    plan = FaultPlan()
+    r = random.Random(5)
+    plan.partition(A, B, bidirectional=False)
+    assert plan.copies(r, A, B) == []
+    assert plan.copies(r, B, A) == [0.0]
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(duplicate_prob=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(reorder_jitter=-1)

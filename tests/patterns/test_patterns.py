@@ -1,0 +1,188 @@
+"""Tests for the collaboration-pattern library."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.messages import Blob, Text
+from repro.net import ConstantLatency
+from repro.patterns import (
+    CoordinatorRounds,
+    chain_spec,
+    mesh_spec,
+    participant_loop,
+    ring_spec,
+    star_spec,
+    stage_loop,
+)
+from repro.patterns.pipeline import collect, feed
+from repro.session import Initiator
+from repro.world import World
+
+
+class Echoer(Dapplet):
+    """A participant whose sequential part upper-cases text."""
+
+    kind = "echoer"
+
+    def on_session_start(self, ctx):
+        self.ctx = ctx
+        if ctx.member == ctx.params.get("hub"):
+            return None
+        return participant_loop(ctx, lambda body: Text(body.text.upper()))
+
+
+class Stage(Dapplet):
+    kind = "stage"
+
+    def on_session_start(self, ctx):
+        self.ctx = ctx
+        role = ctx.params["roles"][ctx.member]
+        if role == "double":
+            return stage_loop(ctx, lambda b: Blob({"v": b.data["v"] * 2}))
+        if role == "drop-odd":
+            return stage_loop(
+                ctx, lambda b: b if b.data["v"] % 2 == 0 else None)
+        return None  # source and sink are driven externally
+
+
+@pytest.fixture
+def world():
+    return World(seed=21, latency=ConstantLatency(0.01))
+
+
+def test_star_spec_shape():
+    spec = star_spec("s", "hub", ["a", "b"])
+    spec.validate()
+    assert set(spec.outboxes_of("hub")) == {"to:a", "to:b", "bcast"}
+    assert set(spec.outboxes_of("a")) == {"out"}
+
+
+def test_ring_spec_shape():
+    spec = ring_spec("r", ["a", "b", "c"])
+    spec.validate()
+    assert [ (b.src_member, b.dst_member) for b in spec.bindings ] == [
+        ("a", "b"), ("b", "c"), ("c", "a")]
+    bidir = ring_spec("r", ["a", "b", "c"], bidirectional=True)
+    bidir.validate()
+    assert len(bidir.bindings) == 6
+    with pytest.raises(ValueError):
+        ring_spec("r", ["only"])
+
+
+def test_mesh_spec_shape():
+    spec = mesh_spec("m", ["a", "b", "c"])
+    spec.validate()
+    assert set(spec.outboxes_of("a")) == {"bcast", "to:b", "to:c"}
+    assert len(spec.outboxes_of("a")["bcast"]) == 2
+
+
+def test_chain_spec_shape():
+    spec = chain_spec("c", ["s1", "s2", "s3"])
+    spec.validate()
+    assert set(spec.outboxes_of("s1")) == {"out"}
+    assert spec.outboxes_of("s3") == {}
+    with pytest.raises(ValueError):
+        chain_spec("c", ["solo"])
+
+
+def test_coordinator_scatter_gather(world):
+    hub = world.dapplet(Echoer, "caltech.edu", "hub")
+    for i, host in enumerate(["rice.edu", "utk.edu", "mit.edu"]):
+        world.dapplet(Echoer, host, f"w{i}")
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec = star_spec("echo", "hub", ["w0", "w1", "w2"],
+                     params={"hub": "hub"})
+    results = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        coord = CoordinatorRounds(hub.ctx, ["w0", "w1", "w2"])
+        replies = yield from coord.round(lambda m: Text(f"hello {m}"))
+        results.append({m: r.text for m, r in replies.items()})
+        # A second round reuses the same channels.
+        replies = yield from coord.round(lambda m: Text("again"))
+        results.append(len(replies))
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert results[0] == {"w0": "HELLO W0", "w1": "HELLO W1",
+                          "w2": "HELLO W2"}
+    assert results[1] == 3
+
+
+def test_coordinator_round_timeout_tolerates_stragglers(world):
+    hub = world.dapplet(Echoer, "caltech.edu", "hub")
+    w0 = world.dapplet(Echoer, "rice.edu", "w0")
+    w1 = world.dapplet(Echoer, "utk.edu", "w1")
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec = star_spec("echo", "hub", ["w0", "w1"], params={"hub": "hub"})
+    results = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        w1.stop()  # w1 will never reply
+        coord = CoordinatorRounds(hub.ctx, ["w0", "w1"])
+        replies = yield from coord.round(lambda m: Text("ping"),
+                                         timeout=2.0)
+        results.append(sorted(replies))
+        yield from session.terminate(timeout=2.0)
+
+    p = world.process(director())
+    world.run(until=p)
+    assert results == [["w0"]]
+
+
+def test_sequential_round_equals_parallel_result_but_slower(world):
+    """Both rounds produce the same answers; the traditional
+    (sequential) one takes ~N times the round trips."""
+    latency = 0.1
+    world = World(seed=22, latency=ConstantLatency(latency))
+    hub = world.dapplet(Echoer, "caltech.edu", "hub")
+    members = [f"w{i}" for i in range(4)]
+    for i, m in enumerate(members):
+        world.dapplet(Echoer, "rice.edu", m)
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec = star_spec("echo", "hub", members, params={"hub": "hub"})
+    durations = {}
+
+    def director():
+        session = yield from initiator.establish(spec)
+        coord = CoordinatorRounds(hub.ctx, members)
+        t0 = world.now
+        par = yield from coord.round(lambda m: Text("x"))
+        durations["parallel"] = world.now - t0
+        t0 = world.now
+        seq = yield from coord.sequential_round(lambda m: Text("x"))
+        durations["sequential"] = world.now - t0
+        assert {m: r.text for m, r in par.items()} == \
+               {m: r.text for m, r in seq.items()}
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert durations["sequential"] > 3 * durations["parallel"]
+
+
+def test_pipeline_end_to_end(world):
+    stages = ["source", "double", "dropper", "sink"]
+    hosts = ["caltech.edu", "rice.edu", "utk.edu", "mit.edu"]
+    dapplets = {s: world.dapplet(Stage, h, s) for s, h in zip(stages, hosts)}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    roles = {"source": "source", "double": "double",
+             "dropper": "drop-odd", "sink": "sink"}
+    spec = chain_spec("pipe", stages, params={"roles": roles})
+    out = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        feed(dapplets["source"].ctx,
+             [Blob({"v": i}) for i in range(6)])
+        results = yield from collect(dapplets["sink"].ctx)
+        out.append([b.data["v"] for b in results])
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    # doubled: 0 2 4 6 8 10 — all even, none dropped.
+    assert out == [[0, 2, 4, 6, 8, 10]]

@@ -1,0 +1,216 @@
+"""Tests for global pointers and RPC."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.errors import RpcError, RpcTimeout
+from repro.net import ConstantLatency, FaultPlan
+from repro.rpc import RemoteProxy, export
+from repro.world import World
+
+
+class Counter:
+    """A plain object to export."""
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, n):
+        self.value += n
+        return self.value
+
+    def get(self):
+        return self.value
+
+    def fail(self):
+        raise ValueError("deliberate")
+
+    def _private(self):
+        return "secret"
+
+
+class Plain(Dapplet):
+    kind = "plain"
+
+
+@pytest.fixture
+def world():
+    return World(seed=2, latency=ConstantLatency(0.01))
+
+
+@pytest.fixture
+def nodes(world):
+    server = world.dapplet(Plain, "caltech.edu", "server")
+    client = world.dapplet(Plain, "rice.edu", "client")
+    return server, client
+
+
+def test_sync_call_returns_value(world, nodes):
+    server, client = nodes
+    counter = Counter()
+    remote = export(server, counter, name="counter")
+    proxy = RemoteProxy(client, remote.pointer)
+    results = []
+
+    def caller():
+        v1 = yield proxy.call("add", 5)
+        v2 = yield proxy.call("add", 2)
+        v3 = yield proxy.call("get")
+        results.append((v1, v2, v3))
+
+    p = world.process(caller())
+    world.run(until=p)
+    assert results == [(5, 7, 7)]
+    assert counter.value == 7
+    assert remote.invocations == 3
+
+
+def test_async_invoke_is_one_way(world, nodes):
+    server, client = nodes
+    counter = Counter()
+    remote = export(server, counter, name="counter")
+    proxy = RemoteProxy(client, remote.pointer)
+    proxy.invoke("add", 10)
+    proxy.invoke("add", 1)
+    world.run()
+    assert counter.value == 11
+
+
+def test_remote_exception_propagates(world, nodes):
+    server, client = nodes
+    remote = export(server, Counter(), name="counter")
+    proxy = RemoteProxy(client, remote.pointer)
+    caught = []
+
+    def caller():
+        try:
+            yield proxy.call("fail")
+        except RpcError as exc:
+            caught.append((exc.remote_type, exc.remote_message))
+
+    p = world.process(caller())
+    world.run(until=p)
+    assert caught == [("ValueError", "deliberate")]
+    assert remote.errors == 1
+
+
+def test_unknown_and_private_methods_rejected(world, nodes):
+    server, client = nodes
+    remote = export(server, Counter(), name="counter")
+    proxy = RemoteProxy(client, remote.pointer)
+    caught = []
+
+    def caller():
+        for method in ("nope", "_private", "value"):
+            try:
+                yield proxy.call(method)
+            except RpcError as exc:
+                caught.append(exc.remote_type)
+
+    p = world.process(caller())
+    world.run(until=p)
+    # 'value' is an attribute, not callable -> AttributeError too.
+    assert caught == ["AttributeError", "PermissionError", "AttributeError"]
+
+
+def test_call_timeout(world, nodes):
+    server, client = nodes
+    remote = export(server, Counter(), name="counter")
+    remote.unexport()  # pointer now dangles
+    proxy = RemoteProxy(client, remote.pointer)
+    caught = []
+
+    def caller():
+        try:
+            yield proxy.call("get", timeout=1.0)
+        except RpcTimeout:
+            caught.append(world.now)
+
+    p = world.process(caller())
+    world.run(until=p)
+    assert caught == [1.0]
+
+
+def test_late_reply_after_timeout_is_dropped(world):
+    """Slow network: the reply lands after the caller gave up."""
+    world = World(seed=2, latency=ConstantLatency(2.0))
+    server = world.dapplet(Plain, "caltech.edu", "server")
+    client = world.dapplet(Plain, "rice.edu", "client")
+    counter = Counter()
+    remote = export(server, counter, name="counter")
+    proxy = RemoteProxy(client, remote.pointer)
+    caught = []
+
+    def caller():
+        try:
+            yield proxy.call("add", 1, timeout=0.5)
+        except RpcTimeout:
+            caught.append("timeout")
+
+    p = world.process(caller())
+    world.run(until=p)
+    world.run()  # the late reply arrives and must be ignored
+    assert caught == ["timeout"]
+    assert counter.value == 1  # the call *did* execute remotely
+
+
+def test_kwargs_roundtrip(world, nodes):
+    server, client = nodes
+
+    class Greeter:
+        def greet(self, name, punctuation="!"):
+            return f"hello {name}{punctuation}"
+
+    remote = export(server, Greeter(), name="greeter")
+    proxy = RemoteProxy(client, remote.pointer)
+    results = []
+
+    def caller():
+        r = yield proxy.call("greet", "mani", punctuation="?")
+        results.append(r)
+
+    p = world.process(caller())
+    world.run(until=p)
+    assert results == ["hello mani?"]
+
+
+def test_rpc_reliable_over_lossy_network():
+    world = World(seed=5, latency=ConstantLatency(0.01),
+                  faults=FaultPlan(drop_prob=0.3),
+                  endpoint_options={"rto_initial": 0.05})
+    server = world.dapplet(Plain, "caltech.edu", "server")
+    client = world.dapplet(Plain, "rice.edu", "client")
+    counter = Counter()
+    remote = export(server, counter, name="counter")
+    proxy = RemoteProxy(client, remote.pointer)
+    results = []
+
+    def caller():
+        for i in range(10):
+            v = yield proxy.call("add", 1)
+            results.append(v)
+
+    p = world.process(caller())
+    world.run(until=p)
+    assert results == list(range(1, 11))
+
+
+def test_two_proxies_one_object(world, nodes):
+    server, client = nodes
+    other = world.dapplet(Plain, "utk.edu", "other")
+    counter = Counter()
+    remote = export(server, counter, name="counter")
+    p1 = RemoteProxy(client, remote.pointer)
+    p2 = RemoteProxy(other, remote.pointer)
+    results = []
+
+    def c1():
+        results.append((yield p1.call("add", 1)))
+
+    def c2():
+        results.append((yield p2.call("add", 1)))
+
+    a, b = world.process(c1()), world.process(c2())
+    world.run()
+    assert sorted(results) == [1, 2]
+    assert counter.value == 2

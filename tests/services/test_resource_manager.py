@@ -1,0 +1,161 @@
+"""Tests for the per-machine resource manager extension."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.errors import RpcError
+from repro.net import ConstantLatency
+from repro.services.resource_manager import (
+    ResourceManagerClient,
+    install_resource_manager,
+)
+from repro.services.sync import DistributedBarrier
+from repro.services.tokens import TokenAgent, TokenMutex
+from repro.world import World
+
+
+class Plain(Dapplet):
+    kind = "plain"
+
+
+@pytest.fixture
+def setting():
+    world = World(seed=71, latency=ConstantLatency(0.01))
+    rm = install_resource_manager(world, "caltech.edu")
+    dapplets = [world.dapplet(Plain, "caltech.edu", f"d{i}")
+                for i in range(3)]
+    return world, rm, dapplets
+
+
+def test_service_registry_roundtrip(setting):
+    world, rm, (a, b, c) = setting
+    client_a = ResourceManagerClient(a, rm.pointer)
+    client_b = ResourceManagerClient(b, rm.pointer)
+    log = []
+
+    def run():
+        inbox = a.create_inbox(name="printer")
+        ok = yield client_a.register("printer", inbox.named_address)
+        log.append(ok)
+        found = yield client_b.lookup("printer")
+        log.append(found == inbox.named_address)
+        services = yield client_b.list_services()
+        log.append("printer" in services)
+        missing = yield client_b.lookup("scanner")
+        log.append(missing)
+
+    world.run(until=world.process(run()))
+    assert log == [True, True, True, None]
+
+
+def test_register_conflict_reports_false(setting):
+    world, rm, (a, b, c) = setting
+    client = ResourceManagerClient(a, rm.pointer)
+    log = []
+
+    def run():
+        i1 = a.create_inbox(name="svc1")
+        i2 = a.create_inbox(name="svc2")
+        log.append((yield client.register("svc", i1.named_address)))
+        log.append((yield client.register("svc", i1.named_address)))  # same
+        log.append((yield client.register("svc", i2.named_address)))  # clash
+
+    world.run(until=world.process(run()))
+    assert log == [True, True, False]
+
+
+def test_shared_token_pool_via_manager(setting):
+    """Two dapplets discover the same pool and exclude each other."""
+    world, rm, (a, b, c) = setting
+    in_cs = [0]
+    peak = [0]
+
+    def worker(d):
+        client = ResourceManagerClient(d, rm.pointer)
+        pointer = yield client.token_pool("files", {"obj": 1})
+        agent = TokenAgent(d, pointer)
+        mutex = TokenMutex(agent, "obj")
+        for _ in range(3):
+            yield mutex.acquire()
+            in_cs[0] += 1
+            peak[0] = max(peak[0], in_cs[0])
+            yield world.kernel.timeout(0.05)
+            in_cs[0] -= 1
+            mutex.release()
+
+    world.process(worker(a))
+    world.process(worker(b))
+    world.run()
+    assert peak[0] == 1
+    # One pool, hosted on the manager.
+    assert list(rm.coordinators) == ["files"]
+    rm.coordinators["files"].check_conservation()
+
+
+def test_token_pool_creation_is_idempotent(setting):
+    world, rm, (a, b, c) = setting
+    pointers = []
+
+    def run(d):
+        client = ResourceManagerClient(d, rm.pointer)
+        p1 = yield client.token_pool("pool", {"x": 2})
+        p2 = yield client.token_pool("pool", {"ignored": 99})
+        pointers.append((p1, p2))
+
+    world.run(until=world.process(run(a)))
+    p1, p2 = pointers[0]
+    assert p1 == p2
+    assert rm.coordinators["pool"].totals == {"x": 2}
+
+
+def test_bad_policy_propagates_as_rpc_error(setting):
+    world, rm, (a, b, c) = setting
+    client = ResourceManagerClient(a, rm.pointer)
+    caught = []
+
+    def run():
+        try:
+            yield client.token_pool("p", {"x": 1}, policy="bogus")
+        except RpcError as exc:
+            caught.append(exc.remote_type)
+
+    world.run(until=world.process(run()))
+    assert caught == ["ValueError"]
+
+
+def test_shared_sync_host_via_manager(setting):
+    world, rm, dapplets = setting
+    released = []
+
+    def member(d):
+        client = ResourceManagerClient(d, rm.pointer)
+        pointer = yield client.sync_host("main")
+        barrier = DistributedBarrier(d, pointer, "b", parties=3)
+        gen = yield barrier.arrive()
+        released.append(gen)
+
+    for d in dapplets:
+        world.process(member(d))
+    world.run()
+    assert released == [0, 0, 0]
+    assert list(rm.sync_hosts) == ["main"]
+
+
+def test_managers_per_machine_are_independent():
+    world = World(seed=72, latency=ConstantLatency(0.01))
+    rm1 = install_resource_manager(world, "caltech.edu")
+    rm2 = install_resource_manager(world, "rice.edu")
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    log = []
+
+    def run():
+        c1 = ResourceManagerClient(a, rm1.pointer)
+        c2 = ResourceManagerClient(a, rm2.pointer)
+        yield c1.token_pool("p", {"x": 1})
+        # The other machine's manager knows nothing about it.
+        found = yield c2.lookup("tokens:p")
+        log.append(found)
+
+    world.run(until=world.process(run()))
+    assert log == [None]
+    assert "p" in rm1.coordinators and "p" not in rm2.coordinators

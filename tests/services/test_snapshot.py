@@ -1,0 +1,186 @@
+"""Tests for the Chandy-Lamport marker snapshot over a session.
+
+Validation uses the classic conservation workload: members pass
+"credits" around; at any consistent cut, credits in member states plus
+credits in transit must equal the initial total.
+"""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.messages import Blob
+from repro.net import UniformLatency
+from repro.services.clocks import ChandyLamportSnapshot, incoming_channels
+from repro.session import Initiator, SessionSpec
+from repro.world import World
+
+TOTAL = 90
+
+
+class CreditDapplet(Dapplet):
+    """Holds credits; ships random amounts to its session peers."""
+
+    kind = "credit"
+
+    def on_session_start(self, ctx):
+        self.ctx = ctx
+        self.credits = ctx.params["initial"]
+        def local_state():
+            # Credits applied to our balance plus credits delivered to
+            # the inbox queue but not yet consumed: both are process
+            # state, not channel state.
+            queued = sum(m.data["amount"] for m in ctx.inbox("in").queued()
+                         if isinstance(m, Blob))
+            return {"credits": self.credits + queued}
+
+        self.snap = ChandyLamportSnapshot(
+            ctx, incoming=ctx.params["incoming"][ctx.member],
+            state_fn=local_state)
+        self.rng = self.world.kernel.rng.get(f"app/{self.name}")
+
+        def run():
+            for _ in range(ctx.params["rounds"]):
+                if self.credits > 0:
+                    amount = self.rng.randint(1, self.credits)
+                    self.credits -= amount
+                    self.ctx.outbox("out").send(Blob({"amount": amount}))
+                yield self.world.kernel.timeout(self.rng.uniform(0.01, 0.1))
+                while not ctx.inbox("in").is_empty:
+                    msg = yield ctx.inbox("in").receive()
+                    self.credits += msg.data["amount"]
+            # Keep draining so late credits are absorbed.
+            while True:
+                msg = yield ctx.inbox("in").receive()
+                self.credits += msg.data["amount"]
+
+        return run()
+
+
+def build_ring(world, n, rounds=20, initial=TOTAL):
+    """A ring of credit dapplets; returns (initiator process result)."""
+    spec = SessionSpec("credits")
+    names = [f"m{i}" for i in range(n)]
+    for name in names:
+        spec.add_member(name, inboxes=("in",))
+    for i, name in enumerate(names):
+        spec.bind(name, "out", names[(i + 1) % n], "in")
+    incoming = {name: incoming_channels(spec, name) for name in names}
+    per_member = initial // n
+    spec.params = {"rounds": rounds, "initial": per_member,
+                   "incoming": incoming}
+    return spec, names, per_member * n
+
+
+@pytest.fixture
+def world():
+    return World(seed=11, latency=UniformLatency(0.01, 0.2))
+
+
+def test_snapshot_conserves_credits(world):
+    hosts = ["caltech.edu", "rice.edu", "utk.edu"]
+    dapplets = {f"m{i}": world.dapplet(CreditDapplet, hosts[i % 3], f"m{i}")
+                for i in range(3)}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec, names, total = build_ring(world, 3)
+    sums = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        # Let traffic flow, then snapshot mid-flight, several times.
+        for gen in range(3):
+            yield world.kernel.timeout(0.3)
+            dapplets["m0"].snap.initiate(f"g{gen}")
+            results = []
+            for n in names:
+                d = dapplets[n]
+                while d.snap.done is None:  # marker not yet arrived
+                    yield world.kernel.timeout(0.01)
+                results.append((yield d.snap.done))
+            in_state = sum(r.state["credits"] for r in results)
+            in_transit = sum(m.data["amount"]
+                             for r in results
+                             for msgs in r.channels.values()
+                             for m in msgs)
+            sums.append(in_state + in_transit)
+            for n in names:
+                dapplets[n].snap.reset()
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert sums == [total, total, total]
+
+
+def test_snapshot_records_in_transit_messages(world):
+    """With slow links and eager senders, some credits must be caught
+    in the channels at least once across generations."""
+    world = World(seed=13, latency=UniformLatency(0.05, 0.4))
+    hosts = ["caltech.edu", "rice.edu", "utk.edu", "mit.edu"]
+    dapplets = {f"m{i}": world.dapplet(CreditDapplet, hosts[i], f"m{i}")
+                for i in range(4)}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec, names, total = build_ring(world, 4, rounds=40)
+    transit_counts = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        for gen in range(4):
+            yield world.kernel.timeout(0.25)
+            dapplets["m0"].snap.initiate(f"g{gen}")
+            results = []
+            for n in names:
+                d = dapplets[n]
+                while d.snap.done is None:
+                    yield world.kernel.timeout(0.01)
+                results.append((yield d.snap.done))
+            in_state = sum(r.state["credits"] for r in results)
+            in_transit = sum(m.data["amount"]
+                             for r in results
+                             for msgs in r.channels.values()
+                             for m in msgs)
+            assert in_state + in_transit == total
+            transit_counts.append(sum(len(msgs) for r in results
+                                      for msgs in r.channels.values()))
+            for n in names:
+                dapplets[n].snap.reset()
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert any(c > 0 for c in transit_counts)
+
+
+def test_incoming_channels_helper():
+    spec = SessionSpec("x")
+    spec.add_member("a", inboxes=("in",))
+    spec.add_member("b", inboxes=("in",))
+    spec.add_member("c", inboxes=("in",))
+    spec.bind("a", "out", "b", "in")
+    spec.bind("c", "out", "b", "in")
+    spec.bind("b", "out", "c", "in")
+    assert incoming_channels(spec, "b") == {"in": ("a/out", "c/out")}
+    assert incoming_channels(spec, "c") == {"in": ("b/out",)}
+    assert incoming_channels(spec, "a") == {}
+
+
+def test_double_initiate_rejected(world):
+    from repro.errors import ClockError
+
+    d = world.dapplet(CreditDapplet, "caltech.edu", "m0")
+    d2 = world.dapplet(CreditDapplet, "rice.edu", "m1")
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec, names, total = build_ring(world, 2, rounds=1)
+    errors = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        d.snap.initiate("g0")
+        try:
+            d.snap.initiate("g1")
+        except ClockError:
+            errors.append("rejected")
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    assert errors == ["rejected"]

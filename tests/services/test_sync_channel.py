@@ -1,0 +1,156 @@
+"""Tests for the distributed bounded channel."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.errors import SynchronizationError
+from repro.net import ConstantLatency
+from repro.services.sync import DistributedChannel, SyncHost
+from repro.world import World
+
+
+class Plain(Dapplet):
+    kind = "plain"
+
+
+@pytest.fixture
+def setting():
+    world = World(seed=77, latency=ConstantLatency(0.01))
+    host = SyncHost(world.dapplet(Plain, "caltech.edu", "host"))
+    producer = world.dapplet(Plain, "rice.edu", "producer")
+    consumer = world.dapplet(Plain, "utk.edu", "consumer")
+    return world, host, producer, consumer
+
+
+def test_items_flow_fifo(setting):
+    world, host, producer, consumer = setting
+    got = []
+
+    def produce():
+        chan = DistributedChannel(producer, host.pointer, "c", capacity=5)
+        for i in range(5):
+            yield chan.put(i)
+
+    def consume():
+        chan = DistributedChannel(consumer, host.pointer, "c", capacity=5)
+        for _ in range(5):
+            got.append((yield chan.get()))
+
+    world.process(produce())
+    world.process(consume())
+    world.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_put_blocks_when_full(setting):
+    world, host, producer, consumer = setting
+    log = []
+
+    def produce():
+        chan = DistributedChannel(producer, host.pointer, "c", capacity=1)
+        yield chan.put("a")
+        log.append(("a-done", world.now))
+        yield chan.put("b")  # blocks until the consumer takes "a"
+        log.append(("b-done", world.now))
+
+    def consume():
+        chan = DistributedChannel(consumer, host.pointer, "c", capacity=1)
+        yield world.kernel.timeout(1.0)
+        yield chan.get()
+        yield chan.get()
+
+    world.process(produce())
+    world.process(consume())
+    world.run()
+    assert log[0][1] < 0.5
+    assert log[1][1] >= 1.0
+
+
+def test_get_blocks_when_empty(setting):
+    world, host, producer, consumer = setting
+    got = []
+
+    def consume():
+        chan = DistributedChannel(consumer, host.pointer, "c", capacity=3)
+        value = yield chan.get()
+        got.append((value, world.now))
+
+    def produce():
+        chan = DistributedChannel(producer, host.pointer, "c", capacity=3)
+        yield world.kernel.timeout(2.0)
+        yield chan.put("late")
+
+    world.process(consume())
+    world.process(produce())
+    world.run()
+    assert got and got[0][0] == "late" and got[0][1] >= 2.0
+
+
+def test_rendezvous_capacity_zero(setting):
+    world, host, producer, consumer = setting
+    log = []
+
+    def produce():
+        chan = DistributedChannel(producer, host.pointer, "r", capacity=0)
+        yield chan.put("x")
+        log.append(("put-done", world.now))
+
+    def consume():
+        chan = DistributedChannel(consumer, host.pointer, "r", capacity=0)
+        yield world.kernel.timeout(1.5)
+        value = yield chan.get()
+        log.append(("got", value))
+
+    world.process(produce())
+    world.process(consume())
+    world.run()
+    assert ("got", "x") in log
+    put_done = [t for tag, t in log if tag == "put-done"]
+    assert put_done and put_done[0] >= 1.5
+
+
+def test_capacity_mismatch_errors(setting):
+    world, host, producer, consumer = setting
+    errors = []
+
+    def first():
+        chan = DistributedChannel(producer, host.pointer, "c", capacity=2)
+        yield chan.put(1)
+
+    def second():
+        yield world.kernel.timeout(0.5)
+        chan = DistributedChannel(consumer, host.pointer, "c", capacity=9)
+        try:
+            yield chan.get()
+        except SynchronizationError as exc:
+            errors.append(str(exc))
+
+    world.process(first())
+    p = world.process(second())
+    world.run(until=p)
+    assert errors and "capacity" in errors[0]
+
+
+def test_many_producers_one_consumer(setting):
+    world, host, producer, consumer = setting
+    extra = world.dapplet(Plain, "mit.edu", "extra")
+    got = []
+
+    def produce(d, tag):
+        chan = DistributedChannel(d, host.pointer, "c", capacity=2)
+        for i in range(4):
+            yield chan.put(f"{tag}{i}")
+
+    def consume():
+        chan = DistributedChannel(consumer, host.pointer, "c", capacity=2)
+        for _ in range(8):
+            got.append((yield chan.get()))
+
+    world.process(produce(producer, "p"))
+    world.process(produce(extra, "q"))
+    world.process(consume())
+    world.run()
+    assert sorted(got) == sorted([f"p{i}" for i in range(4)]
+                                 + [f"q{i}" for i in range(4)])
+    # Per-producer order is preserved (their puts are sequential).
+    assert [g for g in got if g.startswith("p")] == [f"p{i}" for i in range(4)]

@@ -1,0 +1,188 @@
+"""Tests for cross-dapplet synchronization constructs."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.errors import SingleAssignmentError, SynchronizationError
+from repro.net import ConstantLatency
+from repro.services.sync import (
+    DistributedBarrier,
+    DistributedSemaphore,
+    DistributedSingleAssignment,
+    SyncHost,
+)
+from repro.world import World
+
+
+class Plain(Dapplet):
+    kind = "plain"
+
+
+@pytest.fixture
+def setting():
+    world = World(seed=4, latency=ConstantLatency(0.01))
+    host_d = world.dapplet(Plain, "caltech.edu", "host")
+    host = SyncHost(host_d)
+    members = [world.dapplet(Plain, h, f"m{i}") for i, h in enumerate(
+        ["caltech.edu", "rice.edu", "utk.edu"])]
+    return world, host, members
+
+
+def test_distributed_barrier(setting):
+    world, host, members = setting
+    released = []
+
+    def party(d, delay):
+        barrier = DistributedBarrier(d, host.pointer, "b", parties=3)
+        yield world.kernel.timeout(delay)
+        gen = yield barrier.arrive()
+        released.append((d.name, gen, world.now))
+
+    for d, delay in zip(members, [0.5, 1.0, 2.0]):
+        world.process(party(d, delay))
+    world.run()
+    assert len(released) == 3
+    # Nobody passes before the last arrival reaches the host.
+    assert all(t > 2.0 for _, _, t in released)
+    assert all(gen == 0 for _, gen, _ in released)
+
+
+def test_distributed_barrier_multiple_generations(setting):
+    world, host, members = setting
+    log = []
+
+    def party(d):
+        barrier = DistributedBarrier(d, host.pointer, "b", parties=3)
+        for _ in range(3):
+            gen = yield barrier.arrive()
+            log.append(gen)
+
+    for d in members:
+        world.process(party(d))
+    world.run()
+    assert sorted(log) == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+
+def test_distributed_barrier_party_mismatch(setting):
+    world, host, members = setting
+    errors = []
+
+    def first(d):
+        barrier = DistributedBarrier(d, host.pointer, "b", parties=2)
+        yield barrier.arrive()
+
+    def second(d):
+        yield world.kernel.timeout(0.5)
+        barrier = DistributedBarrier(d, host.pointer, "b", parties=5)
+        try:
+            yield barrier.arrive()
+        except SynchronizationError as exc:
+            errors.append(str(exc))
+
+    world.process(first(members[0]))
+    p = world.process(second(members[1]))
+    world.run(until=p)
+    assert errors and "parties" in errors[0]
+
+
+def test_distributed_semaphore_mutual_exclusion(setting):
+    world, host, members = setting
+    inside = [0]
+    peak = [0]
+
+    def worker(d):
+        sem = DistributedSemaphore(d, host.pointer, "s", permits=1)
+        for _ in range(3):
+            yield sem.acquire()
+            inside[0] += 1
+            peak[0] = max(peak[0], inside[0])
+            yield world.kernel.timeout(0.2)
+            inside[0] -= 1
+            sem.release()
+
+    for d in members:
+        world.process(worker(d))
+    world.run()
+    assert peak[0] == 1
+
+
+def test_distributed_semaphore_counts_permits(setting):
+    world, host, members = setting
+    inside = [0]
+    peak = [0]
+
+    def worker(d, i):
+        sem = DistributedSemaphore(d, host.pointer, "s2", permits=2)
+        yield sem.acquire()
+        inside[0] += 1
+        peak[0] = max(peak[0], inside[0])
+        yield world.kernel.timeout(1.0)
+        inside[0] -= 1
+        sem.release()
+
+    for i, d in enumerate(members):
+        world.process(worker(d, i))
+    world.run()
+    assert peak[0] == 2
+
+
+def test_distributed_single_assignment(setting):
+    world, host, members = setting
+    got = []
+
+    def reader(d):
+        var = DistributedSingleAssignment(d, host.pointer, "v")
+        value = yield var.get()
+        got.append((d.name, value))
+
+    def writer(d):
+        var = DistributedSingleAssignment(d, host.pointer, "v")
+        yield world.kernel.timeout(1.0)
+        yield var.set("answer")
+
+    world.process(reader(members[0]))
+    world.process(reader(members[1]))
+    world.process(writer(members[2]))
+    world.run()
+    assert sorted(got) == [("m0", "answer"), ("m1", "answer")]
+
+
+def test_distributed_single_assignment_double_set_fails(setting):
+    world, host, members = setting
+    outcomes = []
+
+    def writer(d, value, delay):
+        var = DistributedSingleAssignment(d, host.pointer, "v")
+        yield world.kernel.timeout(delay)
+        try:
+            yield var.set(value)
+            outcomes.append(("ok", value))
+        except SingleAssignmentError:
+            outcomes.append(("dup", value))
+
+    world.process(writer(members[0], "first", 0.1))
+    world.process(writer(members[1], "second", 0.5))
+    world.run()
+    assert ("ok", "first") in outcomes
+    assert ("dup", "second") in outcomes
+
+
+def test_single_client_interleaved_get_and_set(setting):
+    """Request-id correlation: a blocked get and a later set on the same
+    client handle resolve to the right callers."""
+    world, host, members = setting
+    log = []
+
+    def worker(d):
+        var = DistributedSingleAssignment(d, host.pointer, "v")
+        get_ev = var.get()  # blocks: nothing set yet
+        yield world.kernel.timeout(0.5)
+        yield var.set(7)
+        log.append(("set-ok", world.now))
+        value = yield get_ev
+        log.append(("got", value))
+
+    p = world.process(worker(members[0]))
+    world.run(until=p)
+    assert log[0][0] == "set-ok"
+    assert log[1] == ("got", 7)

@@ -1,0 +1,225 @@
+"""Tests for intra-dapplet synchronization constructs."""
+
+import pytest
+
+from repro.errors import SingleAssignmentError, SynchronizationError
+from repro.services.sync import Barrier, BoundedChannel, Semaphore, SingleAssignment
+from repro.sim import Kernel
+
+
+def test_barrier_releases_all_at_nth_arrival():
+    k = Kernel()
+    barrier = Barrier(k, 3)
+    released = []
+
+    def party(i, delay):
+        yield k.timeout(delay)
+        gen = yield barrier.arrive()
+        released.append((i, gen, k.now))
+
+    for i, delay in enumerate([1.0, 2.0, 3.0]):
+        k.process(party(i, delay))
+    k.run()
+    assert [r[2] for r in released] == [3.0, 3.0, 3.0]
+    assert all(r[1] == 0 for r in released)
+
+
+def test_barrier_is_cyclic():
+    k = Kernel()
+    barrier = Barrier(k, 2)
+    generations = []
+
+    def party():
+        for _ in range(3):
+            gen = yield barrier.arrive()
+            generations.append(gen)
+
+    k.process(party())
+    k.process(party())
+    k.run()
+    assert sorted(generations) == [0, 0, 1, 1, 2, 2]
+    assert barrier.generation == 3
+
+
+def test_barrier_validation():
+    with pytest.raises(SynchronizationError):
+        Barrier(Kernel(), 0)
+
+
+def test_semaphore_limits_concurrency():
+    k = Kernel()
+    sem = Semaphore(k, 2)
+    inside = [0]
+    peak = [0]
+
+    def worker():
+        yield sem.acquire()
+        inside[0] += 1
+        peak[0] = max(peak[0], inside[0])
+        yield k.timeout(1.0)
+        inside[0] -= 1
+        sem.release()
+
+    for _ in range(6):
+        k.process(worker())
+    k.run()
+    assert peak[0] == 2
+    assert sem.permits == 2
+
+
+def test_semaphore_fifo_fairness():
+    k = Kernel()
+    sem = Semaphore(k, 1)
+    order = []
+
+    def worker(i):
+        yield k.timeout(i * 0.001)
+        yield sem.acquire()
+        order.append(i)
+        yield k.timeout(1.0)
+        sem.release()
+
+    for i in range(4):
+        k.process(worker(i))
+    k.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_semaphore_try_acquire():
+    k = Kernel()
+    sem = Semaphore(k, 1)
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+    sem.release()
+    assert sem.try_acquire()
+
+
+def test_semaphore_validation():
+    with pytest.raises(SynchronizationError):
+        Semaphore(Kernel(), -1)
+
+
+def test_single_assignment_blocks_readers_until_set():
+    k = Kernel()
+    var = SingleAssignment(k)
+    got = []
+
+    def reader(i):
+        value = yield var.get()
+        got.append((i, value, k.now))
+
+    for i in range(3):
+        k.process(reader(i))
+    k.call_later(2.0, lambda: var.set(42))
+    k.run()
+    assert got == [(0, 42, 2.0), (1, 42, 2.0), (2, 42, 2.0)]
+
+
+def test_single_assignment_write_twice_raises():
+    k = Kernel()
+    var = SingleAssignment(k)
+    var.set(1)
+    assert var.is_set
+    with pytest.raises(SingleAssignmentError):
+        var.set(2)
+
+
+def test_single_assignment_read_after_set_is_immediate():
+    k = Kernel()
+    var = SingleAssignment(k)
+    var.set("x")
+    got = []
+
+    def reader():
+        got.append((yield var.get()))
+
+    k.process(reader())
+    k.run()
+    assert got == ["x"]
+
+
+def test_bounded_channel_blocks_putter_when_full():
+    k = Kernel()
+    chan = BoundedChannel(k, capacity=1)
+    log = []
+
+    def producer():
+        for i in range(3):
+            yield chan.put(i)
+            log.append(("put", i, k.now))
+
+    def consumer():
+        yield k.timeout(1.0)
+        for _ in range(3):
+            v = yield chan.get()
+            log.append(("got", v, k.now))
+            yield k.timeout(1.0)
+
+    k.process(producer())
+    k.process(consumer())
+    k.run()
+    puts = [e for e in log if e[0] == "put"]
+    # First put immediate; second waits until the consumer frees a slot.
+    assert puts[0][2] == 0.0
+    assert puts[1][2] == 1.0
+    gets = [e for e in log if e[0] == "got"]
+    assert [g[1] for g in gets] == [0, 1, 2]
+
+
+def test_bounded_channel_fifo():
+    k = Kernel()
+    chan = BoundedChannel(k, capacity=10)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield chan.put(i)
+
+    def consumer():
+        for _ in range(5):
+            got.append((yield chan.get()))
+
+    k.process(producer())
+    k.process(consumer())
+    k.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_bounded_channel_rendezvous_capacity_zero():
+    k = Kernel()
+    chan = BoundedChannel(k, capacity=0)
+    log = []
+
+    def producer():
+        yield chan.put("x")
+        log.append(("put-done", k.now))
+
+    def consumer():
+        yield k.timeout(3.0)
+        v = yield chan.get()
+        log.append(("got", v, k.now))
+
+    k.process(producer())
+    k.process(consumer())
+    k.run()
+    assert ("put-done", 3.0) in log
+    assert ("got", "x", 3.0) in log
+
+
+def test_bounded_channel_getter_blocks_when_empty():
+    k = Kernel()
+    chan = BoundedChannel(k, capacity=5)
+    got = []
+
+    def consumer():
+        got.append((yield chan.get()))
+
+    k.process(consumer())
+    k.call_later(2.0, lambda: chan.put("late"))
+    k.run()
+    assert got == ["late"]
+
+
+def test_bounded_channel_validation():
+    with pytest.raises(SynchronizationError):
+        BoundedChannel(Kernel(), capacity=-1)

@@ -1,0 +1,147 @@
+"""Tests for Safra's termination detection."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.messages import Blob
+from repro.net import ConstantLatency, UniformLatency
+from repro.services.termination import TerminationDetector
+from repro.world import World
+
+
+class Worker(Dapplet):
+    """Passes work items around a ring; goes passive when drained."""
+
+    kind = "worker"
+
+    def wire(self, ring, index, peers_inbox_addr, initial_work):
+        self.detector = TerminationDetector(self, "g", ring, index)
+        self.inbox = self.create_inbox(name="work")
+        self.out = self.create_outbox()
+        self.out.add(peers_inbox_addr)
+        self.detector.watch_outbox(self.out)
+        self.detector.watch_inbox(self.inbox)
+        self.initial_work = initial_work
+        self.processed = 0
+        self.rng = self.world.kernel.rng.get(f"app/{self.name}")
+
+    def main(self):
+        def run():
+            for _ in range(self.initial_work):
+                self.out.send(Blob({"hops": 3}))
+            self.detector.set_passive()
+            while True:
+                msg = yield self.inbox.receive()
+                self.processed += 1
+                if msg.data["hops"] > 0:
+                    self.out.send(Blob({"hops": msg.data["hops"] - 1}))
+                self.detector.set_passive()
+
+        return run()
+
+
+def build(world, n, initial_work=2):
+    workers = []
+    hosts = ["caltech.edu", "rice.edu", "utk.edu", "mit.edu", "ethz.ch"]
+    for i in range(n):
+        workers.append(world.dapplet(Worker, hosts[i % len(hosts)], f"w{i}"))
+    ring = [w.address for w in workers]
+    for i, w in enumerate(workers):
+        nxt = workers[(i + 1) % n]
+        w.wire(ring, i, nxt.address.inbox("work"),
+               initial_work if i == 0 else 0)
+    for w in workers:
+        w.start()
+    return workers
+
+
+def test_detects_after_quiescence():
+    world = World(seed=6, latency=ConstantLatency(0.02))
+    workers = build(world, 3, initial_work=2)
+    detections = []
+
+    def watcher():
+        t = yield workers[0].detector.detected
+        detections.append(t)
+
+    p = world.process(watcher())
+    world.run(until=p)
+    assert detections
+    # Soundness: no worker processes a message after detection.
+    processed_at_detection = [w.processed for w in workers]
+    world.run(until=world.now + 10.0)
+    assert [w.processed for w in workers] == processed_at_detection
+
+
+def test_all_members_learn_of_termination():
+    world = World(seed=7, latency=ConstantLatency(0.02))
+    workers = build(world, 4, initial_work=1)
+    times = []
+
+    def watcher(w):
+        t = yield w.detector.detected
+        times.append((w.name, t))
+
+    procs = [world.process(watcher(w)) for w in workers]
+    for p in procs:
+        world.run(until=p)
+    assert len(times) == 4
+
+
+def test_never_announces_while_work_in_flight():
+    """Soundness under messy latencies: detection only after the real
+    last application message was processed."""
+    world = World(seed=8, latency=UniformLatency(0.01, 0.3))
+    workers = build(world, 4, initial_work=3)
+    last_processing_time = [0.0]
+    detect_time = [None]
+
+    # Track the latest time any application message was processed.
+    for w in workers:
+        original = w.inbox.delivery_hooks
+
+        def make_hook(w=w):
+            def hook(msg):
+                last_processing_time[0] = world.now
+                return msg
+            return hook
+
+        w.inbox.delivery_hooks.append(make_hook())
+
+    def watcher():
+        t = yield workers[0].detector.detected
+        detect_time[0] = t
+
+    p = world.process(watcher())
+    world.run(until=p)
+    assert detect_time[0] is not None
+    assert detect_time[0] >= last_processing_time[0]
+
+
+def test_detection_latency_grows_with_ring(benchmarkless=True):
+    """Liveness: detection happens within a bounded number of rounds."""
+    results = {}
+    for n in (3, 6):
+        world = World(seed=9, latency=ConstantLatency(0.05))
+        workers = build(world, n, initial_work=1)
+        done = []
+
+        def watcher():
+            t = yield workers[0].detector.detected
+            done.append(t)
+
+        p = world.process(watcher())
+        world.run(until=p)
+        results[n] = done[0]
+        assert workers[0].detector.token_rounds <= 4
+    assert results[6] > results[3]
+
+
+def test_ring_validation():
+    world = World(seed=0)
+    w = world.dapplet(Worker, "caltech.edu", "w")
+    with pytest.raises(ValueError):
+        TerminationDetector(w, "g", [w.address], index=5)
+    other = world.dapplet(Worker, "rice.edu", "w2")
+    with pytest.raises(ValueError):
+        TerminationDetector(w, "g", [other.address], index=0)

@@ -1,0 +1,361 @@
+"""Tests for the token-manager network, deadlock detection and protocols."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.errors import DeadlockDetected, TokenError
+from repro.net import ConstantLatency
+from repro.services.tokens import (
+    ALL,
+    ReadersWriterLock,
+    TokenAgent,
+    TokenCoordinator,
+    TokenMutex,
+)
+from repro.world import World
+
+
+class Plain(Dapplet):
+    kind = "plain"
+
+
+def make_world(initial, policy="fifo", n_agents=3, seed=3):
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    host = world.dapplet(Plain, "caltech.edu", "host")
+    coord = TokenCoordinator(host, initial, policy=policy)
+    agents = []
+    for i in range(n_agents):
+        d = world.dapplet(Plain, f"site{i}.edu", f"d{i}")
+        agents.append(TokenAgent(d, coord.pointer))
+    return world, coord, agents
+
+
+def test_request_and_release_roundtrip():
+    world, coord, (a, b, c) = make_world({"red": 2, "blue": 1})
+    log = []
+
+    def user():
+        granted = yield a.request({"red": 1, "blue": 1})
+        log.append(granted)
+        assert a.holds == {"red": 1, "blue": 1}
+        a.release({"red": 1, "blue": 1})
+        assert a.holds == {}
+
+    p = world.process(user())
+    world.run(until=p)
+    world.run()
+    assert log == [{"red": 1, "blue": 1}]
+    coord.check_conservation()
+
+
+def test_request_blocks_until_available():
+    world, coord, (a, b, c) = make_world({"red": 1})
+    times = {}
+
+    def holder():
+        yield a.request({"red": 1})
+        times["a"] = world.now
+        yield world.kernel.timeout(5.0)
+        a.release({"red": 1})
+
+    def waiter():
+        yield b.request({"red": 1})
+        times["b"] = world.now
+
+    world.process(holder())
+    world.process(waiter())
+    world.run()
+    assert times["b"] > times["a"] + 5.0
+    coord.check_conservation()
+
+
+def test_request_all_of_color():
+    world, coord, (a, b, c) = make_world({"red": 5})
+    log = []
+
+    def user():
+        granted = yield a.request({"red": ALL})
+        log.append(granted)
+        a.release({"red": ALL})
+
+    p = world.process(user())
+    world.run(until=p)
+    world.run()
+    assert log == [{"red": 5}]
+    coord.check_conservation()
+
+
+def test_release_unheld_tokens_raises_locally():
+    world, coord, (a, b, c) = make_world({"red": 1})
+    with pytest.raises(TokenError):
+        a.release({"red": 1})
+    with pytest.raises(TokenError):
+        a.release({"nonexistent": 2})
+
+
+def test_request_validation():
+    world, coord, (a, b, c) = make_world({"red": 1})
+    with pytest.raises(TokenError):
+        a.request({})
+    with pytest.raises(TokenError):
+        a.request({"red": 0})
+    with pytest.raises(TokenError):
+        a.request({"red": -2})
+    with pytest.raises(TokenError):
+        a.request({"red": True})
+
+
+def test_unknown_color_fails_request():
+    world, coord, (a, b, c) = make_world({"red": 1})
+    failures = []
+
+    def user():
+        try:
+            yield a.request({"green": 1})
+        except DeadlockDetected:
+            failures.append("failed")
+
+    p = world.process(user())
+    world.run(until=p)
+    assert failures == ["failed"]
+
+
+def test_total_tokens():
+    world, coord, (a, b, c) = make_world({"red": 2, "blue": 7})
+    log = []
+
+    def user():
+        totals = yield a.total_tokens()
+        log.append(totals)
+
+    p = world.process(user())
+    world.run(until=p)
+    assert log == [{"red": 2, "blue": 7}]
+
+
+def test_two_agent_deadlock_detected():
+    """a holds red and wants blue; b holds blue and wants red."""
+    world, coord, (a, b, c) = make_world({"red": 1, "blue": 1})
+    outcomes = []
+
+    def alpha():
+        yield a.request({"red": 1})
+        yield world.kernel.timeout(1.0)
+        try:
+            yield a.request({"blue": 1})
+            outcomes.append("a-granted")
+        except DeadlockDetected as exc:
+            outcomes.append(("a-deadlock", exc.cycle))
+
+    def beta():
+        yield b.request({"blue": 1})
+        yield world.kernel.timeout(1.0)
+        try:
+            yield b.request({"red": 1})
+            outcomes.append("b-granted")
+        except DeadlockDetected as exc:
+            outcomes.append(("b-deadlock", exc.cycle))
+
+    world.process(alpha())
+    world.process(beta())
+    world.run(until=10.0)
+    deadlocks = [o for o in outcomes if isinstance(o, tuple)]
+    assert len(deadlocks) >= 1
+    # The reported cycle mentions both agents.
+    cycle = deadlocks[0][1]
+    assert set(cycle) >= {"d0", "d1"}
+    coord.check_conservation()
+
+
+def test_three_agent_cycle_detected():
+    world, coord, agents = make_world({"x": 1, "y": 1, "z": 1})
+    a, b, c = agents
+    outcomes = []
+
+    def grab_then_want(agent, first, second, tag):
+        yield agent.request({first: 1})
+        yield world.kernel.timeout(1.0)
+        try:
+            yield agent.request({second: 1})
+            outcomes.append((tag, "granted"))
+        except DeadlockDetected:
+            outcomes.append((tag, "deadlock"))
+
+    world.process(grab_then_want(a, "x", "y", "a"))
+    world.process(grab_then_want(b, "y", "z", "b"))
+    world.process(grab_then_want(c, "z", "x", "c"))
+    world.run(until=10.0)
+    assert ("a", "deadlock") in outcomes or ("b", "deadlock") in outcomes \
+        or ("c", "deadlock") in outcomes
+    coord.check_conservation()
+
+
+def test_two_phase_use_never_deadlocks():
+    """The paper: releasing all before re-requesting avoids deadlock."""
+    world, coord, agents = make_world({"x": 1, "y": 1}, n_agents=3)
+    completed = []
+
+    def worker(agent, tag):
+        for _ in range(5):
+            yield agent.request({"x": 1, "y": 1})  # all at once
+            yield world.kernel.timeout(0.1)
+            agent.release({"x": 1, "y": 1})
+        completed.append(tag)
+
+    for i, agent in enumerate(agents):
+        world.process(worker(agent, i))
+    world.run()
+    assert sorted(completed) == [0, 1, 2]
+    assert coord.deadlocks == 0
+    coord.check_conservation()
+
+
+def test_transfer_moves_tokens_between_agents():
+    world, coord, (a, b, c) = make_world({"red": 3})
+    log = []
+
+    def giver():
+        yield a.request({"red": 3})
+        a.transfer("d1", {"red": 2})
+        assert a.holds == {"red": 1}
+
+    def receiver():
+        # b must have contacted the coordinator once to be reachable.
+        yield b.total_tokens()
+        while not b.holds:
+            yield world.kernel.timeout(0.1)
+        log.append(dict(b.holds))
+        log.append(b.transfers_received[0][0])
+
+    world.process(giver())
+    world.process(receiver())
+    world.run(until=10.0)
+    assert log == [{"red": 2}, "d0"]
+    coord.check_conservation()
+
+
+def test_transfer_can_unblock_deadlock_free_waiter():
+    world, coord, (a, b, c) = make_world({"red": 1})
+    order = []
+
+    def holder():
+        yield a.request({"red": 1})
+        order.append("a-got")
+        yield world.kernel.timeout(1.0)
+        a.release({"red": 1})
+
+    def waiter():
+        yield b.request({"red": 1})
+        order.append("b-got")
+
+    world.process(holder())
+    world.process(waiter())
+    world.run()
+    assert order == ["a-got", "b-got"]
+
+
+def test_mutex_protocol_mutual_exclusion():
+    world, coord, agents = make_world({"obj": 1}, n_agents=3)
+    in_cs = [0]
+    max_in_cs = [0]
+
+    def worker(agent):
+        mutex = TokenMutex(agent, "obj")
+        for _ in range(4):
+            yield mutex.acquire()
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            yield world.kernel.timeout(0.05)
+            in_cs[0] -= 1
+            mutex.release()
+
+    for agent in agents:
+        world.process(worker(agent))
+    world.run()
+    assert max_in_cs[0] == 1
+    coord.check_conservation()
+
+
+def test_mutex_release_without_hold_raises():
+    world, coord, (a, b, c) = make_world({"obj": 1})
+    mutex = TokenMutex(a, "obj")
+    with pytest.raises(TokenError):
+        mutex.release()
+
+
+def test_readers_writer_protocol():
+    world, coord, agents = make_world({"doc": 4}, n_agents=3)
+    readers_now = [0]
+    writer_now = [0]
+    violations = []
+
+    def reader(agent):
+        lock = ReadersWriterLock(agent, "doc")
+        for _ in range(5):
+            yield lock.acquire_read()
+            readers_now[0] += 1
+            if writer_now[0]:
+                violations.append("read-during-write")
+            yield world.kernel.timeout(0.05)
+            readers_now[0] -= 1
+            lock.release_read()
+
+    def writer(agent):
+        lock = ReadersWriterLock(agent, "doc")
+        for _ in range(3):
+            yield lock.acquire_write()
+            writer_now[0] += 1
+            if readers_now[0] or writer_now[0] > 1:
+                violations.append("overlap")
+            yield world.kernel.timeout(0.05)
+            writer_now[0] -= 1
+            lock.release_write()
+
+    world.process(reader(agents[0]))
+    world.process(reader(agents[1]))
+    world.process(writer(agents[2]))
+    world.run()
+    assert violations == []
+    coord.check_conservation()
+
+
+def test_coordinator_validation():
+    world = World(seed=0)
+    host = world.dapplet(Plain, "caltech.edu", "host")
+    with pytest.raises(TokenError):
+        TokenCoordinator(host, {"red": -1})
+    with pytest.raises(TokenError):
+        TokenCoordinator(host, {"red": 1}, policy="lifo")
+
+
+def test_timestamp_policy_grants_in_order():
+    """Under the timestamp policy the earliest request goes first even
+    if a later, smaller request is satisfiable."""
+    world, coord, (a, b, c) = make_world({"red": 2}, policy="timestamp")
+    order = []
+
+    def big_then_release():
+        # Take both tokens, then release after the others have queued.
+        yield a.request({"red": 2})
+        yield world.kernel.timeout(2.0)
+        a.release({"red": 2})
+
+    def wants_two():
+        yield world.kernel.timeout(0.5)
+        yield b.request({"red": 2})
+        order.append("two")
+        b.release({"red": 2})
+
+    def wants_one():
+        yield world.kernel.timeout(1.0)
+        yield c.request({"red": 1})
+        order.append("one")
+        c.release({"red": 1})
+
+    world.process(big_then_release())
+    world.process(wants_two())
+    world.process(wants_one())
+    world.run()
+    # FIFO-opportunistic would let "one" jump the queue at release time;
+    # timestamp order must serve "two" (earlier request) first.
+    assert order == ["two", "one"]

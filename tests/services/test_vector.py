@@ -1,0 +1,105 @@
+"""Unit and property tests for vector clocks."""
+
+from hypothesis import given, strategies as st
+
+from repro.services.clocks import VectorClock
+
+
+def test_empty_clock():
+    vc = VectorClock()
+    assert vc.get("a") == 0
+    assert vc == VectorClock({})
+
+
+def test_tick_advances_one_component():
+    vc = VectorClock().tick("a").tick("a").tick("b")
+    assert vc.get("a") == 2
+    assert vc.get("b") == 1
+    assert vc.get("c") == 0
+
+
+def test_tick_is_pure():
+    v1 = VectorClock().tick("a")
+    v2 = v1.tick("a")
+    assert v1.get("a") == 1
+    assert v2.get("a") == 2
+
+
+def test_merge_takes_componentwise_max():
+    a = VectorClock({"x": 3, "y": 1})
+    b = VectorClock({"y": 5, "z": 2})
+    m = a.merge(b)
+    assert m == VectorClock({"x": 3, "y": 5, "z": 2})
+
+
+def test_happens_before_chain():
+    v0 = VectorClock()
+    v1 = v0.tick("a")
+    v2 = v1.tick("b")
+    assert v0.happens_before(v1)
+    assert v1.happens_before(v2)
+    assert v0.happens_before(v2)
+    assert not v1.happens_before(v1)
+    assert not v2.happens_before(v1)
+
+
+def test_concurrency_detection():
+    base = VectorClock().tick("a")
+    left = base.tick("b")
+    right = base.tick("c")
+    assert left.concurrent_with(right)
+    assert not left.concurrent_with(left.tick("b"))
+
+
+def test_wire_roundtrip():
+    vc = VectorClock({"a": 2, "b": 1})
+    assert VectorClock.from_dict(vc.to_dict()) == vc
+
+
+def test_zero_components_are_dropped():
+    assert VectorClock({"a": 0}) == VectorClock()
+
+
+ids = st.sampled_from(["p", "q", "r"])
+clocks = st.lists(ids, max_size=12).map(
+    lambda ticks: _apply(ticks))
+
+
+def _apply(ticks):
+    vc = VectorClock()
+    for t in ticks:
+        vc = vc.tick(t)
+    return vc
+
+
+@given(clocks, clocks)
+def test_merge_is_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(clocks, clocks, clocks)
+def test_merge_is_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(clocks)
+def test_merge_is_idempotent(a):
+    assert a.merge(a) == a
+
+
+@given(clocks, clocks)
+def test_exactly_one_ordering_relation(a, b):
+    relations = [a == b, a.happens_before(b), b.happens_before(a),
+                 a.concurrent_with(b)]
+    assert sum(relations) == 1
+
+
+@given(clocks, clocks)
+def test_merge_dominates_both(a, b):
+    m = a.merge(b)
+    assert a <= m and b <= m
+
+
+@given(clocks)
+def test_tick_strictly_advances(a):
+    assert a.happens_before(a.tick("p"))

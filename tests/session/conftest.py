@@ -1,0 +1,61 @@
+"""Shared fixtures for session-layer tests."""
+
+import pytest
+
+from repro.dapplet import Dapplet
+from repro.messages import Text
+from repro.net import ConstantLatency
+from repro.session import Initiator, SessionSpec
+from repro.world import World
+
+
+class EchoDapplet(Dapplet):
+    """Replies to every message on its 'in' port via its 'out' outbox."""
+
+    kind = "echo"
+
+    def on_session_start(self, ctx):
+        self.started = getattr(self, "started", 0) + 1
+
+        def serve():
+            while ctx.active:
+                msg = yield ctx.inbox("in").receive()
+                ctx.outbox("out").send(Text("echo:" + msg.text))
+
+        return serve()
+
+    def on_session_end(self, ctx):
+        self.ended = getattr(self, "ended", 0) + 1
+
+
+class PassiveDapplet(Dapplet):
+    """Joins sessions but runs no session process."""
+
+    kind = "passive"
+
+    def on_session_start(self, ctx):
+        self.last_ctx = ctx
+        return None
+
+    def on_session_end(self, ctx):
+        self.ended = getattr(self, "ended", 0) + 1
+
+
+@pytest.fixture
+def world():
+    return World(seed=1, latency=ConstantLatency(0.01))
+
+
+@pytest.fixture
+def initiator(world):
+    return world.dapplet(Initiator, "caltech.edu", "init")
+
+
+def pair_spec(app="test", regions_a=None, regions_b=None):
+    """A two-member spec: a.out -> b.in and b.out -> a.in."""
+    spec = SessionSpec(app)
+    spec.add_member("a", inboxes=("in",), regions=regions_a or {})
+    spec.add_member("b", inboxes=("in",), regions=regions_b or {})
+    spec.bind("a", "out", "b", "in")
+    spec.bind("b", "out", "a", "in")
+    return spec

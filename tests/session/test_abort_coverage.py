@@ -1,0 +1,72 @@
+"""Regression: aborted establishment must clean up slow accepters too."""
+
+from repro.errors import SessionRejected
+from repro.net import ConstantLatency, PerLinkLatency
+
+from tests.session.conftest import PassiveDapplet, pair_spec
+from repro.session import Initiator
+from repro.world import World
+
+
+def test_slow_accepter_is_aborted_after_rejection():
+    """b rejects instantly; a's accept is still in flight when the
+    initiator gives up. a must not stay 'prepared' holding its regions."""
+    latency = PerLinkLatency(ConstantLatency(0.01))
+    # a is very far away: its accept arrives long after b's rejection.
+    latency.set_link("caltech.edu", "slow.edu", ConstantLatency(2.0))
+    world = World(seed=97, latency=latency)
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    a = world.dapplet(PassiveDapplet, "slow.edu", "a")
+    b = world.dapplet(PassiveDapplet, "rice.edu", "b")
+    b.acl.deny(initiator.address)
+    outcomes = []
+
+    def director():
+        try:
+            yield from initiator.establish(
+                pair_spec(regions_a={"cal": "rw"}))
+        except SessionRejected as exc:
+            outcomes.append(exc.reason)
+        # Wait out the WAN so a's accept and our abort both land.
+        yield world.kernel.timeout(10.0)
+        # a released everything: a fresh session with the same region
+        # must now be accepted.
+        b.acl.clear()
+        session = yield from initiator.establish(
+            pair_spec(regions_a={"cal": "rw"}))
+        outcomes.append("second-ok")
+        yield from session.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    world.run()
+    assert outcomes == ["acl", "second-ok"]
+    assert a.sessions._entries == {}
+    assert a.sessions.stats.aborts == 1
+
+
+def test_timeout_aborts_all_prepared_members():
+    """Establishment times out on a silent member; the responsive ones
+    are aborted and hold nothing afterwards."""
+    latency = PerLinkLatency(ConstantLatency(0.01))
+    latency.set_link("caltech.edu", "dead.edu", ConstantLatency(60.0))
+    world = World(seed=98, latency=latency,
+                  endpoint_options={"rto_initial": 0.5})
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    a = world.dapplet(PassiveDapplet, "rice.edu", "a")
+    b = world.dapplet(PassiveDapplet, "dead.edu", "b")
+    outcomes = []
+
+    def director():
+        try:
+            yield from initiator.establish(
+                pair_spec(regions_a={"cal": "rw"}), timeout=2.0)
+        except Exception as exc:
+            outcomes.append(type(exc).__name__)
+
+    p = world.process(director())
+    world.run(until=p)
+    world.run(until=world.now + 5.0)
+    assert outcomes == ["SessionError"]
+    assert a.sessions._entries == {}
+    assert a.sessions.stats.aborts == 1

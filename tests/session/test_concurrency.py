@@ -1,0 +1,104 @@
+"""Concurrency edge cases: one initiator running several protocols at
+once; overlapping establishes; sessions racing with termination."""
+
+import pytest
+
+from repro.errors import SessionRejected
+from repro.messages import Text
+from repro.session import SessionSpec
+
+from tests.session.conftest import PassiveDapplet, pair_spec
+
+
+def test_one_initiator_many_concurrent_establishes(world, initiator):
+    """Concurrent establishes from one initiator must not cross wires
+    (each has its own control inbox)."""
+    for i in range(6):
+        world.dapplet(PassiveDapplet, f"s{i}.edu", f"m{i}")
+    sessions = []
+
+    def establish_pair(i, j):
+        spec = SessionSpec(f"app{i}")
+        spec.add_member(f"m{i}", inboxes=("in",))
+        spec.add_member(f"m{j}", inboxes=("in",))
+        spec.bind(f"m{i}", "out", f"m{j}", "in")
+        session = yield from initiator.establish(spec)
+        sessions.append(session)
+
+    procs = [world.process(establish_pair(i, i + 3)) for i in range(3)]
+    world.run()
+    assert len(sessions) == 3
+    assert len({s.session_id for s in sessions}) == 3
+
+    def teardown():
+        for s in sessions:
+            yield from s.terminate()
+
+    world.run(until=world.process(teardown()))
+    world.run()
+    assert all(s.terminated for s in sessions)
+
+
+def test_same_dapplet_in_two_disjoint_sessions(world, initiator):
+    """A dapplet participates in two sessions at once when their
+    regions do not conflict; its ports are namespaced per session."""
+    a = world.dapplet(PassiveDapplet, "caltech.edu", "a")
+    b = world.dapplet(PassiveDapplet, "rice.edu", "b")
+    contexts = []
+
+    orig = a.on_session_start
+
+    def capture(ctx):
+        contexts.append(ctx)
+        return orig(ctx)
+
+    a.on_session_start = capture
+
+    def director():
+        s1 = yield from initiator.establish(pair_spec())
+        s2 = yield from initiator.establish(pair_spec())
+        # a now holds two live contexts with distinct inboxes.
+        assert len(contexts) == 2
+        assert contexts[0].inbox("in") is not contexts[1].inbox("in")
+        # Traffic addressed to one session does not leak to the other.
+        b.last_ctx.outbox("out").send(Text("to-second"))
+        msg = yield contexts[1].inbox("in").receive()
+        assert msg.text == "to-second"
+        assert contexts[0].inbox("in").is_empty
+        yield from s1.terminate()
+        yield from s2.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    world.run()
+
+
+def test_establish_racing_rejection_leaves_managers_clean(world, initiator):
+    """Two establishes race for a conflicting region: exactly one wins;
+    after terminating it, the loser can retry successfully; no manager
+    entry leaks."""
+    a = world.dapplet(PassiveDapplet, "caltech.edu", "a")
+    b = world.dapplet(PassiveDapplet, "rice.edu", "b")
+    outcomes = []
+
+    def contender(tag):
+        spec = pair_spec(regions_a={"cal": "rw"})
+        try:
+            session = yield from initiator.establish(spec)
+            outcomes.append((tag, "won"))
+            yield world.kernel.timeout(0.5)
+            yield from session.terminate()
+        except SessionRejected:
+            outcomes.append((tag, "rejected"))
+
+    world.process(contender("x"))
+    world.process(contender("y"))
+    world.run()
+    assert sorted(o[1] for o in outcomes) == ["rejected", "won"]
+    assert a.sessions.active_sessions() == []
+    assert b.sessions.active_sessions() == []
+    # All session inboxes were cleaned up: only the control inbox and
+    # the clock-free defaults remain registered.
+    leftover = [ib for ib in a.inboxes.values()
+                if ib.name and ib.name.startswith("init#")]
+    assert leftover == []

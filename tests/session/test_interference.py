@@ -1,0 +1,54 @@
+"""Unit tests for the interference relation and monitor."""
+
+import pytest
+
+from repro.errors import InterferenceError
+from repro.session import InterferenceMonitor, regions_conflict
+
+
+def test_disjoint_regions_do_not_conflict():
+    assert not regions_conflict({"a": "rw"}, {"b": "rw"})
+
+
+def test_read_read_does_not_conflict():
+    assert not regions_conflict({"a": "r"}, {"a": "r"})
+
+
+def test_write_read_conflicts():
+    assert regions_conflict({"a": "rw"}, {"a": "r"})
+    assert regions_conflict({"a": "r"}, {"a": "rw"})
+
+
+def test_write_write_conflicts():
+    assert regions_conflict({"a": "rw"}, {"a": "rw"})
+
+
+def test_empty_maps_never_conflict():
+    assert not regions_conflict({}, {"a": "rw"})
+    assert not regions_conflict({}, {})
+
+
+def test_monitor_allows_compatible_sessions():
+    mon = InterferenceMonitor()
+    mon.activated("d1", "s1", {"cal": "r"})
+    mon.activated("d1", "s2", {"cal": "r"})
+    mon.activated("d1", "s3", {"docs": "rw"})
+    assert mon.concurrently_active("d1") == 3
+    assert mon.max_concurrent == 3
+    mon.deactivated("d1", "s2")
+    assert mon.concurrently_active("d1") == 2
+
+
+def test_monitor_raises_on_conflict():
+    mon = InterferenceMonitor()
+    mon.activated("d1", "s1", {"cal": "rw"})
+    with pytest.raises(InterferenceError):
+        mon.activated("d1", "s2", {"cal": "r"})
+
+
+def test_monitor_scopes_by_dapplet():
+    mon = InterferenceMonitor()
+    mon.activated("d1", "s1", {"cal": "rw"})
+    # The same regions on a different dapplet are a different calendar.
+    mon.activated("d2", "s2", {"cal": "rw"})
+    assert mon.activations == 2

@@ -1,0 +1,49 @@
+"""Property-based tests for the interference relation."""
+
+from hypothesis import given, strategies as st
+
+from repro.session import regions_conflict
+
+region_names = st.sampled_from(["cal", "docs", "mail", "prefs"])
+modes = st.sampled_from(["r", "rw"])
+region_maps = st.dictionaries(region_names, modes, max_size=4)
+
+
+@given(region_maps, region_maps)
+def test_conflict_is_symmetric(a, b):
+    assert regions_conflict(a, b) == regions_conflict(b, a)
+
+
+@given(region_maps)
+def test_empty_never_conflicts(a):
+    assert not regions_conflict(a, {})
+    assert not regions_conflict({}, a)
+
+
+@given(region_maps)
+def test_read_only_self_overlap_is_safe(a):
+    readonly = {k: "r" for k in a}
+    assert not regions_conflict(readonly, readonly)
+
+
+@given(region_maps)
+def test_any_write_self_overlap_conflicts(a):
+    if any(m == "rw" for m in a.values()):
+        assert regions_conflict(a, a)
+    else:
+        assert not regions_conflict(a, a)
+
+
+@given(region_maps, region_maps, region_names)
+def test_adding_a_write_is_monotone(a, b, region):
+    """Escalating a region to write access never removes a conflict."""
+    if regions_conflict(a, b):
+        widened = dict(a)
+        widened[region] = "rw"
+        assert regions_conflict(widened, b)
+
+
+@given(region_maps, region_maps)
+def test_conflict_requires_shared_region(a, b):
+    if not (a.keys() & b.keys()):
+        assert not regions_conflict(a, b)

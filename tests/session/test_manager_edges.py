@@ -1,0 +1,145 @@
+"""Unit tests for SessionManager protocol edge cases, driven by raw
+protocol messages (no initiator)."""
+
+import pytest
+
+from repro.net import ConstantLatency
+from repro.session import messages as sm
+from repro.session.manager import CONTROL_INBOX
+from repro.world import World
+
+from tests.session.conftest import PassiveDapplet
+
+
+@pytest.fixture
+def rig():
+    world = World(seed=91, latency=ConstantLatency(0.01))
+    target = world.dapplet(PassiveDapplet, "caltech.edu", "target")
+    probe = world.dapplet(PassiveDapplet, "rice.edu", "probe")
+    control = probe.create_inbox(name="ctl")
+    out = probe.create_outbox()
+    out.add(target.address.inbox(CONTROL_INBOX))
+    return world, target, probe, control, out
+
+
+def prepare(probe, control, sid="s#1", member="m", inboxes=("in",),
+            regions=None):
+    return sm.Prepare(session_id=sid, app="t", member=member,
+                      initiator=probe.address,
+                      reply_to=control.named_address,
+                      inboxes=inboxes, regions=regions or {})
+
+
+def drain(world, control, n=1):
+    got = []
+
+    def reader():
+        for _ in range(n):
+            got.append((yield control.receive(timeout=5.0)))
+
+    p = world.process(reader())
+    world.run(until=p)
+    return got
+
+
+def test_commit_for_unknown_session_is_dropped(rig):
+    world, target, probe, control, out = rig
+    out.send(sm.Commit("ghost#1", "m", outboxes={}, params={}))
+    world.run()
+    assert target.sessions.stats.commits == 0
+    assert target.sessions.active_sessions() == []
+
+
+def test_commit_after_abort_is_dropped(rig):
+    world, target, probe, control, out = rig
+    out.send(prepare(probe, control))
+    accept, = drain(world, control)
+    assert isinstance(accept, sm.Accept)
+    out.send(sm.Abort("s#1", "m"))
+    world.run()
+    out.send(sm.Commit("s#1", "m", outboxes={}, params={}))
+    world.run()
+    assert target.sessions.active_sessions() == []
+    assert not hasattr(target, "last_ctx")
+
+
+def test_duplicate_commit_re_acks_ready(rig):
+    world, target, probe, control, out = rig
+    out.send(prepare(probe, control))
+    drain(world, control)
+    out.send(sm.Commit("s#1", "m", outboxes={}, params={}))
+    ready1, = drain(world, control)
+    out.send(sm.Commit("s#1", "m", outboxes={}, params={}))
+    ready2, = drain(world, control)
+    assert isinstance(ready1, sm.Ready) and isinstance(ready2, sm.Ready)
+    assert target.sessions.stats.commits == 1  # only counted once
+    # on_session_start ran once.
+    assert target.last_ctx is not None
+
+
+def test_unlink_of_unknown_session_with_known_reply_acks(rig):
+    world, target, probe, control, out = rig
+    out.send(prepare(probe, control))
+    drain(world, control)
+    out.send(sm.Unlink("s#1", "m"))
+    ack1, = drain(world, control)
+    assert isinstance(ack1, sm.UnlinkAck)
+    # A second unlink (duplicate terminate) still gets acknowledged.
+    out.send(sm.Unlink("s#1", "m"))
+    ack2, = drain(world, control)
+    assert isinstance(ack2, sm.UnlinkAck)
+
+
+def test_unlink_of_never_seen_session_is_silent(rig):
+    world, target, probe, control, out = rig
+    out.send(sm.Unlink("never#1", "m"))
+    world.run()
+    assert control.is_empty  # nowhere to reply; dropped quietly
+
+
+def test_bind_add_before_commit_is_dropped(rig):
+    world, target, probe, control, out = rig
+    out.send(prepare(probe, control))
+    drain(world, control)
+    out.send(sm.BindAdd("s#1", "m", "out",
+                        targets=(probe.address.inbox("ctl"),)))
+    world.run()
+    # Not committed: no ctx, no ack.
+    assert control.is_empty
+
+
+def test_bind_remove_is_idempotent(rig):
+    world, target, probe, control, out = rig
+    out.send(prepare(probe, control))
+    drain(world, control)
+    target_addr = probe.address.inbox("ctl")
+    out.send(sm.Commit("s#1", "m",
+                       outboxes={"out": (target_addr,)}, params={}))
+    drain(world, control)  # Ready
+    ctx = target.last_ctx
+    assert ctx.outbox("out").destinations() == (target_addr,)
+    out.send(sm.BindRemove("s#1", "m", "out", targets=(target_addr,)))
+    world.run()
+    assert ctx.outbox("out").destinations() == ()
+    # Removing again (or an unknown outbox) is harmless.
+    out.send(sm.BindRemove("s#1", "m", "out", targets=(target_addr,)))
+    out.send(sm.BindRemove("s#1", "m", "nope", targets=(target_addr,)))
+    world.run()
+
+
+def test_unknown_control_message_is_ignored(rig):
+    world, target, probe, control, out = rig
+    from repro.messages import Text
+    out.send(Text("not a control message"))
+    world.run()
+    assert target.sessions.active_sessions() == []
+
+
+def test_prepare_with_unwritable_port_name_collision(rig):
+    """Two different sessions create same-named ports: namespacing by
+    session id keeps them distinct."""
+    world, target, probe, control, out = rig
+    out.send(prepare(probe, control, sid="s#1"))
+    out.send(prepare(probe, control, sid="s#2"))
+    a1, a2 = drain(world, control, n=2)
+    assert a1.ports["in"] != a2.ports["in"]

@@ -1,0 +1,119 @@
+"""Tests for queued admission (establish(wait_for_regions=True))."""
+
+import pytest
+
+from repro.errors import SessionError, SessionRejected
+from repro.session import InterferenceMonitor
+
+from tests.session.conftest import PassiveDapplet, pair_spec
+
+
+def test_waiting_establish_blocks_until_region_free(world, initiator):
+    a = world.dapplet(PassiveDapplet, "caltech.edu", "a")
+    b = world.dapplet(PassiveDapplet, "rice.edu", "b")
+    world.interference_monitor = InterferenceMonitor()
+    times = {}
+
+    def director():
+        s1 = yield from initiator.establish(pair_spec(regions_a={"cal": "rw"}))
+        t0 = world.now
+
+        def second():
+            s2 = yield from initiator.establish(
+                pair_spec(regions_a={"cal": "rw"}), timeout=60.0,
+                wait_for_regions=True)
+            times["established"] = world.now
+            yield from s2.terminate()
+
+        p2 = world.process(second())
+        yield world.kernel.timeout(3.0)
+        times["released"] = world.now
+        yield from s1.terminate()
+        yield p2
+
+    p = world.process(director())
+    world.run(until=p)
+    world.run()
+    # The second session waited for the first to end.
+    assert times["established"] >= times["released"]
+    assert a.sessions.stats.queued == 1
+    assert a.sessions.stats.rejects_interference == 0
+
+
+def test_queued_admissions_are_fifo(world, initiator):
+    a = world.dapplet(PassiveDapplet, "caltech.edu", "a")
+    b = world.dapplet(PassiveDapplet, "rice.edu", "b")
+    order = []
+
+    def director():
+        s1 = yield from initiator.establish(pair_spec(regions_a={"cal": "rw"}))
+
+        def waiter(tag, delay):
+            yield world.kernel.timeout(delay)
+            s = yield from initiator.establish(
+                pair_spec(regions_a={"cal": "rw"}), timeout=60.0,
+                wait_for_regions=True)
+            order.append((tag, world.now))
+            yield from s.terminate()
+
+        w1 = world.process(waiter("first", 0.1))
+        w2 = world.process(waiter("second", 0.5))
+        yield world.kernel.timeout(2.0)
+        yield from s1.terminate()
+        yield w1 & w2
+
+    p = world.process(director())
+    world.run(until=p)
+    world.run()
+    assert [tag for tag, _ in order] == ["first", "second"]
+
+
+def test_reject_mode_unaffected(world, initiator):
+    """Default establishes still reject rather than queue."""
+    world.dapplet(PassiveDapplet, "caltech.edu", "a")
+    world.dapplet(PassiveDapplet, "rice.edu", "b")
+    outcomes = []
+
+    def director():
+        s1 = yield from initiator.establish(pair_spec(regions_a={"cal": "rw"}))
+        try:
+            yield from initiator.establish(
+                pair_spec(regions_a={"cal": "rw"}))
+        except SessionRejected as exc:
+            outcomes.append(exc.reason)
+        yield from s1.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    world.run()
+    assert outcomes == ["interference"]
+
+
+def test_queued_establish_times_out_and_cleans_up(world, initiator):
+    a = world.dapplet(PassiveDapplet, "caltech.edu", "a")
+    world.dapplet(PassiveDapplet, "rice.edu", "b")
+    outcomes = []
+
+    def director():
+        s1 = yield from initiator.establish(pair_spec(regions_a={"cal": "rw"}))
+        try:
+            yield from initiator.establish(
+                pair_spec(regions_a={"cal": "rw"}), timeout=1.0,
+                wait_for_regions=True)
+        except SessionError:
+            outcomes.append("timeout")
+        yield world.kernel.timeout(1.0)
+        # The abort purged the queue; s1 still runs undisturbed.
+        assert a.sessions._admission_queue == []
+        assert a.sessions.active_sessions() == [s1.session_id]
+        yield from s1.terminate()
+        # And afterwards a fresh session is admitted instantly.
+        s3 = yield from initiator.establish(
+            pair_spec(regions_a={"cal": "rw"}))
+        outcomes.append("fresh-ok")
+        yield from s3.terminate()
+
+    p = world.process(director())
+    world.run(until=p)
+    world.run()
+    assert outcomes == ["timeout", "fresh-ok"]

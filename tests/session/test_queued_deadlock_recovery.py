@@ -1,0 +1,61 @@
+"""The wait-instead-of-reject hazard: two establishments queued at each
+other's members deadlock; the establish timeout + automatic abort must
+recover, and retries must eventually succeed."""
+
+from repro.errors import SessionError
+from repro.net import ConstantLatency, PerLinkLatency
+from repro.session import Initiator, SessionSpec
+from repro.world import World
+
+from tests.session.conftest import PassiveDapplet
+
+
+def test_cross_member_queue_deadlock_recovers_via_timeout():
+    # Adversarial latencies force opposite arrival orders at the two
+    # members: initiator 1 reaches A first, initiator 2 reaches B first.
+    latency = PerLinkLatency(ConstantLatency(0.05))
+    latency.set_link("i1.edu", "a.edu", ConstantLatency(0.01))
+    latency.set_link("i1.edu", "b.edu", ConstantLatency(0.50))
+    latency.set_link("i2.edu", "a.edu", ConstantLatency(0.50))
+    latency.set_link("i2.edu", "b.edu", ConstantLatency(0.01))
+    world = World(seed=121, latency=latency)
+    a = world.dapplet(PassiveDapplet, "a.edu", "a")
+    b = world.dapplet(PassiveDapplet, "b.edu", "b")
+    init1 = world.dapplet(Initiator, "i1.edu", "init1")
+    init2 = world.dapplet(Initiator, "i2.edu", "init2")
+    log = []
+
+    def spec():
+        s = SessionSpec("t")
+        s.add_member("a", regions={"shared": "rw"})
+        s.add_member("b", regions={"shared": "rw"})
+        return s
+
+    def contender(tag, initiator, backoff):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                session = yield from initiator.establish(
+                    spec(), timeout=3.0, wait_for_regions=True)
+                break
+            except SessionError:
+                log.append((tag, "timed-out"))
+                yield world.kernel.timeout(backoff)
+        yield world.kernel.timeout(0.5)
+        yield from session.terminate()
+        log.append((tag, "done", attempts))
+
+    # Different backoffs break the symmetry on retry.
+    world.process(contender("x", init1, 0.9))
+    world.process(contender("y", init2, 2.1))
+    world.run(until=120.0)
+    done = [e for e in log if e[1] == "done"]
+    assert len(done) == 2, log
+    # The deadlock actually occurred at least once.
+    assert any(e[1] == "timed-out" for e in log)
+    # Everything is clean afterwards.
+    for d in (a, b):
+        assert d.sessions.active_sessions() == []
+        assert d.sessions._admission_queue == []
+        assert d.sessions._entries == {}

@@ -1,0 +1,82 @@
+"""Unit tests for session specifications."""
+
+import pytest
+
+from repro.errors import SessionError
+from repro.session import Binding, SessionSpec
+
+
+def test_spec_builds_members_and_bindings():
+    spec = SessionSpec("calendar", params={"days": 5})
+    spec.add_member("mani", inboxes=("in",), regions={"cal": "rw"})
+    spec.add_member("sec", inboxes=("requests", "replies"))
+    spec.bind("mani", "out", "sec", "requests")
+    spec.validate()
+    assert spec.params == {"days": 5}
+    assert spec.members["mani"].regions == {"cal": "rw"}
+    assert spec.outboxes_of("mani") == {
+        "out": [Binding("mani", "out", "sec", "requests")]}
+    assert spec.outboxes_of("sec") == {}
+
+
+def test_duplicate_member_rejected():
+    spec = SessionSpec("x")
+    spec.add_member("a")
+    with pytest.raises(SessionError):
+        spec.add_member("a")
+
+
+def test_default_directory_name_is_member_name():
+    spec = SessionSpec("x")
+    m = spec.add_member("alice")
+    assert m.directory_name == "alice"
+    m2 = spec.add_member("bob", directory_name="robert")
+    assert m2.directory_name == "robert"
+
+
+def test_invalid_region_mode_rejected():
+    spec = SessionSpec("x")
+    with pytest.raises(SessionError):
+        spec.add_member("a", regions={"cal": "write"})
+
+
+def test_validate_catches_unknown_members():
+    spec = SessionSpec("x")
+    spec.add_member("a", inboxes=("in",))
+    spec.bind("a", "out", "ghost", "in")
+    with pytest.raises(SessionError, match="ghost"):
+        spec.validate()
+
+
+def test_validate_catches_undeclared_inbox():
+    spec = SessionSpec("x")
+    spec.add_member("a", inboxes=("in",))
+    spec.add_member("b")  # declares no inboxes
+    spec.bind("a", "out", "b", "in")
+    with pytest.raises(SessionError, match="does not declare"):
+        spec.validate()
+
+
+def test_validate_catches_self_loop():
+    spec = SessionSpec("x")
+    spec.add_member("a", inboxes=("in",))
+    spec.add_member("b", inboxes=("in",))
+    spec.bind("a", "out", "a", "in")
+    with pytest.raises(SessionError, match="self-loop"):
+        spec.validate()
+
+
+def test_validate_requires_members():
+    with pytest.raises(SessionError, match="no members"):
+        SessionSpec("x").validate()
+
+
+def test_multi_target_outbox():
+    """One outbox bound to several inboxes (Figure 3 fan-out)."""
+    spec = SessionSpec("x")
+    spec.add_member("hub")
+    for name in ("s1", "s2", "s3"):
+        spec.add_member(name, inboxes=("in",))
+        spec.bind("hub", "bcast", name, "in")
+    spec.validate()
+    assert len(spec.outboxes_of("hub")["bcast"]) == 3

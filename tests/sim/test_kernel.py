@@ -1,0 +1,232 @@
+"""Unit tests for the discrete-event kernel and events."""
+
+import pytest
+
+from repro.errors import ProcessCrashed, SimulationError
+from repro.sim import Kernel
+
+
+def test_time_starts_at_zero():
+    k = Kernel()
+    assert k.now == 0.0
+    assert k.idle
+
+
+def test_timeout_advances_clock():
+    k = Kernel()
+    k.timeout(5.0)
+    k.run()
+    assert k.now == 5.0
+
+
+def test_timeout_rejects_negative_delay():
+    k = Kernel()
+    with pytest.raises(ValueError):
+        k.timeout(-1.0)
+
+
+def test_run_until_time_stops_exactly():
+    k = Kernel()
+    fired = []
+    k.call_later(1.0, lambda: fired.append(1))
+    k.call_later(3.0, lambda: fired.append(3))
+    k.run(until=2.0)
+    assert fired == [1]
+    assert k.now == 2.0
+    k.run(until=4.0)
+    assert fired == [1, 3]
+
+
+def test_run_until_past_time_raises():
+    k = Kernel()
+    k.run(until=5.0)
+    with pytest.raises(ValueError):
+        k.run(until=1.0)
+
+
+def test_events_at_same_instant_fire_in_scheduling_order():
+    k = Kernel()
+    order = []
+    for i in range(10):
+        k.call_later(1.0, lambda i=i: order.append(i))
+    k.run()
+    assert order == list(range(10))
+
+
+def test_event_succeed_delivers_value():
+    k = Kernel()
+    ev = k.event()
+    seen = []
+    ev.callbacks.append(lambda e: seen.append(e.value))
+    ev.succeed("hello")
+    k.run()
+    assert seen == ["hello"]
+    assert ev.ok and ev.processed
+
+
+def test_event_cannot_trigger_twice():
+    k = Kernel()
+    ev = k.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError("no"))
+
+
+def test_event_value_before_trigger_raises():
+    k = Kernel()
+    ev = k.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_fail_requires_exception():
+    k = Kernel()
+    with pytest.raises(TypeError):
+        k.event().fail("not an exception")
+
+
+def test_unhandled_event_failure_surfaces_at_run():
+    k = Kernel()
+    k.event().fail(ValueError("boom"))
+    with pytest.raises(ProcessCrashed):
+        k.run()
+
+
+def test_run_until_event_returns_value():
+    k = Kernel()
+
+    def body():
+        yield k.timeout(2.0)
+        return 42
+
+    proc = k.process(body())
+    assert k.run(until=proc) == 42
+    assert k.now == 2.0
+
+
+def test_run_until_event_raises_process_exception():
+    k = Kernel()
+
+    def body():
+        yield k.timeout(1.0)
+        raise KeyError("nope")
+
+    proc = k.process(body())
+    with pytest.raises(KeyError):
+        k.run(until=proc)
+
+
+def test_run_until_unfireable_event_reports_deadlock():
+    k = Kernel()
+    ev = k.event()  # never triggered
+
+    def waiter():
+        yield ev
+
+    k.process(waiter())
+    with pytest.raises(SimulationError, match="deadlock"):
+        k.run(until=ev)
+
+
+def test_deterministic_rng_streams():
+    a = Kernel(seed=7).rng.get("x")
+    b = Kernel(seed=7).rng.get("x")
+    c = Kernel(seed=8).rng.get("x")
+    seq_a = [a.random() for _ in range(5)]
+    seq_b = [b.random() for _ in range(5)]
+    seq_c = [c.random() for _ in range(5)]
+    assert seq_a == seq_b
+    assert seq_a != seq_c
+
+
+def test_rng_streams_are_independent_by_name():
+    k = Kernel(seed=7)
+    x = k.rng.get("x")
+    y = k.rng.get("y")
+    assert [x.random() for _ in range(3)] != [y.random() for _ in range(3)]
+    # Same name returns the same underlying generator.
+    assert k.rng.get("x") is x
+
+
+def test_rng_fork_gives_independent_tree():
+    k = Kernel(seed=7)
+    child = k.rng.fork("apps")
+    assert child.get("x").random() != k.rng.get("x").random()
+
+
+def test_peek_reports_next_event_time():
+    k = Kernel()
+    assert k.peek() == float("inf")
+    k.timeout(3.5)
+    assert k.peek() == 3.5
+
+
+def test_any_of_fires_on_first():
+    k = Kernel()
+    results = []
+
+    def body():
+        t1 = k.timeout(1.0, "fast")
+        t2 = k.timeout(5.0, "slow")
+        got = yield t1 | t2
+        results.append(list(got.values()))
+
+    k.process(body())
+    k.run()
+    assert results == [["fast"]]
+    assert k.now == 5.0  # slow timeout still pops, harmlessly
+
+
+def test_all_of_waits_for_all():
+    k = Kernel()
+    results = []
+
+    def body():
+        t1 = k.timeout(1.0, "a")
+        t2 = k.timeout(5.0, "b")
+        got = yield t1 & t2
+        results.append(sorted(got.values()))
+
+    k.process(body())
+    k.run()
+    assert results == [["a", "b"]]
+
+
+def test_all_of_empty_fires_immediately():
+    k = Kernel()
+    done = []
+
+    def body():
+        yield k.all_of([])
+        done.append(k.now)
+
+    k.process(body())
+    k.run()
+    assert done == [0.0]
+
+
+def test_condition_rejects_foreign_events():
+    k1, k2 = Kernel(), Kernel()
+    with pytest.raises(ValueError):
+        k1.any_of([k1.event(), k2.event()])
+
+
+def test_condition_propagates_child_failure():
+    k = Kernel()
+    caught = []
+
+    def body():
+        bad = k.event()
+        k.call_later(1.0, lambda: bad.fail(RuntimeError("child failed")))
+        try:
+            yield bad & k.timeout(10.0)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    k.process(body())
+    k.run()
+    assert caught == ["child failed"]

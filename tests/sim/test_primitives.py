@@ -1,0 +1,131 @@
+"""Unit tests for Store and Gate primitives."""
+
+import pytest
+
+from repro.sim import Gate, Kernel, Store
+
+
+def test_store_put_then_get_is_fifo():
+    k = Kernel()
+    s = Store(k)
+    for i in range(3):
+        s.put(i)
+    got = []
+
+    def body():
+        for _ in range(3):
+            got.append((yield s.get()))
+
+    k.process(body())
+    k.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    k = Kernel()
+    s = Store(k)
+    got = []
+
+    def consumer():
+        v = yield s.get()
+        got.append((v, k.now))
+
+    k.process(consumer())
+    k.call_later(5.0, lambda: s.put("x"))
+    k.run()
+    assert got == [("x", 5.0)]
+
+
+def test_store_waiting_getters_served_in_order():
+    k = Kernel()
+    s = Store(k)
+    got = []
+
+    def consumer(i):
+        v = yield s.get()
+        got.append((i, v))
+
+    for i in range(3):
+        k.process(consumer(i))
+    k.call_later(1.0, lambda: [s.put(c) for c in "abc"])
+    k.run()
+    assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+
+def test_store_len_and_empty():
+    k = Kernel()
+    s = Store(k)
+    assert s.is_empty and len(s) == 0
+    s.put(1)
+    assert not s.is_empty and len(s) == 1
+
+
+def test_store_peek():
+    k = Kernel()
+    s = Store(k)
+    with pytest.raises(LookupError):
+        s.peek()
+    s.put("head")
+    s.put("tail")
+    assert s.peek() == "head"
+    assert len(s) == 2  # peek does not consume
+
+
+def test_store_cancel_withdraws_pending_get():
+    k = Kernel()
+    s = Store(k)
+    ev = s.get()
+    s.cancel(ev)
+    s.put("x")
+    # The cancelled getter must not have consumed the item.
+    assert len(s) == 1
+    s.cancel(ev)  # cancelling twice is harmless
+
+
+def test_gate_broadcasts_to_all_waiters():
+    k = Kernel()
+    g = Gate(k)
+    woken = []
+
+    def waiter(i):
+        v = yield g.wait()
+        woken.append((i, v, k.now))
+
+    for i in range(3):
+        k.process(waiter(i))
+    k.call_later(2.0, lambda: g.open("go"))
+    k.run()
+    assert woken == [(0, "go", 2.0), (1, "go", 2.0), (2, "go", 2.0)]
+
+
+def test_gate_stays_open_until_reset():
+    k = Kernel()
+    g = Gate(k)
+    g.open("v")
+    assert g.is_open
+    log = []
+
+    def late_waiter():
+        log.append((yield g.wait()))
+
+    k.process(late_waiter())
+    k.run()
+    assert log == ["v"]
+    g.reset()
+    assert not g.is_open
+
+
+def test_gate_double_open_is_idempotent():
+    k = Kernel()
+    g = Gate(k)
+    g.open(1)
+    g.open(2)  # ignored
+
+    log = []
+
+    def waiter():
+        log.append((yield g.wait()))
+
+    k.process(waiter())
+    k.run()
+    assert log == [1]

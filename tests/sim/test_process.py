@@ -1,0 +1,176 @@
+"""Unit tests for processes (generator coroutines)."""
+
+import pytest
+
+from repro.errors import InterruptError, ProcessCrashed
+from repro.sim import Kernel
+
+
+def test_process_runs_and_returns_value():
+    k = Kernel()
+
+    def body():
+        yield k.timeout(1.0)
+        yield k.timeout(2.0)
+        return "done"
+
+    p = k.process(body())
+    assert p.is_alive
+    assert k.run(until=p) == "done"
+    assert not p.is_alive
+    assert k.now == 3.0
+
+
+def test_process_receives_event_values():
+    k = Kernel()
+    got = []
+
+    def body():
+        v = yield k.timeout(1.0, value=99)
+        got.append(v)
+
+    k.process(body())
+    k.run()
+    assert got == [99]
+
+
+def test_process_requires_generator():
+    k = Kernel()
+    with pytest.raises(TypeError):
+        k.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yielding_non_event_crashes_process():
+    k = Kernel()
+
+    def body():
+        yield 42  # type: ignore[misc]
+
+    p = k.process(body())
+    with pytest.raises(TypeError):
+        k.run(until=p)
+
+
+def test_join_another_process():
+    k = Kernel()
+    log = []
+
+    def child():
+        yield k.timeout(2.0)
+        log.append("child")
+        return 7
+
+    def parent():
+        value = yield k.process(child(), name="child")
+        log.append(("parent", value))
+
+    k.process(parent())
+    k.run()
+    assert log == ["child", ("parent", 7)]
+
+
+def test_join_already_finished_process():
+    k = Kernel()
+    log = []
+
+    def child():
+        return 5
+        yield  # pragma: no cover
+
+    def parent(c):
+        yield k.timeout(3.0)
+        value = yield c
+        log.append(value)
+
+    c = k.process(child())
+    k.process(parent(c))
+    k.run()
+    assert log == [5]
+
+
+def test_process_exception_propagates_to_joiner():
+    k = Kernel()
+    caught = []
+
+    def child():
+        yield k.timeout(1.0)
+        raise LookupError("inner")
+
+    def parent():
+        try:
+            yield k.process(child())
+        except LookupError as exc:
+            caught.append(str(exc))
+
+    k.process(parent())
+    k.run()
+    assert caught == ["inner"]
+
+
+def test_unjoined_crash_surfaces_at_run():
+    k = Kernel()
+
+    def body():
+        yield k.timeout(1.0)
+        raise ValueError("unobserved")
+
+    k.process(body())
+    with pytest.raises(ProcessCrashed):
+        k.run()
+
+
+def test_interrupt_wakes_blocked_process():
+    k = Kernel()
+    log = []
+
+    def sleeper():
+        try:
+            yield k.timeout(100.0)
+        except InterruptError as exc:
+            log.append(("interrupted", exc.cause, k.now))
+
+    p = k.process(sleeper())
+    k.call_later(2.0, lambda: p.interrupt("wake up"))
+    k.run(until=p)
+    assert log == [("interrupted", "wake up", 2.0)]
+
+
+def test_interrupt_finished_process_raises():
+    k = Kernel()
+
+    def body():
+        return None
+        yield  # pragma: no cover
+
+    p = k.process(body())
+    k.run(until=p)
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_active_process_count_tracks_lifecycle():
+    k = Kernel()
+
+    def body():
+        yield k.timeout(1.0)
+
+    k.process(body())
+    k.process(body())
+    assert k.active_process_count == 2
+    k.run()
+    assert k.active_process_count == 0
+
+
+def test_process_chain_same_instant():
+    """Processes resuming at the same instant retain FIFO order."""
+    k = Kernel()
+    order = []
+
+    def body(i):
+        yield k.timeout(1.0)
+        order.append(i)
+
+    for i in range(5):
+        k.process(body(i))
+    k.run()
+    assert order == [0, 1, 2, 3, 4]

@@ -1,0 +1,84 @@
+"""Stateful property test: Store behaves like a FIFO queue model."""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.sim import Kernel, Store
+
+
+class StoreModel(RuleBasedStateMachine):
+    """Drives a Store against a plain deque model.
+
+    The kernel is stepped after every operation so drain events settle;
+    consumed values must come out in exactly model order.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.kernel = Kernel()
+        self.store = Store(self.kernel)
+        self.model: deque = deque()
+        self.consumed: list = []
+        self.expected: list = []
+        self._counter = 0
+
+    def _settle(self):
+        self.kernel.run()
+
+    @rule(n=st.integers(min_value=1, max_value=5))
+    def put_items(self, n):
+        for _ in range(n):
+            self._counter += 1
+            self.store.put(self._counter)
+            self.model.append(self._counter)
+        self._settle()
+
+    @rule()
+    def put_front_item(self):
+        self._counter += 1
+        self.store.put_front(self._counter)
+        self.model.appendleft(self._counter)
+        self._settle()
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule()
+    def get_item(self):
+        ev = self.store.get()
+        ev.callbacks.append(lambda e: self.consumed.append(e.value))
+        self.expected.append(self.model.popleft())
+        self._settle()
+
+    @rule()
+    def blocking_get_then_put(self):
+        """A getter that arrives before its item."""
+        ev = self.store.get()
+        ev.callbacks.append(lambda e: self.consumed.append(e.value))
+        self._counter += 1
+        self.store.put(self._counter)
+        # The pending getter takes the OLDEST item; model accordingly.
+        self.model.append(self._counter)
+        self.expected.append(self.model.popleft())
+        self._settle()
+
+    @invariant()
+    def consumption_matches_model(self):
+        assert self.consumed == self.expected
+
+    @invariant()
+    def length_matches_model(self):
+        assert len(self.store) == len(self.model)
+        assert self.store.is_empty == (len(self.model) == 0)
+
+
+TestStoreModel = StoreModel.TestCase
+TestStoreModel.settings = settings(max_examples=60,
+                                   stateful_step_count=30,
+                                   deadline=None)

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion and prints the
+expected headline output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "session terminated"),
+    ("calendar_meeting.py", "executive committee"),
+    ("collaborative_design.py", "token conservation invariant holds"),
+    ("card_game.py", "winner:"),
+    ("global_snapshot.py", "consistent?"),
+    ("lossy_wan.py", "DeliveryTimeout raised"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+    # No consistency failure slipped through (global_snapshot prints
+    # 'NO!' on an inconsistent cut).
+    assert "NO!" not in result.stdout

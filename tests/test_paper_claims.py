@@ -1,0 +1,337 @@
+"""Spec tests: one test per checkable sentence of the paper.
+
+Each test quotes the claim it verifies (abridged). Most of these
+behaviours are also covered in the per-module suites; this file is the
+reproduction's conformance checklist, organized by the paper's
+sections.
+"""
+
+import pytest
+
+from repro import (
+    Dapplet,
+    DeliveryTimeout,
+    Initiator,
+    SessionRejected,
+    SessionSpec,
+    World,
+)
+from repro.errors import BindingError, DeadlockDetected, TokenError
+from repro.messages import Text, dumps, loads, message_type
+from repro.net import ConstantLatency, FaultPlan, UniformLatency
+from repro.services.tokens import TokenAgent, TokenCoordinator
+
+
+class Plain(Dapplet):
+    kind = "plain"
+
+
+class CtxKeeper(Dapplet):
+    kind = "keeper"
+
+    def on_session_start(self, ctx):
+        self.ctx = ctx
+
+
+@pytest.fixture
+def world():
+    return World(seed=99, latency=ConstantLatency(0.01))
+
+
+# -- §3.1: intended system use ------------------------------------------------
+
+def test_dapplet_has_internet_address(world):
+    """'Associated with each dapplet is an Internet address (i.e. IP
+    address and port id).'"""
+    d = world.dapplet(Plain, "caltech.edu", "d")
+    assert d.address.host == "caltech.edu"
+    assert 0 < d.address.port < 65536
+
+
+def test_rejection_reasons_are_acl_and_interference(world):
+    """'it may reject the request because the requesting dapplet was not
+    on its access control list, or because ... another concurrent
+    session would cause interference.'"""
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    reasons = []
+
+    def director():
+        a.acl.deny(initiator.address)
+        spec = SessionSpec("t")
+        spec.add_member("a")
+        try:
+            yield from initiator.establish(spec)
+        except SessionRejected as exc:
+            reasons.append(exc.reason)
+        a.acl.clear()
+        spec1 = SessionSpec("t")
+        spec1.add_member("a", regions={"r": "rw"})
+        s1 = yield from initiator.establish(spec1)
+        spec2 = SessionSpec("t")
+        spec2.add_member("a", regions={"r": "rw"})
+        try:
+            yield from initiator.establish(spec2)
+        except SessionRejected as exc:
+            reasons.append(exc.reason)
+        yield from s1.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    assert reasons == ["acl", "interference"]
+
+
+def test_unlink_on_termination(world):
+    """'When a session terminates, component dapplets unlink themselves
+    from each other.'"""
+    a = world.dapplet(CtxKeeper, "caltech.edu", "a")
+    b = world.dapplet(CtxKeeper, "rice.edu", "b")
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+
+    def director():
+        spec = SessionSpec("t")
+        spec.add_member("a", inboxes=("in",))
+        spec.add_member("b", inboxes=("in",))
+        spec.bind("a", "out", "b", "in")
+        session = yield from initiator.establish(spec)
+        assert a.ctx.outbox("out").destinations()  # linked
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    assert not a.ctx.active
+    assert a.sessions.active_sessions() == []
+    assert b.sessions.active_sessions() == []
+
+
+# -- §3.2: messages, inboxes, outboxes, channels ----------------------------------
+
+def test_messages_are_subclasses_converted_to_strings():
+    """'Objects that are sent ... are subclasses of a message class. An
+    object ... is converted into a string ... and then reconstructed
+    back into its original type.'"""
+    with pytest.raises(TypeError):
+        @message_type("claims.custom")
+        class _Probe:  # not a Message subclass -> rejected
+            pass
+
+
+def test_message_string_roundtrip_type_identity():
+    wire = dumps(Text("x"))
+    assert isinstance(wire, str)
+    back = loads(wire)
+    assert type(back) is Text and back.text == "x"
+
+
+def test_messages_are_subclasses_enforced():
+    from repro.errors import SerializationError
+    with pytest.raises(SerializationError):
+        dumps("a bare string")  # type: ignore[arg-type]
+
+
+def test_channel_is_one_outbox_to_one_inbox_fifo(world):
+    """'Each message channel is directed from exactly one outbox to
+    exactly one inbox. Messages sent along a channel are delivered in
+    the order sent.'"""
+    world = World(seed=99, latency=UniformLatency(0.01, 0.3),
+                  faults=FaultPlan(reorder_jitter=0.2))
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    b = world.dapplet(Plain, "rice.edu", "b")
+    inbox = b.create_inbox(name="in")
+    out = a.create_outbox()
+    out.add(inbox.named_address)
+    for i in range(30):
+        out.send(Text(str(i)))
+    world.run()
+    assert [m.text for m in inbox.queued()] == [str(i) for i in range(30)]
+
+
+def test_outbox_can_bind_to_arbitrarily_many_inboxes(world):
+    """'an outbox can be bound to an arbitrary number of inboxes.
+    Likewise, an inbox can be bound to an arbitrary number of
+    outboxes.'"""
+    hub = world.dapplet(Plain, "caltech.edu", "hub")
+    outbox = hub.create_outbox()
+    shared_inbox = hub.create_inbox(name="shared")
+    for i in range(10):
+        d = world.dapplet(Plain, f"s{i}.edu", f"d{i}")
+        outbox.add(d.create_inbox(name="in").named_address)
+        ob = d.create_outbox()
+        ob.add(shared_inbox.named_address)
+        ob.send(Text(f"from d{i}"))
+    outbox.send(Text("fanout"))
+    world.run()
+    assert len(shared_inbox) == 10
+    assert outbox.destinations() and len(outbox.destinations()) == 10
+
+
+def test_send_copies_along_each_channel(world):
+    """'send(msg) ... sends a copy of the object msg along each output
+    channel connected to the outbox.'"""
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    receivers = [world.dapplet(Plain, f"s{i}.edu", f"r{i}") for i in range(3)]
+    inboxes = [r.create_inbox(name="in") for r in receivers]
+    out = a.create_outbox()
+    for ib in inboxes:
+        out.add(ib.named_address)
+    result = out.send(Text("copy"))
+    assert result.copies == 3
+    world.run()
+    received = [ib.queued()[0] for ib in inboxes]
+    # Reconstructed objects are equal but independent instances.
+    assert all(m.text == "copy" for m in received)
+    assert len({id(m) for m in received}) == 3
+
+
+def test_undelivered_message_raises_within_specified_time():
+    """'if a message is not delivered within a specified time, an
+    exception is raised.'"""
+    world = World(seed=99, latency=ConstantLatency(0.01),
+                  faults=FaultPlan(drop_prob=1.0),
+                  endpoint_options={"rto_initial": 0.05})
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    b = world.dapplet(Plain, "rice.edu", "b")
+    out = a.create_outbox()
+    out.add(b.create_inbox(name="in").named_address)
+    raised = []
+
+    def sender():
+        try:
+            yield out.send_confirmed(Text("m"), timeout=0.5)
+        except DeliveryTimeout:
+            raised.append(world.now)
+
+    world.run(until=world.process(sender()))
+    world.run()
+    assert raised and raised[0] >= 0.5
+
+
+def test_delete_of_unbound_address_throws(world):
+    """'delete(ipa) removes the specified global address ... and
+    otherwise throws an exception.'"""
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    out = a.create_outbox()
+    with pytest.raises(BindingError):
+        out.delete(a.create_inbox().address)
+
+
+def test_add_is_conditional_on_not_already_bound(world):
+    """'add(ipa) ... appends the specified inbox to the list inboxes if
+    it is not already on the list.'"""
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    inbox = a.create_inbox()
+    out = a.create_outbox()
+    out.add(inbox.address)
+    out.add(inbox.address)
+    assert out.destinations() == (inbox.address,)
+
+
+def test_polymorphic_inbox_addressing(world):
+    """'The add and delete methods ... are polymorphic: an inbox can be
+    either specified by a global address ... or by a dapplet address
+    and string.'"""
+    prof = world.dapplet(Plain, "caltech.edu", "prof")
+    students = prof.create_inbox(name="students")
+    out = world.dapplet(Plain, "rice.edu", "ta").create_outbox()
+    out.add(students.named_address)   # (address, string) form
+    out.delete(students.named_address)
+    out.add(students.address)          # (address, local id) form
+    out.delete(students.address)
+    assert out.destinations() == ()
+
+
+def test_inbox_api_is_empty_await_receive(world):
+    """'isEmpty() ... awaitNonEmpty() ... receive() suspends execution
+    until the inbox is nonempty and then returns the object at the head
+    of the inbox, deleting the object.'"""
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    inbox = a.create_inbox(name="in")
+    out = a.create_outbox()
+    out.add(inbox.named_address)
+    assert inbox.is_empty
+    log = []
+
+    def reader():
+        yield inbox.await_nonempty()
+        log.append(("nonempty", len(inbox)))
+        msg = yield inbox.receive()
+        log.append(("received", msg.text, len(inbox)))
+
+    world.process(reader())
+    out.send(Text("head"))
+    world.run()
+    assert log == [("nonempty", 1), ("received", "head", 0)]
+
+
+# -- §4.1: tokens ---------------------------------------------------------------
+
+def test_tokens_conserved_and_colored(world):
+    """'Tokens are objects that are neither created nor destroyed ...
+    tokens of one color cannot be transmuted into tokens of another
+    color.'"""
+    host = world.dapplet(Plain, "caltech.edu", "host")
+    coordinator = TokenCoordinator(host, {"file-a": 1, "file-b": 2})
+    agent = TokenAgent(world.dapplet(Plain, "s.edu", "d"),
+                       coordinator.pointer)
+
+    def run():
+        yield agent.request({"file-a": 1})
+        with pytest.raises(TokenError):
+            agent.release({"file-b": 1})  # no transmutation
+        agent.release({"file-a": 1})
+
+    world.run(until=world.process(run()))
+    world.run()
+    coordinator.check_conservation()
+
+
+def test_deadlock_raises_exception(world):
+    """'If the token managers detect a deadlock, an exception is
+    raised.'"""
+    host = world.dapplet(Plain, "caltech.edu", "host")
+    coordinator = TokenCoordinator(host, {"x": 1, "y": 1})
+    a = TokenAgent(world.dapplet(Plain, "s0.edu", "d0"), coordinator.pointer)
+    b = TokenAgent(world.dapplet(Plain, "s1.edu", "d1"), coordinator.pointer)
+    outcome = []
+
+    def left():
+        yield a.request({"x": 1})
+        yield world.kernel.timeout(0.5)
+        try:
+            yield a.request({"y": 1})
+        except DeadlockDetected:
+            outcome.append("deadlock")
+
+    def right():
+        yield b.request({"y": 1})
+        yield world.kernel.timeout(0.5)
+        try:
+            yield b.request({"x": 1})
+        except DeadlockDetected:
+            outcome.append("deadlock")
+
+    world.process(left())
+    world.process(right())
+    world.run(until=5.0)
+    assert "deadlock" in outcome
+
+
+# -- §4.2: clocks -----------------------------------------------------------------
+
+def test_snapshot_criterion_quote(world):
+    """'every message that is sent when the sender's clock is T is
+    received when the receiver's clock exceeds T.'"""
+    a = world.dapplet(Plain, "caltech.edu", "a")
+    b = world.dapplet(Plain, "rice.edu", "b")
+    inbox = b.create_inbox(name="in")
+    out = a.create_outbox()
+    out.add(inbox.named_address)
+    stamps = []
+    inbox.delivery_hooks.append(
+        lambda m: (stamps.append((b.clock.last_received_ts, b.clock.time)),
+                   m)[1])
+    for _ in range(20):
+        a.clock.tick()
+        out.send(Text("m"))
+    world.run()
+    assert stamps and all(now > ts for ts, now in stamps)
