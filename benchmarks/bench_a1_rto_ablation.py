@@ -1,18 +1,25 @@
-"""A1 (ablation) — retransmission-timeout sizing in the ordering layer.
+"""A1 (ablation) — retransmission-timeout sizing x recovery protocol.
 
 The layer's default estimates the initial RTO as 4x the link's mean
 latency (per destination, from the latency model). This ablation pits
 that choice against fixed under- and over-estimates on a jittery,
-lossy intercontinental link.
+lossy intercontinental link — and crosses the interesting arms with the
+recovery protocol: pure cumulative ACKs (the original seed protocol)
+vs the SACK + fast-retransmit default.
 
-Measured shape (recorded in EXPERIMENTS.md): spurious retransmits fall
-monotonically as the RTO grows, reaching the loss-driven floor at the
-estimated default; delivery latency rises monotonically once the RTO
-exceeds the RTT, because every loss stalls the FIFO stream for the full
-timeout. The estimated default minimizes wasted datagrams; an
-aggressive RTO buys tail latency with bandwidth — a real trade-off the
-simulator makes visible (it does not model congestion, which is what
-makes TCP-style conservatism pay off on real networks).
+Measured shape (recorded in EXPERIMENTS.md), cumulative arm: spurious
+retransmits fall monotonically as the RTO grows toward the estimated
+default; delivery latency rises monotonically once the RTO exceeds the
+RTT, because every loss stalls the FIFO stream for the full timeout,
+and grossly over-sizing is the worst of all worlds (seconds-long stalls
+*and* pointless retransmission of the queue behind them). SACK arm:
+duplicate-ACK-driven fast retransmit decouples loss recovery from the
+timer, so the over-sizing pathology mostly vanishes — recovery latency
+is set by the dup-ack round trip, the RTO only backstops losses at the
+very tail of the stream. Adaptive RTO estimation (Jacobson, Karn-gated
+samples from ack-echoed timestamps) is the robust partner to SACK: it
+tracks the channel without hand-tuning, while in the cumulative arm a
+single unlucky loss x backoff chain can still dominate the tail.
 """
 
 from __future__ import annotations
@@ -33,11 +40,13 @@ N = 150
 DROP = 0.2
 
 
-def run_rto(rto: "float | None", seed: int = 81, mode: str = "static"):
+def run_rto(rto: "float | None", seed: int = 81, mode: str = "static", *,
+            sack: bool = True):
     world = World(seed=seed, latency=GeoLatency(),
                   faults=FaultPlan(drop_prob=DROP, reorder_jitter=0.02),
                   endpoint_options={"rto_initial": rto, "max_retries": 60,
-                                    "rto_mode": mode})
+                                    "rto_mode": mode, "sack": sack,
+                                    "ack_delay": 0.01 if sack else 0.0})
     src = world.dapplet(Node, "caltech.edu", "src")
     dst = world.dapplet(Node, "sydney.edu.au", "dst")
     inbox = dst.create_inbox(name="in")
@@ -78,40 +87,65 @@ CONFIGS = [
 
 @pytest.fixture(scope="module")
 def results():
-    table = {name: run_rto(rto) for name, rto in CONFIGS}
-    table["adaptive"] = run_rto(None, mode="adaptive")
+    table = {}
+    for name, rto in CONFIGS:
+        table[(name, "cum")] = run_rto(rto, sack=False)
+    # The recovery-protocol cross: does SACK rescue a badly sized RTO?
+    table[("estimated", "sack")] = run_rto(None, sack=True)
+    table[("huge (3s)", "sack")] = run_rto(3.0, sack=True)
+    table[("adaptive", "cum")] = run_rto(None, mode="adaptive", sack=False)
+    table[("adaptive", "sack")] = run_rto(None, mode="adaptive", sack=True)
     return table
 
 
 def test_a1_table_and_shape(results, benchmark):
-    rows = [[name, f"{r['mean']*1000:.0f}", f"{r['p95']*1000:.0f}",
+    rows = [[name, proto, f"{r['mean']*1000:.0f}", f"{r['p95']*1000:.0f}",
              r["retransmits"], r["datagrams"]]
-            for name, r in results.items()]
-    print_table(f"A1: RTO sizing on caltech->sydney, {DROP:.0%} loss "
-                f"({N} msgs)",
-                ["rto", "mean lat (ms)", "p95 lat (ms)", "retransmits",
-                 "datagrams"], rows)
+            for (name, proto), r in results.items()]
+    print_table(f"A1: RTO sizing x recovery protocol, caltech->sydney, "
+                f"{DROP:.0%} loss ({N} msgs)",
+                ["rto", "proto", "mean lat (ms)", "p95 lat (ms)",
+                 "retransmits", "datagrams"], rows)
 
-    # Adaptive RTO (Jacobson estimation fed by echo timestamps, the
-    # TCP-timestamps trick) converges to the channel's real RTT and
-    # dominates the static estimate on every axis.
-    adaptive = results["adaptive"]
-    estimated = results["estimated"]
-    assert adaptive["p95"] < estimated["p95"]
-    assert adaptive["retransmits"] <= estimated["retransmits"]
-    assert adaptive["datagrams"] <= estimated["datagrams"]
-
-    # Static configs: spurious retransmits fall as the RTO grows toward
-    # the estimate; tail latency rises monotonically past the RTT.
-    assert results["tiny (20ms)"]["retransmits"] > \
-        results["small (80ms)"]["retransmits"] > estimated["retransmits"]
-    p95 = [results[name]["p95"] for name, _ in CONFIGS]
+    # -- cumulative arm: the seed protocol's RTO-sizing trade-off -------
+    estimated = results[("estimated", "cum")]
+    # Spurious retransmits fall as the RTO grows toward the estimate;
+    # tail latency rises monotonically past the RTT.
+    assert results[("tiny (20ms)", "cum")]["retransmits"] > \
+        results[("small (80ms)", "cum")]["retransmits"] > \
+        estimated["retransmits"]
+    p95 = [results[(name, "cum")]["p95"] for name, _ in CONFIGS]
     assert p95 == sorted(p95)
     # Grossly over-sizing is the worst of all worlds: every loss stalls
     # the FIFO stream for seconds, and the packets queueing up behind
-    # the stall get pointlessly retransmitted (no selective acks).
-    huge = results["huge (3s)"]
+    # the stall get pointlessly retransmitted.
+    huge = results[("huge (3s)", "cum")]
     assert huge["p95"] > 5 * estimated["p95"]
     assert huge["retransmits"] > estimated["retransmits"]
+
+    # -- SACK arm: fast retransmit decouples recovery from the timer ----
+    # At a well-sized RTO, SACK dominates cumulative on every axis.
+    est_sack = results[("estimated", "sack")]
+    for axis in ("mean", "p95", "retransmits", "datagrams"):
+        assert est_sack[axis] < estimated[axis]
+    # The over-sizing pathology mostly vanishes: recovery latency is set
+    # by the dup-ack round trip, not the 3s timer, and the buffered tail
+    # stays off the wire entirely.
+    huge_sack = results[("huge (3s)", "sack")]
+    assert huge_sack["mean"] < huge["mean"] / 3
+    assert huge_sack["retransmits"] < estimated["retransmits"]
+
+    # -- adaptive RTO: the robust partner to SACK -----------------------
+    # Jacobson estimation with Karn-gated samples tracks the channel
+    # without hand-tuning; paired with SACK it beats the hand-estimated
+    # static default of the seed protocol on every axis.
+    adaptive_sack = results[("adaptive", "sack")]
+    for axis in ("mean", "p95", "retransmits", "datagrams"):
+        assert adaptive_sack[axis] < estimated[axis]
+    # ... and it beats adaptive-over-cumulative too: without selective
+    # acks one unlucky loss x backoff chain still dominates the tail.
+    adaptive_cum = results[("adaptive", "cum")]
+    assert adaptive_sack["mean"] < adaptive_cum["mean"]
+    assert adaptive_sack["retransmits"] < adaptive_cum["retransmits"]
 
     benchmark(run_rto, None)

@@ -108,7 +108,18 @@ class Outbox:
         drains the queue to all channels; since the drain is immediate
         and per-channel FIFO is preserved by the transport, doing both
         in one call is observationally equivalent.
+
+        With no bindings and no ``timeout``, sending is a legal fan-out
+        of zero copies: the returned result has ``copies == 0`` and its
+        ``confirmed()`` fires immediately (vacuous truth). Asking for a
+        ``timeout`` on an unbound outbox raises :class:`BindingError`
+        instead — there is no channel whose delivery could ever be
+        confirmed or time out, and a silently instant "success" would
+        mask a wiring bug (matching :meth:`send_confirmed`).
         """
+        if timeout is not None and not self._channels:
+            raise BindingError(
+                f"outbox {self.endpoint.address}/o{self.ref} has no bindings")
         wire = dumps(self._apply_hooks(message))
         receipts: list[DeliveryReceipt] = []
         for address, chan in self._channels.items():

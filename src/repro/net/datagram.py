@@ -29,7 +29,9 @@ HEADER_OVERHEAD = 64
 class Datagram:
     """One datagram on the wire.
 
-    ``header`` carries the ordering layer's framing (kind, channel, seq);
+    ``header`` carries the ordering layer's framing — ``DATA {kind, to,
+    ch, seq, ts, pack?}``, ``ACK {kind, ch, cum, ets, sack?}`` or ``RAW
+    {kind, to}``; see ``docs/PROTOCOLS.md`` for the field glossary.
     ``payload`` is the serialized message string. ``size`` in bytes
     drives transmission delay in size-aware latency models.
     """
@@ -107,7 +109,8 @@ class DatagramNetwork:
 
         link = f"net/{datagram.src}->{datagram.dst}"
         fault_rng = self.kernel.rng.get(link + "/faults")
-        extra_delays = self.faults.copies(fault_rng, datagram.src, datagram.dst)
+        extra_delays = self.faults.copies(fault_rng, datagram.src,
+                                          datagram.dst, datagram)
         if not extra_delays:
             self.stats.dropped += 1
             return

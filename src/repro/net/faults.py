@@ -11,8 +11,12 @@ failure-injection tests.
 from __future__ import annotations
 
 from random import Random
+from typing import TYPE_CHECKING, Callable
 
 from repro.net.address import NodeAddress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.net.datagram import Datagram
 
 
 class FaultPlan:
@@ -28,10 +32,16 @@ class FaultPlan:
     reorder_jitter:
         Upper bound of an extra uniform delay added independently per
         copy; any value > 0 lets later sends overtake earlier ones.
+    drop_filter:
+        Optional deterministic predicate over the full datagram; a True
+        result drops it (applied before the probabilistic faults).
+        Lets tests and failure-injection scenarios target specific
+        packets — e.g. "lose the first transmission of DATA seq 2".
     """
 
     def __init__(self, *, drop_prob: float = 0.0, duplicate_prob: float = 0.0,
-                 reorder_jitter: float = 0.0) -> None:
+                 reorder_jitter: float = 0.0,
+                 drop_filter: "Callable[[Datagram], bool] | None" = None) -> None:
         for name, p in (("drop_prob", drop_prob),
                         ("duplicate_prob", duplicate_prob)):
             if not (0.0 <= p <= 1.0):
@@ -41,6 +51,7 @@ class FaultPlan:
         self.drop_prob = drop_prob
         self.duplicate_prob = duplicate_prob
         self.reorder_jitter = reorder_jitter
+        self.drop_filter = drop_filter
         self._partitions: set[tuple[NodeAddress, NodeAddress]] = set()
 
     # -- partitions -----------------------------------------------------
@@ -62,14 +73,17 @@ class FaultPlan:
 
     # -- per-datagram decision ------------------------------------------
 
-    def copies(self, rng: Random, src: NodeAddress,
-               dst: NodeAddress) -> list[float]:
+    def copies(self, rng: Random, src: NodeAddress, dst: NodeAddress,
+               datagram: "Datagram | None" = None) -> list[float]:
         """Extra-delay list, one entry per copy to deliver.
 
         ``[]`` means the datagram is lost; ``[j]`` a single delivery with
         extra jitter ``j``; ``[j1, j2]`` a duplicated delivery.
         """
         if self.is_partitioned(src, dst):
+            return []
+        if self.drop_filter is not None and datagram is not None \
+                and self.drop_filter(datagram):
             return []
         if self.drop_prob and rng.random() < self.drop_prob:
             return []

@@ -9,6 +9,23 @@ with exponential backoff, receiver-side reordering buffers and duplicate
 suppression — yielding per-channel FIFO, exactly-once delivery over a
 network that drops, duplicates and reorders.
 
+On top of the cumulative baseline the layer speaks three loss-recovery
+refinements borrowed from modern TCP, all per channel:
+
+* **Selective acknowledgements** — every ACK carries a bounded ``sack``
+  list of out-of-order sequence ranges held in the receiver's reordering
+  buffer. The sender marks those packets and stops retransmitting them:
+  only true holes go back on the wire (counted in
+  ``stats.sacked_suppressed``).
+* **Fast retransmit** — ``dup_ack_threshold`` duplicate cumulative ACKs
+  retransmit the first unSACKed hole immediately instead of waiting out
+  the RTO (counted in ``stats.fast_retransmits``).
+* **Delayed / piggybacked ACKs** — in-order arrivals coalesce behind a
+  short delayed-ack window (``ack_delay``); a gap, a duplicate or a
+  hole-filling arrival always ACKs immediately so duplicate ACKs keep
+  flowing for fast retransmit. A pending delayed ACK rides outgoing DATA
+  to the same node for free (``stats.acks_piggybacked``).
+
 One :class:`Endpoint` exists per node (simulated machine); every inbox of
 every dapplet on that node registers with it, and every outbox sends
 through the endpoint of its node. The *channel key* identifies one
@@ -37,10 +54,17 @@ KIND_DATA = "DATA"
 KIND_ACK = "ACK"
 KIND_RAW = "RAW"
 
+#: Most SACK ranges one ACK may carry (mirrors TCP's option-space bound;
+#: ranges beyond the limit are simply re-advertised by later ACKs).
+SACK_MAX_RANGES = 3
+
 
 @dataclass
 class EndpointStats:
-    """Counters kept per endpoint (read by tests and benchmarks)."""
+    """Counters kept per endpoint (read by tests and benchmarks).
+
+    See ``docs/PROTOCOLS.md`` for the full glossary.
+    """
 
     data_sent: int = 0
     data_retransmitted: int = 0
@@ -52,6 +76,10 @@ class EndpointStats:
     raw_sent: int = 0
     raw_delivered: int = 0
     no_such_inbox: int = 0
+    fast_retransmits: int = 0
+    sacked_suppressed: int = 0
+    acks_delayed: int = 0
+    acks_piggybacked: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(vars(self))
@@ -108,19 +136,29 @@ class _Pending:
     deadline: float | None = None
     timed_out: bool = False
     first_sent_at: float = 0.0
+    #: The receiver advertised holding this packet in its reordering
+    #: buffer; retransmission is suppressed while an earlier hole exists.
+    sacked: bool = False
+    #: When this packet was last retransmitted (RTO- or duplicate-ACK
+    #: driven). Fast retransmit is paced against it: at most one
+    #: recovery transmission per measured RTT, so a lost fast
+    #: retransmission is retried after ~one RTT instead of stalling
+    #: until the (possibly huge) RTO, without ever flooding one hole.
+    last_rtx_at: float = float("-inf")
 
 
 class _SendStream:
     """Sender half of one reliable channel (fixed dst node + channel key).
 
     In ``adaptive`` mode the stream keeps a Jacobson-style RTT estimate
-    from acknowledged packets (Karn's rule: retransmitted packets are
-    excluded) and new packets start from ``srtt + 4*rttvar`` instead of
-    the static initial RTO.
+    from acknowledged packets (Karn's rule: only ACKs that advance the
+    cumulative point are sampled, so duplicate-triggered ACKs echoing a
+    retransmission never pollute the estimate) and new packets start from
+    ``srtt + 4*rttvar`` instead of the static initial RTO.
     """
 
     __slots__ = ("next_seq", "unacked", "rto_initial", "broken",
-                 "srtt", "rttvar")
+                 "srtt", "rttvar", "last_cum", "dup_acks", "last_rtt")
 
     def __init__(self, rto_initial: float) -> None:
         self.next_seq = 0
@@ -129,6 +167,16 @@ class _SendStream:
         self.broken = False
         self.srtt: float | None = None
         self.rttvar = 0.0
+        #: Highest cumulative acknowledgement seen so far.
+        self.last_cum = -1
+        #: Consecutive duplicate cumulative ACKs at ``last_cum``.
+        self.dup_acks = 0
+        #: Most recent raw round-trip measurement from any ACK's echo
+        #: timestamp. Unlike the Karn-gated ``srtt`` this includes
+        #: duplicate-triggered ACKs — it only paces fast retransmit and
+        #: never sizes the RTO, so the retransmission ambiguity that
+        #: Karn's rule guards against is harmless here.
+        self.last_rtt = 0.0
 
     def observe_rtt(self, sample: float) -> None:
         if self.srtt is None:
@@ -147,11 +195,33 @@ class _SendStream:
 class _RecvStream:
     """Receiver half of one reliable channel (fixed src node + channel key)."""
 
-    __slots__ = ("expected", "buffer")
+    __slots__ = ("expected", "buffer", "ack_pending", "ack_armed",
+                 "last_ack_at", "pending_ets")
 
     def __init__(self) -> None:
         self.expected = 0
         self.buffer: dict[int, tuple["int | str", str]] = {}
+        #: An acknowledgement is owed but has not been put on the wire.
+        self.ack_pending = False
+        #: A delayed-ack timer is currently armed for this stream.
+        self.ack_armed = False
+        self.last_ack_at = float("-inf")
+        #: Echo timestamp of the earliest packet covered by the pending
+        #: ACK (RFC 7323 rule: a coalesced ACK echoes its oldest trigger,
+        #: so RTT samples account for the ack delay the sender must absorb).
+        self.pending_ets: float | None = None
+
+    def sack_ranges(self) -> list[list[int]]:
+        """The out-of-order runs held in the buffer, as inclusive ranges."""
+        ranges: list[list[int]] = []
+        for seq in sorted(self.buffer):
+            if ranges and seq == ranges[-1][1] + 1:
+                ranges[-1][1] = seq
+            else:
+                if len(ranges) == SACK_MAX_RANGES:
+                    break
+                ranges.append([seq, seq])
+        return ranges
 
 
 DeliverFn = Callable[[str, InboxAddress], None]
@@ -173,14 +243,32 @@ class Endpoint:
         Backoff cap and retry budget; exhausting the budget marks the
         channel broken (counted in ``stats.gave_up``) so runs always
         quiesce even under pathological loss.
+    sack:
+        Enables selective acknowledgements and fast retransmit
+        (default). False reverts to the pure cumulative-ACK protocol —
+        the ablation baseline of benchmarks A1 and E4.
+    dup_ack_threshold:
+        Duplicate cumulative ACKs that trigger a fast retransmit of the
+        first unSACKed hole (TCP's classic K=3).
+    ack_delay:
+        Width of the receiver's delayed-ack window. In-order arrivals
+        within ``ack_delay`` of the previous ACK coalesce into one
+        deferred ACK; out-of-order, duplicate and hole-filling arrivals
+        always ACK immediately. 0 disables coalescing entirely.
     """
 
     def __init__(self, kernel: Kernel, network: DatagramNetwork,
                  address: NodeAddress, *, reliable: bool = True,
                  rto_initial: float | None = None, rto_max: float = 5.0,
-                 max_retries: int = 30, rto_mode: str = "static") -> None:
+                 max_retries: int = 30, rto_mode: str = "static",
+                 sack: bool = True, dup_ack_threshold: int = 3,
+                 ack_delay: float = 0.01) -> None:
         if rto_mode not in ("static", "adaptive"):
             raise ValueError("rto_mode must be 'static' or 'adaptive'")
+        if dup_ack_threshold < 1:
+            raise ValueError("dup_ack_threshold must be >= 1")
+        if ack_delay < 0:
+            raise ValueError("ack_delay must be >= 0")
         self.kernel = kernel
         self.network = network
         self.address = address
@@ -189,6 +277,10 @@ class Endpoint:
         self.rto_max = rto_max
         self.max_retries = max_retries
         self.rto_mode = rto_mode
+        self.sack = sack
+        self.dup_ack_threshold = dup_ack_threshold
+        self.ack_delay = ack_delay
+        self.closed = False
         self.stats = EndpointStats()
         self._inboxes: dict["int | str", DeliverFn] = {}
         self._send_streams: dict[tuple[NodeAddress, str], _SendStream] = {}
@@ -197,8 +289,26 @@ class Endpoint:
         network.register(address, self._on_datagram)
 
     def close(self) -> None:
-        """Detach from the network (in-flight datagrams to us are lost)."""
+        """Detach from the network (in-flight datagrams to us are lost).
+
+        Armed retransmission and delayed-ack timers are neutralized (a
+        closed endpoint injects no further datagrams) and every
+        outstanding delivery receipt fails with :class:`DeliveryTimeout`:
+        once we stop listening, no acknowledgement can ever confirm them.
+        """
+        if self.closed:
+            return
+        self.closed = True
         self.network.unregister(self.address)
+        for (node, channel), stream in self._send_streams.items():
+            for pending in stream.unacked.values():
+                pending.receipt._fail(DeliveryTimeout(
+                    f"endpoint {self.address} closed with message on channel "
+                    f"{channel!r} to {node} unacknowledged",
+                    destination=pending.receipt.destination))
+            stream.unacked.clear()
+        for stream in self._recv_streams.values():
+            stream.ack_pending = False
 
     # -- inbox registry ---------------------------------------------------
 
@@ -227,8 +337,11 @@ class Endpoint:
 
         Reliable endpoints return a :class:`DeliveryReceipt`; raw
         endpoints return ``None`` (and reject ``timeout``, which cannot
-        be honoured without acknowledgements).
+        be honoured without acknowledgements). A closed endpoint rejects
+        all sends.
         """
+        if self.closed:
+            raise AddressError(f"endpoint {self.address} is closed")
         if not self.reliable:
             if timeout is not None:
                 raise ValueError("delivery timeout requires a reliable endpoint")
@@ -285,11 +398,27 @@ class Endpoint:
         # "ts" is echoed back in acks (TCP-timestamps style) so RTT
         # samples stay clean even under cumulative-ack delays and
         # retransmission ambiguity.
-        self.network.send(Datagram(
-            self.address, dst_node,
-            {"kind": KIND_DATA, "to": pending.to_ref, "ch": channel,
-             "seq": pending.seq, "ts": self.kernel.now},
-            pending.payload))
+        header = {"kind": KIND_DATA, "to": pending.to_ref, "ch": channel,
+                  "seq": pending.seq, "ts": self.kernel.now}
+        packs = self._collect_piggyback(dst_node)
+        if packs:
+            header["pack"] = packs
+        self.network.send(Datagram(self.address, dst_node, header,
+                                   pending.payload))
+
+    def _collect_piggyback(self, dst_node: NodeAddress) -> list[dict]:
+        """Fold every pending delayed ACK owed to ``dst_node`` into an
+        outgoing DATA datagram (an ACK datagram saved per entry)."""
+        packs: list[dict] = []
+        for (node, channel), stream in self._recv_streams.items():
+            if node != dst_node or not stream.ack_pending:
+                continue
+            packs.append({"ch": channel, **self._ack_fields(stream)})
+            stream.ack_pending = False
+            stream.pending_ets = None
+            stream.last_ack_at = self.kernel.now
+            self.stats.acks_piggybacked += 1
+        return packs
 
     def _arm_timer(self, key: tuple[NodeAddress, str],
                    pending: _Pending) -> None:
@@ -297,6 +426,8 @@ class Endpoint:
             pending.rto, lambda: self._on_timer(key, pending.seq))
 
     def _on_timer(self, key: tuple[NodeAddress, str], seq: int) -> None:
+        if self.closed:
+            return
         stream = self._send_streams.get(key)
         if stream is None or seq not in stream.unacked:
             return  # acknowledged in the meantime
@@ -312,6 +443,19 @@ class Endpoint:
                 f"within {pending.deadline - pending.receipt.sent_at:.3f}s",
                 destination=pending.receipt.destination,
                 timeout=pending.deadline - pending.receipt.sent_at))
+        if pending.sacked and any(
+                s < seq and not p.sacked for s, p in stream.unacked.items()):
+            # The receiver holds this packet; the earlier hole's own timer
+            # drives recovery. Keep the timer alive (without consuming
+            # retry budget) only for deadline accounting and the
+            # reneging-safety fallback below: if this ever becomes the
+            # lowest outstanding packet, its SACK mark is ignored and it
+            # retransmits normally, so liveness never depends on an
+            # advertisement whose ACK may have been lost.
+            self.stats.sacked_suppressed += 1
+            pending.rto = min(pending.rto * 2.0, self.rto_max)
+            self._arm_timer(key, pending)
+            return
         if pending.attempts > self.max_retries:
             # Give up: the channel is declared broken. All queued
             # packets fail; later sends fail immediately.
@@ -325,7 +469,21 @@ class Endpoint:
             stream.unacked.clear()
             return
         pending.attempts += 1
-        pending.rto = min(pending.rto * 2.0, self.rto_max)
+        if self.sack and any(
+                s > seq and p.sacked for s, p in stream.unacked.items()):
+            # SACKed data above this hole proves the path is alive, so
+            # the loss is random rather than congestive — and with the
+            # tail suppressed this packet is the only traffic left that
+            # can solicit an ACK. Hold its timer at the base RTO instead
+            # of backing off: a lost retransmission or ACK is repaired
+            # within ~one RTO rather than an exponentially growing stall
+            # (retry budget still bounds the attempts).
+            pending.rto = (stream.current_rto()
+                           if self.rto_mode == "adaptive"
+                           else stream.rto_initial)
+        else:
+            pending.rto = min(pending.rto * 2.0, self.rto_max)
+        pending.last_rtx_at = now
         self.stats.data_retransmitted += 1
         self._transmit(key[0], key[1], pending)
         self._arm_timer(key, pending)
@@ -338,9 +496,11 @@ class Endpoint:
             self._deliver(datagram.header["to"], datagram.payload,
                           datagram.src, raw=True)
         elif kind == KIND_DATA:
+            for pack in datagram.header.get("pack", ()):
+                self._handle_ack_info(datagram.src, pack)
             self._on_data(datagram)
         elif kind == KIND_ACK:
-            self._on_ack(datagram)
+            self._handle_ack_info(datagram.src, datagram.header)
 
     def _on_data(self, datagram: Datagram) -> None:
         channel: str = datagram.header["ch"]
@@ -351,9 +511,11 @@ class Endpoint:
             stream = _RecvStream()
             self._recv_streams[key] = stream
 
+        in_order_run = False
         if seq < stream.expected or seq in stream.buffer:
             self.stats.duplicates_discarded += 1
         else:
+            in_order_run = seq == stream.expected and not stream.buffer
             stream.buffer[seq] = (datagram.header["to"], datagram.payload)
             if seq != stream.expected:
                 self.stats.buffered_out_of_order += 1
@@ -361,28 +523,95 @@ class Endpoint:
                 to_ref, payload = stream.buffer.pop(stream.expected)
                 stream.expected += 1
                 self._deliver(to_ref, payload, datagram.src, raw=False)
-        # Cumulative acknowledgement (also re-sent on duplicates, since
-        # the previous ack may have been lost). "ets" echoes the
-        # triggering packet's transmit timestamp for RTT estimation.
+        # Acknowledge. Duplicates re-ack immediately (the previous ack
+        # may have been lost), gaps and hole-fills ack immediately (the
+        # sender is recovering and needs the feedback now); only clean
+        # in-order arrivals coalesce behind the delayed-ack window.
+        if not stream.ack_pending:
+            stream.ack_pending = True
+            stream.pending_ets = datagram.header.get("ts")
+        now = self.kernel.now
+        if (not in_order_run or self.ack_delay <= 0
+                or now - stream.last_ack_at >= self.ack_delay):
+            self._flush_ack(key, stream)
+        else:
+            self.stats.acks_delayed += 1
+            if not stream.ack_armed:
+                stream.ack_armed = True
+                self.kernel.call_later(
+                    self.ack_delay, lambda: self._on_ack_timer(key))
+
+    def _ack_fields(self, stream: _RecvStream) -> dict:
+        fields = {"cum": stream.expected - 1, "ets": stream.pending_ets}
+        if self.sack and stream.buffer:
+            fields["sack"] = stream.sack_ranges()
+        return fields
+
+    def _flush_ack(self, key: tuple[NodeAddress, str],
+                   stream: _RecvStream) -> None:
         self.stats.acks_sent += 1
+        fields = self._ack_fields(stream)
+        stream.ack_pending = False
+        stream.pending_ets = None
+        stream.last_ack_at = self.kernel.now
         self.network.send(Datagram(
-            self.address, datagram.src,
-            {"kind": KIND_ACK, "ch": channel, "cum": stream.expected - 1,
-             "ets": datagram.header.get("ts")},
+            self.address, key[0], {"kind": KIND_ACK, "ch": key[1], **fields},
             ""))
 
-    def _on_ack(self, datagram: Datagram) -> None:
-        key = (datagram.src, datagram.header["ch"])
+    def _on_ack_timer(self, key: tuple[NodeAddress, str]) -> None:
+        stream = self._recv_streams.get(key)
+        if stream is None:
+            return
+        stream.ack_armed = False
+        if self.closed or not stream.ack_pending:
+            return  # flushed, piggybacked, or shut down in the meantime
+        self._flush_ack(key, stream)
+
+    def _handle_ack_info(self, src: NodeAddress, fields: dict) -> None:
+        key = (src, fields["ch"])
         stream = self._send_streams.get(key)
         if stream is None:
             return
-        if self.rto_mode == "adaptive":
-            echoed = datagram.header.get("ets")
-            if echoed is not None:
+        cum: int = fields["cum"]
+        echoed = fields.get("ets")
+        if echoed is not None:
+            stream.last_rtt = self.kernel.now - echoed
+        if cum > stream.last_cum:
+            stream.last_cum = cum
+            stream.dup_acks = 0
+            if self.rto_mode == "adaptive" and echoed is not None:
+                # Karn's rule: only ACKs that advance the cumulative
+                # point yield samples; duplicate-triggered ACKs echo a
+                # retransmission's timestamp and would skew the estimate.
                 stream.observe_rtt(self.kernel.now - echoed)
-        cum: int = datagram.header["cum"]
-        for seq in [s for s in stream.unacked if s <= cum]:
-            stream.unacked.pop(seq).receipt._ack()
+            for seq in [s for s in stream.unacked if s <= cum]:
+                stream.unacked.pop(seq).receipt._ack()
+        elif cum == stream.last_cum and stream.unacked:
+            stream.dup_acks += 1
+        for start, end in fields.get("sack", ()):
+            for seq in range(start, end + 1):
+                pending = stream.unacked.get(seq)
+                if pending is not None:
+                    pending.sacked = True
+        if self.sack and stream.dup_acks >= self.dup_ack_threshold:
+            self._fast_retransmit(key, stream)
+
+    def _fast_retransmit(self, key: tuple[NodeAddress, str],
+                         stream: _SendStream) -> None:
+        hole = None
+        for seq in sorted(stream.unacked):
+            if not stream.unacked[seq].sacked:
+                hole = stream.unacked[seq]
+                break
+        if hole is None:
+            return
+        if self.kernel.now - hole.last_rtx_at <= stream.last_rtt:
+            return  # already retransmitted within the last round trip
+        hole.last_rtx_at = self.kernel.now
+        stream.dup_acks = 0
+        self.stats.fast_retransmits += 1
+        self.stats.data_retransmitted += 1
+        self._transmit(key[0], key[1], hole)
 
     def _deliver(self, to_ref: "int | str", payload: str,
                  src: NodeAddress, *, raw: bool) -> None:

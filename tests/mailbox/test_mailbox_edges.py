@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dapplet import Dapplet
-from repro.errors import RpcTimeout
+from repro.errors import BindingError, ReceiveTimeout, RpcTimeout
 from repro.mailbox import Inbox, Outbox
 from repro.messages import Text
 from repro.net import ConstantLatency, DatagramNetwork, Endpoint, NodeAddress
@@ -38,6 +38,37 @@ def test_send_result_confirmed_with_no_receipts_fires_immediately():
     k.process(waiter())
     k.run()
     assert fired == [0.0]
+
+
+def test_send_with_timeout_and_no_bindings_raises():
+    """A timed send on an unbound outbox is a wiring bug, not a silent
+    instant success: it raises BindingError exactly like send_confirmed."""
+    k, ea, eb = world_pair()
+    out = Outbox(k, ea, 0)
+    with pytest.raises(BindingError):
+        out.send(Text("void"), timeout=1.0)
+    # The untimed fan-out-of-zero stays legal (vacuous confirmation).
+    assert out.send(Text("void")).copies == 0
+
+
+def test_receive_timeout_same_instant_arrival_puts_message_back():
+    """The race the receive() timeout guards against: the pending take
+    resolves in the very instant the timeout already fired. The message
+    must go back to the head of the queue, never be lost."""
+    k, ea, eb = world_pair()
+    inbox = Inbox(k, eb, 0)
+    ev = inbox.receive(timeout=0.05)
+    take = inbox._store._getters[0]  # the take backing the timed receive
+    with pytest.raises(ReceiveTimeout):
+        k.run(until=ev)
+    # Resolve the withdrawn take anyway, as a store implementation that
+    # lost the cancellation race would: same-instant delivery + timeout.
+    take.succeed(Text("racer"))
+    k.run()
+    assert not inbox.is_empty
+    assert inbox.peek().text == "racer"
+    got = k.run(until=inbox.receive())
+    assert got.text == "racer"
 
 
 def test_transform_queued_rewrites_and_drops():

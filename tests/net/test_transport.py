@@ -116,6 +116,26 @@ def test_unobserved_timeout_does_not_crash_run():
     assert ea.stats.gave_up == 1
 
 
+def test_broken_channel_semantics():
+    """Exhausting the retry budget breaks the channel exactly once: one
+    gave_up increment, every queued receipt fails, later sends fail fast
+    without touching the wire."""
+    k, net, ea, eb = make_pair(faults=FaultPlan(drop_prob=1.0),
+                               rto_initial=0.01, max_retries=3)
+    collect_inbox(eb)
+    receipts = [ea.send(B.inbox(0), str(i), channel="c") for i in range(5)]
+    k.run()
+    assert ea.stats.gave_up == 1  # one break for the channel, not per packet
+    assert all(r.is_failed for r in receipts)
+    assert all(isinstance(r.confirmed.value, DeliveryTimeout)
+               for r in receipts)
+    late = ea.send(B.inbox(0), "late", channel="c")
+    assert late.is_failed
+    sent_before = net.stats.sent
+    k.run()
+    assert net.stats.sent == sent_before, "fail-fast sends emit no datagrams"
+
+
 def test_channel_breaks_after_retry_budget():
     k, net, ea, eb = make_pair(faults=FaultPlan(drop_prob=1.0),
                                rto_initial=0.01, max_retries=4)
