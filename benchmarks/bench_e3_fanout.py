@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import print_table
+from benchmarks._util import print_table, write_results
 from repro import Dapplet, World
 from repro.messages import Text
 from repro.net import ConstantLatency, FaultPlan
@@ -60,8 +60,10 @@ def results():
     return fanouts, {f: run_fanout(f, reorder=0.1) for f in fanouts}
 
 
-def test_e3_table_and_shape(results, benchmark):
+def test_e3_table_and_shape(results, benchmark, request):
     fanouts, table = results
+    write_results(request, "e3_fanout",
+                  {str(f): table[f] for f in fanouts}, seed=5)
     rows = [[f, N_MESSAGES, table[f]["datagrams"],
              f"{table[f]['datagrams'] / (N_MESSAGES * f):.2f}",
              f"{table[f]['elapsed']:.3f}",
@@ -81,7 +83,7 @@ def test_e3_table_and_shape(results, benchmark):
     benchmark(run_fanout, 8)
 
 
-def test_e3_fanin(benchmark):
+def test_e3_fanin(benchmark, request):
     """Fan-in: many outboxes bound to one inbox; all arrive, each
     channel independently FIFO."""
     def run(n_senders=8):
@@ -104,4 +106,6 @@ def test_e3_fanin(benchmark):
             assert mine == list(range(20))
         return len(got)
 
-    assert benchmark(run) == 160
+    received = benchmark(run)
+    assert received == 160
+    write_results(request, "e3_fanin", {"received": received}, seed=6)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import print_table
+from benchmarks._util import print_table, write_results
 from repro import Dapplet, World
 from repro.messages import Text
 from repro.net import ConstantLatency, FaultPlan
@@ -78,8 +78,11 @@ def results():
     return drops, table
 
 
-def test_e4_table_and_shape(results, benchmark):
+def test_e4_table_and_shape(results, benchmark, request):
     drops, table = results
+    write_results(request, "e4_reliability",
+                  {f"{drop}/{mode}": metrics
+                   for (drop, mode), metrics in table.items()}, seed=9)
     rows = []
     for drop in drops:
         raw = table[(drop, "raw")]

@@ -1,0 +1,13 @@
+"""Benchmark-harness options.
+
+``--json DIR`` makes each experiment write a machine-readable
+``BENCH_<id>.json`` result file (metrics + seed + git revision) into
+``DIR``, so runs can be archived and diffed across commits; see
+:func:`benchmarks._util.write_results`.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json", action="store", default=None, metavar="DIR",
+        help="directory to write BENCH_<id>.json result files into")

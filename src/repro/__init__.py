@@ -17,7 +17,7 @@ Quick start::
     world.run()
 
 The subpackages are importable directly for the full API:
-``repro.sim``, ``repro.net``, ``repro.messages``, ``repro.mailbox``,
+``repro.sim``, ``repro.runtime``, ``repro.net``, ``repro.messages``, ``repro.mailbox``,
 ``repro.dapplet``, ``repro.session``, ``repro.rpc``, ``repro.services``,
 ``repro.patterns``, ``repro.apps``.
 """
@@ -40,6 +40,7 @@ from repro.mailbox.inbox import Inbox
 from repro.mailbox.outbox import Outbox
 from repro.messages.message import Message, message_type
 from repro.net.address import InboxAddress, NodeAddress
+from repro.runtime import AsyncioSubstrate, SimSubstrate, Substrate
 from repro.session.initiator import Initiator
 from repro.session.session import Session, SessionContext
 from repro.session.spec import Binding, MemberSpec, SessionSpec
@@ -49,6 +50,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AddressDirectory",
+    "AsyncioSubstrate",
     "Binding",
     "Dapplet",
     "DeadlockDetected",
@@ -70,6 +72,8 @@ __all__ = [
     "SessionError",
     "SessionRejected",
     "SessionSpec",
+    "SimSubstrate",
+    "Substrate",
     "TokenError",
     "World",
     "message_type",

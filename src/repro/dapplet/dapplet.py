@@ -43,11 +43,13 @@ class Dapplet:
     def __init__(self, world: "World", address: NodeAddress,
                  name: str) -> None:
         self.world = world
-        self.kernel = world.kernel
+        # The substrate's scheduler half, under its historical name: the
+        # same object whether the world runs simulated or on asyncio.
+        self.kernel = world.substrate
         self.address = address
         self.name = name
-        self.endpoint = Endpoint(world.kernel, world.network, address,
-                                 **world.endpoint_options)
+        self.endpoint = Endpoint(world.substrate, world.substrate.datagrams,
+                                 address, **world.endpoint_options)
         self.acl = AccessControlList()
         self.state = PersistentState()
         self._inbox_refs = itertools.count()

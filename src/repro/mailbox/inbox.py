@@ -28,8 +28,8 @@ from repro.messages.message import Message
 from repro.messages.serialize import loads
 from repro.net.address import InboxAddress
 from repro.net.transport import Endpoint
+from repro.runtime.substrate import Scheduler
 from repro.sim.events import Event
-from repro.sim.kernel import Kernel
 from repro.sim.primitives import Store
 
 DeliveryHook = Callable[[Message], Message]
@@ -38,7 +38,7 @@ DeliveryHook = Callable[[Message], Message]
 class Inbox:
     """A FIFO queue of received messages, globally addressable."""
 
-    def __init__(self, kernel: Kernel, endpoint: Endpoint, ref: int,
+    def __init__(self, kernel: Scheduler, endpoint: Endpoint, ref: int,
                  name: str | None = None) -> None:
         self.kernel = kernel
         self.endpoint = endpoint

@@ -31,8 +31,8 @@ from repro.messages.message import Message
 from repro.messages.serialize import dumps
 from repro.net.address import InboxAddress
 from repro.net.transport import DeliveryReceipt, Endpoint
+from repro.runtime.substrate import Scheduler
 from repro.sim.events import AllOf, Event
-from repro.sim.kernel import Kernel
 
 SendHook = Callable[[Message], Message]
 
@@ -46,7 +46,7 @@ class SendResult:
     receipts and ``confirmed()`` fires immediately.
     """
 
-    def __init__(self, kernel: Kernel,
+    def __init__(self, kernel: Scheduler,
                  receipts: list[DeliveryReceipt]) -> None:
         self.kernel = kernel
         self.receipts = receipts
@@ -62,7 +62,7 @@ class SendResult:
 class Outbox:
     """A send port; owns one FIFO channel per bound inbox."""
 
-    def __init__(self, kernel: Kernel, endpoint: Endpoint, ref: int) -> None:
+    def __init__(self, kernel: Scheduler, endpoint: Endpoint, ref: int) -> None:
         self.kernel = kernel
         self.endpoint = endpoint
         self.ref = ref

@@ -1,0 +1,563 @@
+"""The ordering layer: reliable FIFO channels over unreliable datagrams.
+
+The paper (§3.2): "The initial implementation uses UDP ... and it
+includes a layer to ensure that messages are delivered in the order they
+were sent" and "Messages sent along a channel are delivered in the order
+sent." This module implements that layer with the classic mechanism:
+per-channel sequence numbers, cumulative acknowledgements, retransmission
+with exponential backoff, receiver-side reordering buffers and duplicate
+suppression — yielding per-channel FIFO, exactly-once delivery over a
+network that drops, duplicates and reorders.
+
+On top of the cumulative baseline the layer speaks three loss-recovery
+refinements borrowed from modern TCP, all per channel:
+
+* **Selective acknowledgements** — every ACK carries a bounded ``sack``
+  list of out-of-order sequence ranges held in the receiver's reordering
+  buffer. The sender marks those packets and stops retransmitting them:
+  only true holes go back on the wire (counted in
+  ``stats.sacked_suppressed``).
+* **Fast retransmit** — ``dup_ack_threshold`` duplicate cumulative ACKs
+  retransmit the first unSACKed hole immediately instead of waiting out
+  the RTO (counted in ``stats.fast_retransmits``).
+* **Delayed / piggybacked ACKs** — in-order arrivals coalesce behind a
+  short delayed-ack window (``ack_delay``); a gap, a duplicate or a
+  hole-filling arrival always ACKs immediately so duplicate ACKs keep
+  flowing for fast retransmit. A pending delayed ACK rides outgoing DATA
+  to the same node for free (``stats.acks_piggybacked``).
+
+One :class:`Endpoint` exists per node (machine); every inbox of every
+dapplet on that node registers with it, and every outbox sends through
+the endpoint of its node. The *channel key* identifies one outbox→inbox
+channel, so ordering is exactly per-channel, as the paper specifies (two
+channels between the same pair of nodes are independent).
+
+The endpoint is substrate-agnostic: it talks to a
+:class:`~repro.runtime.substrate.Scheduler` for time and timers and to a
+:class:`~repro.runtime.substrate.DatagramService` for the wire, so the
+same protocol machinery runs on the virtual-time simulator and on real
+UDP sockets (see :mod:`repro.runtime`). The frame layout lives in
+:mod:`repro.net.wire`; the per-stream RTT/RTO state in
+:mod:`repro.net.rto`.
+
+The paper also specifies: "if a message is not delivered within a
+specified time, an exception is raised" — :meth:`Endpoint.send` returns a
+:class:`DeliveryReceipt` whose ``confirmed`` event fails with
+:class:`~repro.errors.DeliveryTimeout` in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import AddressError, DeliveryTimeout
+from repro.net.address import InboxAddress, NodeAddress
+from repro.net.datagram import Datagram
+from repro.net.rto import PendingPacket, SendStream
+from repro.net.wire import KIND_ACK, KIND_DATA, KIND_RAW, SACK_MAX_RANGES
+from repro.runtime.substrate import DatagramService, Scheduler
+from repro.sim.events import Event
+
+
+@dataclass
+class EndpointStats:
+    """Counters kept per endpoint (read by tests and benchmarks).
+
+    See ``docs/PROTOCOLS.md`` for the full glossary.
+    """
+
+    data_sent: int = 0
+    data_retransmitted: int = 0
+    acks_sent: int = 0
+    delivered: int = 0
+    duplicates_discarded: int = 0
+    buffered_out_of_order: int = 0
+    gave_up: int = 0
+    raw_sent: int = 0
+    raw_delivered: int = 0
+    no_such_inbox: int = 0
+    fast_retransmits: int = 0
+    sacked_suppressed: int = 0
+    acks_delayed: int = 0
+    acks_piggybacked: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class DeliveryReceipt:
+    """Tracks delivery confirmation of one reliable send.
+
+    ``confirmed`` is an event that succeeds (with the elapsed
+    send-to-acknowledgement round-trip time) when the destination
+    endpoint acknowledges the message, or
+    fails with :class:`DeliveryTimeout` if a timeout was requested and
+    expired first. Callers that do not care may simply drop the receipt;
+    an unobserved timeout does not crash the run.
+    """
+
+    def __init__(self, kernel: Scheduler, destination: InboxAddress) -> None:
+        self.kernel = kernel
+        self.destination = destination
+        self.sent_at = kernel.now
+        self.confirmed: Event = kernel.event()
+        #: Pre-defused: a failure here is an application-visible outcome
+        #: carried by the event, not an internal simulator error.
+        self.confirmed.defused = True
+
+    @property
+    def is_confirmed(self) -> bool:
+        return self.confirmed.triggered and self.confirmed._ok is True
+
+    @property
+    def is_failed(self) -> bool:
+        return self.confirmed.triggered and self.confirmed._ok is False
+
+    def _ack(self) -> None:
+        if not self.confirmed.triggered:
+            self.confirmed.succeed(self.kernel.now - self.sent_at)
+
+    def _fail(self, exc: Exception) -> None:
+        if not self.confirmed.triggered:
+            self.confirmed.fail(exc)
+            self.confirmed.defused = True
+
+
+class _RecvStream:
+    """Receiver half of one reliable channel (fixed src node + channel key)."""
+
+    __slots__ = ("expected", "buffer", "ack_pending", "ack_armed",
+                 "last_ack_at", "pending_ets")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.buffer: dict[int, tuple["int | str", str]] = {}
+        #: An acknowledgement is owed but has not been put on the wire.
+        self.ack_pending = False
+        #: A delayed-ack timer is currently armed for this stream.
+        self.ack_armed = False
+        self.last_ack_at = float("-inf")
+        #: Echo timestamp of the earliest packet covered by the pending
+        #: ACK (RFC 7323 rule: a coalesced ACK echoes its oldest trigger,
+        #: so RTT samples account for the ack delay the sender must absorb).
+        self.pending_ets: float | None = None
+
+    def sack_ranges(self) -> list[list[int]]:
+        """The out-of-order runs held in the buffer, as inclusive ranges."""
+        ranges: list[list[int]] = []
+        for seq in sorted(self.buffer):
+            if ranges and seq == ranges[-1][1] + 1:
+                ranges[-1][1] = seq
+            else:
+                if len(ranges) == SACK_MAX_RANGES:
+                    break
+                ranges.append([seq, seq])
+        return ranges
+
+
+DeliverFn = Callable[[str, InboxAddress], None]
+
+
+class Endpoint:
+    """A node's attachment to the network; home of the ordering layer.
+
+    Parameters
+    ----------
+    kernel / network:
+        The substrate halves: any :class:`Scheduler` (the simulation
+        kernel, an :class:`~repro.runtime.AsyncioSubstrate`, ...) and any
+        :class:`DatagramService` (the simulated network, real UDP
+        sockets, ...).
+    reliable:
+        When True (default), sends go through the FIFO exactly-once
+        layer. When False, sends are raw datagrams — the "bare UDP"
+        baseline used by experiment E4.
+    rto_initial:
+        Initial retransmission timeout. ``None`` estimates it per
+        destination as 4x the latency model's mean.
+    rto_max / max_retries:
+        Backoff cap and retry budget; exhausting the budget marks the
+        channel broken (counted in ``stats.gave_up``) so runs always
+        quiesce even under pathological loss.
+    sack:
+        Enables selective acknowledgements and fast retransmit
+        (default). False reverts to the pure cumulative-ACK protocol —
+        the ablation baseline of benchmarks A1 and E4.
+    dup_ack_threshold:
+        Duplicate cumulative ACKs that trigger a fast retransmit of the
+        first unSACKed hole (TCP's classic K=3).
+    ack_delay:
+        Width of the receiver's delayed-ack window. In-order arrivals
+        within ``ack_delay`` of the previous ACK coalesce into one
+        deferred ACK; out-of-order, duplicate and hole-filling arrivals
+        always ACK immediately. 0 disables coalescing entirely.
+    """
+
+    def __init__(self, kernel: Scheduler, network: DatagramService,
+                 address: NodeAddress, *, reliable: bool = True,
+                 rto_initial: float | None = None, rto_max: float = 5.0,
+                 max_retries: int = 30, rto_mode: str = "static",
+                 sack: bool = True, dup_ack_threshold: int = 3,
+                 ack_delay: float = 0.01) -> None:
+        if rto_mode not in ("static", "adaptive"):
+            raise ValueError("rto_mode must be 'static' or 'adaptive'")
+        if dup_ack_threshold < 1:
+            raise ValueError("dup_ack_threshold must be >= 1")
+        if ack_delay < 0:
+            raise ValueError("ack_delay must be >= 0")
+        self.kernel = kernel
+        self.network = network
+        self.address = address
+        self.reliable = reliable
+        self.rto_initial = rto_initial
+        self.rto_max = rto_max
+        self.max_retries = max_retries
+        self.rto_mode = rto_mode
+        self.sack = sack
+        self.dup_ack_threshold = dup_ack_threshold
+        self.ack_delay = ack_delay
+        self.closed = False
+        self.stats = EndpointStats()
+        self._inboxes: dict["int | str", DeliverFn] = {}
+        self._send_streams: dict[tuple[NodeAddress, str], SendStream] = {}
+        self._recv_streams: dict[tuple[NodeAddress, str], _RecvStream] = {}
+        self._rto_cache: dict[str, float] = {}
+        network.register(address, self._on_datagram)
+
+    def close(self) -> None:
+        """Detach from the network (in-flight datagrams to us are lost).
+
+        Armed retransmission and delayed-ack timers are neutralized (a
+        closed endpoint injects no further datagrams) and every
+        outstanding delivery receipt fails with :class:`DeliveryTimeout`:
+        once we stop listening, no acknowledgement can ever confirm them.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self.network.unregister(self.address)
+        for (node, channel), stream in self._send_streams.items():
+            for pending in stream.unacked.values():
+                pending.receipt._fail(DeliveryTimeout(
+                    f"endpoint {self.address} closed with message on channel "
+                    f"{channel!r} to {node} unacknowledged",
+                    destination=pending.receipt.destination))
+            stream.unacked.clear()
+        for stream in self._recv_streams.values():
+            stream.ack_pending = False
+
+    # -- inbox registry ---------------------------------------------------
+
+    def register_inbox(self, ref: int, deliver: DeliverFn,
+                       name: str | None = None) -> None:
+        """Register delivery for local inbox ``ref`` and optional ``name``."""
+        if ref in self._inboxes:
+            raise AddressError(f"inbox ref {ref} already registered on {self.address}")
+        self._inboxes[ref] = deliver
+        if name is not None:
+            if name in self._inboxes:
+                raise AddressError(
+                    f"inbox name {name!r} already registered on {self.address}")
+            self._inboxes[name] = deliver
+
+    def unregister_inbox(self, ref: int, name: str | None = None) -> None:
+        self._inboxes.pop(ref, None)
+        if name is not None:
+            self._inboxes.pop(name, None)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: InboxAddress, payload: str, channel: str,
+             timeout: float | None = None) -> DeliveryReceipt | None:
+        """Send ``payload`` to ``dst`` on channel ``channel``.
+
+        Reliable endpoints return a :class:`DeliveryReceipt`; raw
+        endpoints return ``None`` (and reject ``timeout``, which cannot
+        be honoured without acknowledgements). A closed endpoint rejects
+        all sends.
+        """
+        if self.closed:
+            raise AddressError(f"endpoint {self.address} is closed")
+        if not self.reliable:
+            if timeout is not None:
+                raise ValueError("delivery timeout requires a reliable endpoint")
+            self.stats.raw_sent += 1
+            self.network.send(Datagram(
+                self.address, dst.node,
+                {"kind": KIND_RAW, "to": dst.ref, "ch": channel}, payload))
+            return None
+
+        key = (dst.node, channel)
+        stream = self._send_streams.get(key)
+        if stream is None:
+            stream = SendStream(self._pick_rto(dst.node))
+            self._send_streams[key] = stream
+
+        receipt = DeliveryReceipt(self.kernel, dst)
+        if stream.broken:
+            receipt._fail(DeliveryTimeout(
+                f"channel {channel!r} to {dst.node} is broken (retries exhausted)",
+                destination=dst, timeout=timeout))
+            return receipt
+
+        seq = stream.next_seq
+        stream.next_seq += 1
+        initial_rto = (stream.current_rto() if self.rto_mode == "adaptive"
+                       else stream.rto_initial)
+        pending = PendingPacket(seq=seq, to_ref=dst.ref, payload=payload,
+                                receipt=receipt, rto=initial_rto,
+                                deadline=(None if timeout is None
+                                          else self.kernel.now + timeout),
+                                first_sent_at=self.kernel.now)
+        stream.unacked[seq] = pending
+        self.stats.data_sent += 1
+        self._transmit(dst.node, channel, pending)
+        self._arm_timer(key, pending)
+        return receipt
+
+    def _pick_rto(self, dst: NodeAddress) -> float:
+        if self.rto_initial is not None:
+            return self.rto_initial
+        cached = self._rto_cache.get(dst.host)
+        if cached is None:
+            try:
+                mean = self.network.latency.mean_estimate(
+                    self.address.host, dst.host)
+            except Exception:
+                mean = 0.05
+            cached = max(4.0 * mean, 0.02)
+            self._rto_cache[dst.host] = cached
+        return cached
+
+    def _transmit(self, dst_node: NodeAddress, channel: str,
+                  pending: PendingPacket) -> None:
+        # "ts" is echoed back in acks (TCP-timestamps style) so RTT
+        # samples stay clean even under cumulative-ack delays and
+        # retransmission ambiguity.
+        header = {"kind": KIND_DATA, "to": pending.to_ref, "ch": channel,
+                  "seq": pending.seq, "ts": self.kernel.now}
+        packs = self._collect_piggyback(dst_node)
+        if packs:
+            header["pack"] = packs
+        self.network.send(Datagram(self.address, dst_node, header,
+                                   pending.payload))
+
+    def _collect_piggyback(self, dst_node: NodeAddress) -> list[dict]:
+        """Fold every pending delayed ACK owed to ``dst_node`` into an
+        outgoing DATA datagram (an ACK datagram saved per entry)."""
+        packs: list[dict] = []
+        for (node, channel), stream in self._recv_streams.items():
+            if node != dst_node or not stream.ack_pending:
+                continue
+            packs.append({"ch": channel, **self._ack_fields(stream)})
+            stream.ack_pending = False
+            stream.pending_ets = None
+            stream.last_ack_at = self.kernel.now
+            self.stats.acks_piggybacked += 1
+        return packs
+
+    def _arm_timer(self, key: tuple[NodeAddress, str],
+                   pending: PendingPacket) -> None:
+        self.kernel.call_later(
+            pending.rto, lambda: self._on_timer(key, pending.seq))
+
+    def _on_timer(self, key: tuple[NodeAddress, str], seq: int) -> None:
+        if self.closed:
+            return
+        stream = self._send_streams.get(key)
+        if stream is None or seq not in stream.unacked:
+            return  # acknowledged in the meantime
+        pending = stream.unacked[seq]
+        now = self.kernel.now
+        if pending.deadline is not None and now >= pending.deadline \
+                and not pending.timed_out:
+            # Paper semantics: raise to the application; but keep
+            # retransmitting so the channel's FIFO stream is not holed.
+            pending.timed_out = True
+            pending.receipt._fail(DeliveryTimeout(
+                f"message on channel {key[1]!r} to {key[0]} not delivered "
+                f"within {pending.deadline - pending.receipt.sent_at:.3f}s",
+                destination=pending.receipt.destination,
+                timeout=pending.deadline - pending.receipt.sent_at))
+        if pending.sacked and any(
+                s < seq and not p.sacked for s, p in stream.unacked.items()):
+            # The receiver holds this packet; the earlier hole's own timer
+            # drives recovery. Keep the timer alive (without consuming
+            # retry budget) only for deadline accounting and the
+            # reneging-safety fallback below: if this ever becomes the
+            # lowest outstanding packet, its SACK mark is ignored and it
+            # retransmits normally, so liveness never depends on an
+            # advertisement whose ACK may have been lost.
+            self.stats.sacked_suppressed += 1
+            pending.rto = min(pending.rto * 2.0, self.rto_max)
+            self._arm_timer(key, pending)
+            return
+        if pending.attempts > self.max_retries:
+            # Give up: the channel is declared broken. All queued
+            # packets fail; later sends fail immediately.
+            self.stats.gave_up += 1
+            stream.broken = True
+            for p in stream.unacked.values():
+                p.receipt._fail(DeliveryTimeout(
+                    f"channel {key[1]!r} to {key[0]} broken after "
+                    f"{self.max_retries} retries",
+                    destination=p.receipt.destination))
+            stream.unacked.clear()
+            return
+        pending.attempts += 1
+        if self.sack and any(
+                s > seq and p.sacked for s, p in stream.unacked.items()):
+            # SACKed data above this hole proves the path is alive, so
+            # the loss is random rather than congestive — and with the
+            # tail suppressed this packet is the only traffic left that
+            # can solicit an ACK. Hold its timer at the base RTO instead
+            # of backing off: a lost retransmission or ACK is repaired
+            # within ~one RTO rather than an exponentially growing stall
+            # (retry budget still bounds the attempts).
+            pending.rto = (stream.current_rto()
+                           if self.rto_mode == "adaptive"
+                           else stream.rto_initial)
+        else:
+            pending.rto = min(pending.rto * 2.0, self.rto_max)
+        pending.last_rtx_at = now
+        self.stats.data_retransmitted += 1
+        self._transmit(key[0], key[1], pending)
+        self._arm_timer(key, pending)
+
+    # -- receiving ----------------------------------------------------------
+
+    def _on_datagram(self, datagram) -> None:
+        kind = datagram.header.get("kind")
+        if kind == KIND_RAW:
+            self._deliver(datagram.header["to"], datagram.payload,
+                          datagram.src, raw=True)
+        elif kind == KIND_DATA:
+            for pack in datagram.header.get("pack", ()):
+                self._handle_ack_info(datagram.src, pack)
+            self._on_data(datagram)
+        elif kind == KIND_ACK:
+            self._handle_ack_info(datagram.src, datagram.header)
+
+    def _on_data(self, datagram) -> None:
+        channel: str = datagram.header["ch"]
+        seq: int = datagram.header["seq"]
+        key = (datagram.src, channel)
+        stream = self._recv_streams.get(key)
+        if stream is None:
+            stream = _RecvStream()
+            self._recv_streams[key] = stream
+
+        in_order_run = False
+        if seq < stream.expected or seq in stream.buffer:
+            self.stats.duplicates_discarded += 1
+        else:
+            in_order_run = seq == stream.expected and not stream.buffer
+            stream.buffer[seq] = (datagram.header["to"], datagram.payload)
+            if seq != stream.expected:
+                self.stats.buffered_out_of_order += 1
+            while stream.expected in stream.buffer:
+                to_ref, payload = stream.buffer.pop(stream.expected)
+                stream.expected += 1
+                self._deliver(to_ref, payload, datagram.src, raw=False)
+        # Acknowledge. Duplicates re-ack immediately (the previous ack
+        # may have been lost), gaps and hole-fills ack immediately (the
+        # sender is recovering and needs the feedback now); only clean
+        # in-order arrivals coalesce behind the delayed-ack window.
+        if not stream.ack_pending:
+            stream.ack_pending = True
+            stream.pending_ets = datagram.header.get("ts")
+        now = self.kernel.now
+        if (not in_order_run or self.ack_delay <= 0
+                or now - stream.last_ack_at >= self.ack_delay):
+            self._flush_ack(key, stream)
+        else:
+            self.stats.acks_delayed += 1
+            if not stream.ack_armed:
+                stream.ack_armed = True
+                self.kernel.call_later(
+                    self.ack_delay, lambda: self._on_ack_timer(key))
+
+    def _ack_fields(self, stream: _RecvStream) -> dict:
+        fields = {"cum": stream.expected - 1, "ets": stream.pending_ets}
+        if self.sack and stream.buffer:
+            fields["sack"] = stream.sack_ranges()
+        return fields
+
+    def _flush_ack(self, key: tuple[NodeAddress, str],
+                   stream: _RecvStream) -> None:
+        self.stats.acks_sent += 1
+        fields = self._ack_fields(stream)
+        stream.ack_pending = False
+        stream.pending_ets = None
+        stream.last_ack_at = self.kernel.now
+        self.network.send(Datagram(
+            self.address, key[0], {"kind": KIND_ACK, "ch": key[1], **fields},
+            ""))
+
+    def _on_ack_timer(self, key: tuple[NodeAddress, str]) -> None:
+        stream = self._recv_streams.get(key)
+        if stream is None:
+            return
+        stream.ack_armed = False
+        if self.closed or not stream.ack_pending:
+            return  # flushed, piggybacked, or shut down in the meantime
+        self._flush_ack(key, stream)
+
+    def _handle_ack_info(self, src: NodeAddress, fields: dict) -> None:
+        key = (src, fields["ch"])
+        stream = self._send_streams.get(key)
+        if stream is None:
+            return
+        cum: int = fields["cum"]
+        echoed = fields.get("ets")
+        if echoed is not None:
+            stream.last_rtt = self.kernel.now - echoed
+        if cum > stream.last_cum:
+            stream.last_cum = cum
+            stream.dup_acks = 0
+            if self.rto_mode == "adaptive" and echoed is not None:
+                # Karn's rule: only ACKs that advance the cumulative
+                # point yield samples; duplicate-triggered ACKs echo a
+                # retransmission's timestamp and would skew the estimate.
+                stream.observe_rtt(self.kernel.now - echoed)
+            for seq in [s for s in stream.unacked if s <= cum]:
+                stream.unacked.pop(seq).receipt._ack()
+        elif cum == stream.last_cum and stream.unacked:
+            stream.dup_acks += 1
+        for start, end in fields.get("sack", ()):
+            for seq in range(start, end + 1):
+                pending = stream.unacked.get(seq)
+                if pending is not None:
+                    pending.sacked = True
+        if self.sack and stream.dup_acks >= self.dup_ack_threshold:
+            self._fast_retransmit(key, stream)
+
+    def _fast_retransmit(self, key: tuple[NodeAddress, str],
+                         stream: SendStream) -> None:
+        hole = None
+        for seq in sorted(stream.unacked):
+            if not stream.unacked[seq].sacked:
+                hole = stream.unacked[seq]
+                break
+        if hole is None:
+            return
+        if self.kernel.now - hole.last_rtx_at <= stream.last_rtt:
+            return  # already retransmitted within the last round trip
+        hole.last_rtx_at = self.kernel.now
+        stream.dup_acks = 0
+        self.stats.fast_retransmits += 1
+        self.stats.data_retransmitted += 1
+        self._transmit(key[0], key[1], hole)
+
+    def _deliver(self, to_ref: "int | str", payload: str,
+                 src: NodeAddress, *, raw: bool) -> None:
+        deliver = self._inboxes.get(to_ref)
+        if deliver is None:
+            self.stats.no_such_inbox += 1
+            return
+        if raw:
+            self.stats.raw_delivered += 1
+        else:
+            self.stats.delivered += 1
+        deliver(payload, InboxAddress(self.address, to_ref))

@@ -1,0 +1,87 @@
+"""Adaptive retransmission-timer state, per sender-side channel stream.
+
+One :class:`SendStream` holds the sender half of one reliable channel
+(fixed destination node + channel key): the sequence space, the
+unacknowledged-packet window, and the Jacobson/Karn RTT machinery that
+sizes retransmission timeouts in ``adaptive`` mode. It is pure state —
+no scheduling, no I/O — which is what lets the endpoint machinery in
+:mod:`repro.net.endpoint` drive it identically on the virtual-time
+kernel and on a real event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.endpoint import DeliveryReceipt
+
+
+@dataclass
+class PendingPacket:
+    """Sender-side state of one unacknowledged packet."""
+
+    seq: int
+    to_ref: "int | str"
+    payload: str
+    receipt: "DeliveryReceipt"
+    attempts: int = 1
+    rto: float = 0.2
+    deadline: float | None = None
+    timed_out: bool = False
+    first_sent_at: float = 0.0
+    #: The receiver advertised holding this packet in its reordering
+    #: buffer; retransmission is suppressed while an earlier hole exists.
+    sacked: bool = False
+    #: When this packet was last retransmitted (RTO- or duplicate-ACK
+    #: driven). Fast retransmit is paced against it: at most one
+    #: recovery transmission per measured RTT, so a lost fast
+    #: retransmission is retried after ~one RTT instead of stalling
+    #: until the (possibly huge) RTO, without ever flooding one hole.
+    last_rtx_at: float = float("-inf")
+
+
+class SendStream:
+    """Sender half of one reliable channel (fixed dst node + channel key).
+
+    In ``adaptive`` mode the stream keeps a Jacobson-style RTT estimate
+    from acknowledged packets (Karn's rule: only ACKs that advance the
+    cumulative point are sampled, so duplicate-triggered ACKs echoing a
+    retransmission never pollute the estimate) and new packets start from
+    ``srtt + 4*rttvar`` instead of the static initial RTO.
+    """
+
+    __slots__ = ("next_seq", "unacked", "rto_initial", "broken",
+                 "srtt", "rttvar", "last_cum", "dup_acks", "last_rtt")
+
+    def __init__(self, rto_initial: float) -> None:
+        self.next_seq = 0
+        self.unacked: dict[int, PendingPacket] = {}
+        self.rto_initial = rto_initial
+        self.broken = False
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        #: Highest cumulative acknowledgement seen so far.
+        self.last_cum = -1
+        #: Consecutive duplicate cumulative ACKs at ``last_cum``.
+        self.dup_acks = 0
+        #: Most recent raw round-trip measurement from any ACK's echo
+        #: timestamp. Unlike the Karn-gated ``srtt`` this includes
+        #: duplicate-triggered ACKs — it only paces fast retransmit and
+        #: never sizes the RTO, so the retransmission ambiguity that
+        #: Karn's rule guards against is harmless here.
+        self.last_rtt = 0.0
+
+    def observe_rtt(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+
+    def current_rto(self, floor: float = 0.005) -> float:
+        if self.srtt is None:
+            return self.rto_initial
+        return max(self.srtt + 4 * self.rttvar, floor)

@@ -1,0 +1,70 @@
+"""Wire format of the ordering layer: frame constants and frame codec.
+
+The frame layout is shared by every substrate (see ``docs/PROTOCOLS.md``
+for the field glossary). On the simulated network a :class:`Datagram`
+travels as a Python object and the header stays a dict; over real UDP
+sockets the same header/payload pair is encoded to bytes by
+:func:`encode_frame` / :func:`decode_frame` — one JSON document per
+datagram, so the DATA/ACK/SACK protocol runs unmodified over the real
+Internet exactly as it does in virtual time.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import AddressError
+from repro.net.address import NodeAddress
+from repro.net.datagram import Datagram
+
+#: Packet kinds used in datagram headers.
+KIND_DATA = "DATA"
+KIND_ACK = "ACK"
+KIND_RAW = "RAW"
+
+#: Most SACK ranges one ACK may carry (mirrors TCP's option-space bound;
+#: ranges beyond the limit are simply re-advertised by later ACKs).
+SACK_MAX_RANGES = 3
+
+#: Largest frame we will encode (UDP's practical payload ceiling).
+MAX_FRAME_BYTES = 65000
+
+
+class FrameError(AddressError):
+    """A frame failed to encode or decode."""
+
+
+def encode_frame(datagram: Datagram) -> bytes:
+    """Serialize one datagram to a self-contained UDP payload.
+
+    The virtual source/destination node addresses travel inside the
+    frame: the receiving substrate routes by the frame's ``d`` field, so
+    a node keeps its paper-style identity (``host:port``) independent of
+    the real socket address it happens to be bound to.
+    """
+    frame = {
+        "s": str(datagram.src),
+        "d": str(datagram.dst),
+        "h": datagram.header,
+        "p": datagram.payload,
+    }
+    data = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "UDP payload ceiling")
+    return data
+
+
+def decode_frame(data: bytes) -> Datagram:
+    """Parse one UDP payload back into a :class:`Datagram`."""
+    try:
+        frame = json.loads(data.decode("utf-8"))
+        return Datagram(
+            src=NodeAddress.parse(frame["s"]),
+            dst=NodeAddress.parse(frame["d"]),
+            header=frame["h"],
+            payload=frame["p"],
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise FrameError(f"cannot decode {len(data)}-byte frame") from exc

@@ -1,0 +1,21 @@
+"""Substrate layer: one dapplet stack, two runtimes.
+
+The interfaces (:class:`Scheduler`, :class:`DatagramService`,
+:class:`Substrate`) define what the layers above ``net`` may assume; the
+implementations plug a :class:`World` into either the deterministic
+discrete-event simulator (:class:`SimSubstrate`, the default) or a real
+asyncio event loop with UDP sockets (:class:`AsyncioSubstrate`).
+"""
+
+from repro.runtime.aio import AsyncioSubstrate, UdpDatagramService
+from repro.runtime.sim import SimSubstrate
+from repro.runtime.substrate import DatagramService, Scheduler, Substrate
+
+__all__ = [
+    "AsyncioSubstrate",
+    "DatagramService",
+    "Scheduler",
+    "SimSubstrate",
+    "Substrate",
+    "UdpDatagramService",
+]

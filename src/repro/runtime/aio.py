@@ -1,0 +1,444 @@
+"""The real substrate: asyncio event loop + real UDP sockets.
+
+The paper's layer ran over UDP on the real Internet between Caltech,
+Rice, Tennessee and Australia. :class:`AsyncioSubstrate` is that
+deployment mode for this reproduction: the same generator processes,
+events, endpoints, mailboxes and dapplets run unmodified, but ``now`` is
+wall-clock time, timers are asyncio timers, and every
+:class:`~repro.net.datagram.Datagram` is encoded by
+:mod:`repro.net.wire` and put on a real UDP socket.
+
+Scheduling semantics mirror the kernel's: an event is *triggered*
+(``succeed``/``fail``), then its callbacks run in a loop callback; an
+unhandled failed event aborts the run with
+:class:`~repro.errors.ProcessCrashed`, exactly as
+:meth:`repro.sim.Kernel.step` would. What changes is only what must:
+time is real so same-instant ordering is best-effort, and quiescence is
+a heuristic (an idle grace window) because real packets are invisible
+until they arrive.
+
+:class:`UdpDatagramService` keeps a local route table from virtual node
+addresses (``host:port`` in paper terms) to the real socket addresses
+they are bound to. In-process nodes are routed automatically on
+``register``; peers in other processes can be wired in with
+:meth:`UdpDatagramService.add_route`. An optional
+:class:`~repro.net.faults.FaultPlan` injects loss/duplication/jitter at
+the sender — same plan object, same named RNG streams as the simulated
+network — so loss-recovery behaviour is testable on real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Callable, Iterable
+
+from repro.errors import ProcessCrashed, SimulationError
+from repro.net.address import NodeAddress
+from repro.net.datagram import Datagram, NetworkStats
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.net.wire import FrameError, decode_frame, encode_frame
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessBody
+from repro.sim.rng import RandomStreams
+
+#: Assumed one-way loopback delay; only used to size initial RTOs.
+LOOPBACK_LATENCY_HINT = 0.005
+
+
+class AsyncioSubstrate:
+    """Wall-clock substrate over an asyncio event loop and UDP sockets.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for :attr:`rng` (application randomness and fault
+        injection stay reproducible even though packet timing is not).
+    bind_host:
+        Real interface the per-node sockets bind to (default loopback).
+    faults:
+        Optional :class:`FaultPlan` applied to outgoing datagrams —
+        deliberate loss/duplication/jitter for tests and demos.
+    loop:
+        An existing event loop to schedule on; a fresh one is created
+        (and owned, i.e. closed by :meth:`close`) when omitted.
+    """
+
+    def __init__(self, seed: int = 0, *, bind_host: str = "127.0.0.1",
+                 faults: FaultPlan | None = None,
+                 loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self.rng = RandomStreams(seed)
+        self._loop = loop if loop is not None else asyncio.new_event_loop()
+        self._owns_loop = loop is None
+        self._epoch = self._loop.time()
+        self._processes: set[Process] = set()
+        self._pending = 0
+        self._crash: BaseException | None = None
+        self._run_future: asyncio.Future | None = None
+        self._quiescing = False
+        self._idle_grace = 0.05
+        self.closed = False
+        #: Monitors notified of every processed event (kernel parity).
+        self.trace_hooks: list[Callable[[float, Event], None]] = []
+        #: The datagram half of the substrate.
+        self.datagrams = UdpDatagramService(self, bind_host=bind_host,
+                                            faults=faults)
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds of wall-clock time since this substrate was created."""
+        return self._loop.time() - self._epoch
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    # -- event constructors (kernel-identical API) -----------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` real seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, body: ProcessBody, name: str | None = None) -> Process:
+        """Start a generator coroutine as a process."""
+        return Process(self, body, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` real seconds (fire-and-forget)."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- plumbing used by Event/Process ----------------------------------
+
+    def _enqueue(self, event: Event, delay: float) -> None:
+        self._pending += 1
+        self._loop.call_later(max(0.0, delay), self._process_event, event)
+
+    def _register_process(self, process: Process) -> None:
+        self._processes.add(process)
+
+    def _unregister_process(self, process: Process) -> None:
+        self._processes.discard(process)
+
+    @property
+    def active_process_count(self) -> int:
+        """Number of processes that have not yet finished."""
+        return len(self._processes)
+
+    # -- the loop --------------------------------------------------------
+
+    def _process_event(self, event: Event) -> None:
+        self._pending -= 1
+        if self._crash is not None:
+            return
+        callbacks, event.callbacks = event.callbacks, None
+        try:
+            for callback in callbacks:
+                callback(event)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to run()
+            self._report_crash(exc)
+            return
+        if not event.ok and not event.defused:
+            exc = event.value
+            if isinstance(exc, ProcessCrashed):
+                self._report_crash(exc)
+            else:
+                crash = ProcessCrashed(
+                    f"unhandled failure at t={self.now:.6f}: {exc!r}")
+                crash.__cause__ = exc
+                self._report_crash(crash)
+            return
+        for hook in self.trace_hooks:
+            hook(self.now, event)
+        self._maybe_quiesce()
+
+    def _report_crash(self, exc: BaseException) -> None:
+        if self._crash is None:
+            self._crash = exc
+        fut = self._run_future
+        if fut is not None and not fut.done():
+            fut.set_exception(self._crash)
+
+    def _maybe_quiesce(self) -> None:
+        if not self._quiescing or self._pending > 0:
+            return
+        fut = self._run_future
+        if fut is None or fut.done():
+            return
+
+        def check() -> None:
+            if (self._quiescing and self._pending == 0
+                    and fut is self._run_future and not fut.done()):
+                fut.set_result(None)
+
+        # Grace window: a datagram already in the OS buffer (invisible
+        # to the scheduler) gets a chance to arrive and re-arm work.
+        self._loop.call_later(self._idle_grace, check)
+
+    def run(self, until: "float | Event | None" = None, *,
+            wall_timeout: float | None = None,
+            idle_grace: float = 0.05) -> Any:
+        """Drive the event loop (kernel-compatible signature).
+
+        ``until`` may be ``None`` (run until the scheduler has been idle
+        for ``idle_grace`` seconds — a heuristic for quiescence, since
+        in-flight real packets cannot be seen), a number (run until that
+        many seconds since substrate creation), or an :class:`Event`
+        (run until it fires, then return its value or raise its
+        exception). ``wall_timeout`` bounds the whole call, failing it
+        with :class:`SimulationError` on expiry so a lost packet or a
+        wedged peer can never hang the caller forever.
+        """
+        if self._crash is not None:
+            raise self._crash
+        if self.closed:
+            raise SimulationError("substrate is closed")
+        loop = self._loop
+        fut: asyncio.Future = loop.create_future()
+        result_of_event = False
+        target: Event | None = None
+
+        if isinstance(until, Event):
+            target = until
+            result_of_event = True
+            if target.processed:
+                if target.ok:
+                    return target.value
+                target.defused = True
+                raise target.value
+
+            def _capture(ev: Event) -> None:
+                ev.defused = True
+                if not fut.done():
+                    if ev.ok:
+                        fut.set_result(ev.value)
+                    else:
+                        fut.set_exception(ev.value)
+
+            target.callbacks.append(_capture)
+        elif until is None:
+            self._quiescing = True
+            self._idle_grace = idle_grace
+        else:
+            deadline = float(until)
+            if deadline < self.now:
+                raise ValueError(
+                    f"until={deadline} is in the past (now={self.now})")
+            loop.call_later(deadline - self.now,
+                            lambda: fut.done() or fut.set_result(None))
+
+        timeout_handle = None
+        if wall_timeout is not None:
+            timeout_handle = loop.call_later(
+                wall_timeout,
+                lambda: fut.done() or fut.set_exception(SimulationError(
+                    f"run() exceeded wall_timeout={wall_timeout}s at "
+                    f"t={self.now:.6f}; {self.active_process_count} "
+                    "process(es) still alive")))
+
+        self._run_future = fut
+        try:
+            if until is None:
+                self._maybe_quiesce()
+            result = loop.run_until_complete(fut)
+            return result if result_of_event else None
+        finally:
+            self._run_future = None
+            self._quiescing = False
+            if timeout_handle is not None:
+                timeout_handle.cancel()
+            if target is not None and not target.processed \
+                    and target.callbacks is not None:
+                # A timed-out wait must not leave the capture armed.
+                target.callbacks[:] = [cb for cb in target.callbacks
+                                       if cb is not _capture]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every socket (and the loop, when owned). Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self.datagrams._close()
+        if self._owns_loop and not self._loop.is_closed():
+            self._loop.close()
+
+    def __enter__(self) -> "AsyncioSubstrate":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AsyncioSubstrate t={self.now:.6f} pending={self._pending} "
+                f"processes={len(self._processes)}>")
+
+
+class UdpDatagramService:
+    """Real UDP datagram delivery between registered node addresses.
+
+    Implements the same :class:`~repro.runtime.substrate.DatagramService`
+    contract as the simulated :class:`~repro.net.datagram.DatagramNetwork`:
+    best-effort, unordered, silent loss. Each registered node gets its
+    own non-blocking UDP socket on ``bind_host``; frames carry the
+    virtual source/destination addresses (see :mod:`repro.net.wire`), so
+    node identity is independent of the ephemeral port the OS assigns.
+    """
+
+    def __init__(self, substrate: AsyncioSubstrate, *,
+                 bind_host: str = "127.0.0.1",
+                 faults: FaultPlan | None = None) -> None:
+        self.substrate = substrate
+        self.bind_host = bind_host
+        self.faults = faults if faults is not None else FaultPlan()
+        self.stats = NetworkStats()
+        #: RTO-sizing hint only — real packets move at real speed.
+        self.latency = ConstantLatency(LOOPBACK_LATENCY_HINT)
+        #: Taps observing every datagram put on the wire (testing aid).
+        self.wire_taps: list[Callable[[float, Datagram], None]] = []
+        self._handlers: dict[NodeAddress, Callable[[Datagram], None]] = {}
+        self._socks: dict[NodeAddress, socket.socket] = {}
+        self._routes: dict[NodeAddress, tuple[str, int]] = {}
+        self._tx_sock: socket.socket | None = None
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, address: NodeAddress,
+                 handler: Callable[[Datagram], None]) -> None:
+        """Bind a real UDP socket for ``address`` and attach ``handler``."""
+        from repro.errors import AddressError
+        if address in self._handlers:
+            raise AddressError(f"address {address} is already registered")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind((self.bind_host, 0))
+        sock.setblocking(False)
+        self._handlers[address] = handler
+        self._socks[address] = sock
+        self._routes[address] = sock.getsockname()
+        self.substrate.loop.add_reader(
+            sock.fileno(), self._on_readable, address, sock)
+
+    def unregister(self, address: NodeAddress) -> None:
+        self._handlers.pop(address, None)
+        sock = self._socks.pop(address, None)
+        self._routes.pop(address, None)
+        if sock is not None:
+            self.substrate.loop.remove_reader(sock.fileno())
+            sock.close()
+
+    def is_registered(self, address: NodeAddress) -> bool:
+        return address in self._handlers
+
+    def add_route(self, address: NodeAddress,
+                  real_address: tuple[str, int]) -> None:
+        """Route a *remote* virtual node to its real ``(host, port)``.
+
+        In-process nodes are routed automatically; this wires up peers
+        living in other processes or on other machines.
+        """
+        self._routes[address] = real_address
+
+    def real_address(self, address: NodeAddress) -> tuple[str, int]:
+        """The real socket address a registered node is bound to."""
+        return self._routes[address]
+
+    # -- sending --------------------------------------------------------
+
+    def send(self, datagram: Datagram) -> None:
+        """Fire-and-forget transmission of one datagram."""
+        self.stats.sent += 1
+        self.stats.bytes_sent += datagram.size
+        for tap in self.wire_taps:
+            tap(self.substrate.now, datagram)
+
+        route = self._routes.get(datagram.dst)
+        if route is None:
+            self.stats.undeliverable += 1
+            return
+
+        # Same fault model and stream naming as the simulated network,
+        # so loss-recovery tests translate across substrates verbatim.
+        link = f"net/{datagram.src}->{datagram.dst}"
+        fault_rng = self.substrate.rng.get(link + "/faults")
+        extra_delays = self.faults.copies(fault_rng, datagram.src,
+                                          datagram.dst, datagram)
+        if not extra_delays:
+            self.stats.dropped += 1
+            return
+        if len(extra_delays) > 1:
+            self.stats.duplicated += 1
+
+        data = encode_frame(datagram)
+        for extra in extra_delays:
+            if extra <= 0:
+                self._sendto(datagram.src, data, route)
+            else:
+                self.substrate.call_later(
+                    extra, lambda d=data, r=route, s=datagram.src:
+                    self._sendto(s, d, r))
+
+    def _sendto(self, src: NodeAddress, data: bytes,
+                route: tuple[str, int]) -> None:
+        sock = self._socks.get(src)
+        if sock is None:
+            sock = self._shared_tx_sock()
+        try:
+            sock.sendto(data, route)
+        except (BlockingIOError, OSError):
+            self.stats.dropped += 1  # full buffer == congestion loss
+
+    def _shared_tx_sock(self) -> socket.socket:
+        if self._tx_sock is None:
+            self._tx_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            self._tx_sock.setblocking(False)
+        return self._tx_sock
+
+    # -- receiving ------------------------------------------------------
+
+    def _on_readable(self, address: NodeAddress,
+                     sock: socket.socket) -> None:
+        while True:
+            try:
+                data, _peer = sock.recvfrom(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # socket closed under us
+            try:
+                datagram = decode_frame(data)
+            except FrameError:
+                self.stats.undeliverable += 1
+                continue
+            handler = self._handlers.get(address)
+            if handler is None:
+                self.stats.undeliverable += 1
+                continue
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += datagram.size
+            try:
+                handler(datagram)
+            except BaseException as exc:  # noqa: BLE001 - kernel parity
+                self.substrate._report_crash(exc)
+                return
+
+    def _close(self) -> None:
+        for address in list(self._socks):
+            self.unregister(address)
+        if self._tx_sock is not None:
+            self._tx_sock.close()
+            self._tx_sock = None

@@ -1,0 +1,119 @@
+"""The substrate interface: what every layer above ``net`` may assume.
+
+The paper's layer ran the same program text over real UDP between
+Caltech, Rice, Tennessee and Australia; this reproduction runs it over a
+virtual-time simulator — and, via this interface, over both. A
+*substrate* bundles the two services the upper layers (transport,
+mailboxes, dapplets, sessions, services) need:
+
+* a **scheduler** — clock, one-shot events, timeouts, generator
+  processes and named random streams (the interface
+  :class:`repro.sim.Kernel` has always exposed); and
+* a **datagram service** — best-effort, unordered delivery of
+  :class:`~repro.net.datagram.Datagram` frames between registered node
+  addresses (the interface of
+  :class:`~repro.net.datagram.DatagramNetwork`).
+
+Everything above ``net`` depends only on these protocols, never on the
+concrete simulator classes — enforced by a layering test that greps
+import statements. Two implementations ship:
+
+* :class:`repro.runtime.SimSubstrate` — the discrete-event kernel plus
+  the simulated network; deterministic, virtual time.
+* :class:`repro.runtime.AsyncioSubstrate` — an asyncio event loop plus
+  real UDP sockets; wall-clock time, real packets.
+
+The protocols are structural (:class:`typing.Protocol`): the existing
+``Kernel`` and ``DatagramNetwork`` conform as they are, so hand-wired
+code and tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Callable, Iterable, Protocol,
+                    runtime_checkable)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.net.address import NodeAddress
+    from repro.net.datagram import Datagram
+    from repro.sim.events import AllOf, AnyOf, Event, Timeout
+    from repro.sim.process import Process, ProcessBody
+    from repro.sim.rng import RandomStreams
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Clock + event scheduling: the kernel-shaped half of a substrate.
+
+    ``now`` is the current time in seconds — virtual on the simulator,
+    wall-clock-since-start on a real event loop. The underscore methods
+    are the plumbing contract used by :class:`~repro.sim.events.Event`
+    and :class:`~repro.sim.process.Process`, which are substrate-agnostic
+    and run on any scheduler.
+    """
+
+    rng: "RandomStreams"
+
+    @property
+    def now(self) -> float: ...
+
+    def event(self) -> "Event": ...
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout": ...
+
+    def process(self, body: "ProcessBody",
+                name: str | None = None) -> "Process": ...
+
+    def any_of(self, events: "Iterable[Event]") -> "AnyOf": ...
+
+    def all_of(self, events: "Iterable[Event]") -> "AllOf": ...
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> "Event": ...
+
+    def run(self, until: "float | Event | None" = None) -> Any: ...
+
+    # -- plumbing used by Event/Process ---------------------------------
+
+    def _enqueue(self, event: "Event", delay: float) -> None: ...
+
+    def _register_process(self, process: "Process") -> None: ...
+
+    def _unregister_process(self, process: "Process") -> None: ...
+
+
+@runtime_checkable
+class DatagramService(Protocol):
+    """Best-effort datagram delivery between registered node addresses.
+
+    The contract of the paper's bottom layer ("the initial implementation
+    uses UDP"): unordered, at-most-once-per-copy, silent loss. ``stats``
+    carries :class:`~repro.net.datagram.NetworkStats`-shaped counters and
+    ``latency`` (when present) offers ``mean_estimate(src_host,
+    dst_host)`` so the transport can size initial retransmission
+    timeouts.
+    """
+
+    stats: Any
+    wire_taps: list
+
+    def register(self, address: "NodeAddress",
+                 handler: "Callable[[Datagram], None]") -> None: ...
+
+    def unregister(self, address: "NodeAddress") -> None: ...
+
+    def is_registered(self, address: "NodeAddress") -> bool: ...
+
+    def send(self, datagram: "Datagram") -> None: ...
+
+
+class Substrate(Scheduler, Protocol):
+    """A scheduler plus its datagram service — one deployable runtime.
+
+    ``World(substrate=...)`` accepts anything with this shape; the
+    default is :class:`repro.runtime.SimSubstrate`.
+    """
+
+    datagrams: DatagramService
+
+    def close(self) -> None:
+        """Release external resources (sockets, loops). Idempotent."""

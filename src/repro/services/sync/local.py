@@ -16,7 +16,7 @@ from typing import Any
 
 from repro.errors import SingleAssignmentError, SynchronizationError
 from repro.sim.events import Event
-from repro.sim.kernel import Kernel
+from repro.runtime.substrate import Scheduler
 
 
 class Barrier:
@@ -26,7 +26,7 @@ class Barrier:
     ``arrive()`` yields the generation number that completed.
     """
 
-    def __init__(self, kernel: Kernel, parties: int) -> None:
+    def __init__(self, kernel: Scheduler, parties: int) -> None:
         if parties < 1:
             raise SynchronizationError("barrier needs at least one party")
         self.kernel = kernel
@@ -53,7 +53,7 @@ class Barrier:
 class Semaphore:
     """A counting semaphore; waiters are served FIFO."""
 
-    def __init__(self, kernel: Kernel, permits: int = 1) -> None:
+    def __init__(self, kernel: Scheduler, permits: int = 1) -> None:
         if permits < 0:
             raise SynchronizationError("permit count must be >= 0")
         self.kernel = kernel
@@ -92,7 +92,7 @@ class SingleAssignment:
 
     _UNSET = object()
 
-    def __init__(self, kernel: Kernel) -> None:
+    def __init__(self, kernel: Scheduler) -> None:
         self.kernel = kernel
         self._value: Any = self._UNSET
         self._readers: list[Event] = []
@@ -127,7 +127,7 @@ class BoundedChannel:
     when a getter takes the item).
     """
 
-    def __init__(self, kernel: Kernel, capacity: int = 1) -> None:
+    def __init__(self, kernel: Scheduler, capacity: int = 1) -> None:
         if capacity < 0:
             raise SynchronizationError("capacity must be >= 0")
         self.kernel = kernel

@@ -1,14 +1,21 @@
-"""The ``World``: one simulated internetwork of dapplets.
+"""The ``World``: one internetwork of dapplets on a pluggable substrate.
 
-A convenience facade that owns the kernel, the datagram network, the
-address directory, and port allocation — the pieces every run needs.
-Everything it does can be assembled by hand from the lower layers; the
-examples and benchmarks all start with::
+A convenience facade that owns the substrate (scheduler + datagram
+service), the address directory, and port allocation — the pieces every
+run needs. Everything it does can be assembled by hand from the lower
+layers; the examples and benchmarks all start with::
 
     world = World(seed=1, latency=GeoLatency())
     alice = world.dapplet(CalendarDapplet, "caltech.edu", "alice")
     ...
     world.run()
+
+By default the world runs on the deterministic virtual-time simulator
+(:class:`repro.runtime.SimSubstrate`). Pass ``substrate=`` to run the
+same dapplets on a different runtime — e.g.
+:class:`repro.runtime.AsyncioSubstrate` for real UDP sockets::
+
+    world = World(substrate=AsyncioSubstrate())
 """
 
 from __future__ import annotations
@@ -18,10 +25,9 @@ from typing import TYPE_CHECKING, Any, Type, TypeVar
 from repro.dapplet.dapplet import Dapplet
 from repro.dapplet.directory import AddressDirectory
 from repro.errors import DappletError
-from repro.net.datagram import DatagramNetwork
 from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel
-from repro.sim.kernel import Kernel
+from repro.runtime import SimSubstrate, Substrate
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event
@@ -33,20 +39,25 @@ BASE_PORT = 2000
 
 
 class World:
-    """A complete simulated deployment.
+    """A complete deployment on one substrate.
 
     Parameters
     ----------
     seed:
-        Root seed for all randomness in the run.
+        Root seed for all randomness in the run (simulated substrate
+        only).
     latency / faults:
-        The network's latency model and fault plan (see
+        The simulated network's latency model and fault plan (see
         :mod:`repro.net`).
     endpoint_options:
         Keyword arguments applied to every dapplet's transport endpoint
         (e.g. ``rto_initial``, ``max_retries``, ``reliable``).
     realtime:
         Pace virtual time against the wall clock (for demos).
+    substrate:
+        An explicit runtime to deploy on; mutually exclusive with the
+        simulator-configuration parameters above, which all configure
+        the default :class:`~repro.runtime.SimSubstrate`.
     """
 
     def __init__(self, seed: int = 0, *,
@@ -54,11 +65,20 @@ class World:
                  faults: FaultPlan | None = None,
                  endpoint_options: dict[str, Any] | None = None,
                  realtime: bool = False,
-                 realtime_factor: float = 1.0) -> None:
-        self.kernel = Kernel(seed=seed, realtime=realtime,
-                             realtime_factor=realtime_factor)
-        self.network = DatagramNetwork(self.kernel, latency=latency,
-                                       faults=faults)
+                 realtime_factor: float = 1.0,
+                 substrate: Substrate | None = None) -> None:
+        if substrate is not None:
+            if (seed != 0 or latency is not None or faults is not None
+                    or realtime or realtime_factor != 1.0):
+                raise ValueError(
+                    "substrate= is mutually exclusive with the simulator "
+                    "parameters (seed/latency/faults/realtime); configure "
+                    "the substrate itself instead")
+            self.substrate: Substrate = substrate
+        else:
+            self.substrate = SimSubstrate(
+                seed=seed, latency=latency, faults=faults,
+                realtime=realtime, realtime_factor=realtime_factor)
         self.directory = AddressDirectory()
         self.endpoint_options = dict(endpoint_options or {})
         #: Optional :class:`repro.session.InterferenceMonitor`; when set,
@@ -67,6 +87,18 @@ class World:
         self.interference_monitor = None
         self._next_port: dict[str, int] = {}
         self._dapplets: dict[str, Dapplet] = {}
+
+    # -- substrate views ---------------------------------------------------
+
+    @property
+    def kernel(self) -> Substrate:
+        """The scheduler half of the substrate (historical name)."""
+        return self.substrate
+
+    @property
+    def network(self):
+        """The datagram half of the substrate (historical name)."""
+        return self.substrate.datagrams
 
     # -- construction -----------------------------------------------------
 
@@ -109,12 +141,20 @@ class World:
 
     @property
     def now(self) -> float:
-        return self.kernel.now
+        return self.substrate.now
 
-    def run(self, until: "float | Event | None" = None) -> Any:
-        """Run the simulation (see :meth:`repro.sim.Kernel.run`)."""
-        return self.kernel.run(until)
+    def run(self, until: "float | Event | None" = None, **kwargs: Any) -> Any:
+        """Run the world (see the substrate's ``run`` for semantics).
+
+        Extra keyword arguments are forwarded to the substrate — e.g.
+        ``wall_timeout=`` on :class:`~repro.runtime.AsyncioSubstrate`.
+        """
+        return self.substrate.run(until, **kwargs)
 
     def process(self, body, name: str | None = None):
         """Start a free-standing process (not owned by any dapplet)."""
-        return self.kernel.process(body, name=name)
+        return self.substrate.process(body, name=name)
+
+    def close(self) -> None:
+        """Release the substrate's external resources (if any)."""
+        self.substrate.close()

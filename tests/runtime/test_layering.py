@@ -1,0 +1,56 @@
+"""Layering enforcement: upper layers depend only on the substrate
+interface, never on the concrete simulator classes.
+
+The substrate refactor's whole point is that ``mailbox``, ``dapplet``,
+``session`` and ``services`` run unchanged on any runtime. Importing
+``repro.sim.kernel`` or ``repro.net.datagram`` from those packages would
+silently re-couple them to the simulator, so this test greps the import
+statements of every module in the restricted packages.
+
+(The substrate-agnostic event/process machinery in ``repro.sim.events``
+etc. and the transport in ``repro.net.transport`` remain fair game —
+they run on every scheduler.)
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+
+#: Packages that must stay substrate-agnostic.
+RESTRICTED = ("mailbox", "dapplet", "session", "services")
+
+#: Modules that pin the code to the simulated runtime.
+BANNED = ("repro.sim.kernel", "repro.net.datagram")
+
+
+def _imported_modules(path: pathlib.Path) -> set[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    mods: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            mods.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            mods.add(node.module)
+    return mods
+
+
+def _restricted_files():
+    for package in RESTRICTED:
+        for path in sorted((SRC / package).rglob("*.py")):
+            yield pytest.param(path, id=str(path.relative_to(SRC)))
+
+
+@pytest.mark.parametrize("path", _restricted_files())
+def test_no_direct_simulator_imports(path):
+    offending = _imported_modules(path).intersection(BANNED)
+    assert not offending, (
+        f"{path.relative_to(SRC)} imports {sorted(offending)}; upper "
+        "layers must depend on repro.runtime.substrate interfaces only")
+
+
+def test_restriction_covers_something():
+    # Guard against the scan silently matching zero files.
+    assert sum(1 for _ in _restricted_files()) >= 10

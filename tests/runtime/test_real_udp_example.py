@@ -1,0 +1,18 @@
+"""Smoke test: the real-UDP quickstart exchanges FIFO-ordered messages
+over actual loopback sockets within a hard wall-clock bound."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def test_real_udp_quickstart_runs():
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "examples" / "real_udp_quickstart.py")],
+        capture_output=True, text=True, timeout=30, env=env)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "FIFO order verified over real UDP: 20 messages" in result.stdout

@@ -1,0 +1,34 @@
+"""Public API conformance: every re-export in ``repro.__init__`` stays
+importable and ``__all__`` is complete and accurate."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, (
+            f"repro.__all__ lists {name!r} but it does not resolve")
+
+
+def test_all_is_sorted_and_unique():
+    public = [n for n in repro.__all__ if not n.startswith("_")]
+    assert public == sorted(public)
+    assert len(set(repro.__all__)) == len(repro.__all__)
+
+
+def test_public_attributes_are_in_all():
+    # Everything importable from the top level that is not a module or a
+    # private name must be declared in __all__.
+    import types
+    exported = set(repro.__all__)
+    for name, value in vars(repro).items():
+        if name.startswith("_") or isinstance(value, types.ModuleType):
+            continue
+        assert name in exported, (
+            f"repro.{name} is public but missing from __all__")
+
+
+def test_headline_classes_present():
+    for name in ("World", "Dapplet", "Inbox", "Outbox", "Substrate",
+                 "SimSubstrate", "AsyncioSubstrate"):
+        assert name in repro.__all__
