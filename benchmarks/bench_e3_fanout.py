@@ -29,9 +29,11 @@ class Node(Dapplet):
 N_MESSAGES = 50
 
 
-def run_fanout(fanout: int, *, reorder: float = 0.0, seed: int = 5):
+def run_fanout(fanout: int, *, reorder: float = 0.0, seed: int = 5,
+               tracer=None):
     world = World(seed=seed, latency=ConstantLatency(0.02),
-                  faults=FaultPlan(reorder_jitter=reorder))
+                  faults=FaultPlan(reorder_jitter=reorder),
+                  tracer=tracer)
     sender = world.dapplet(Node, "caltech.edu", "sender")
     inboxes = []
     for i in range(fanout):
@@ -50,14 +52,25 @@ def run_fanout(fanout: int, *, reorder: float = 0.0, seed: int = 5):
     fifo = all([int(m.text) for m in ib.queued()] == list(range(N_MESSAGES))
                for ib in inboxes)
     complete = all(len(ib.queued()) == N_MESSAGES for ib in inboxes)
-    return {"elapsed": elapsed, "datagrams": datagrams, "fifo": fifo,
-            "complete": complete}
+    result = {"elapsed": elapsed, "datagrams": datagrams, "fifo": fifo,
+              "complete": complete}
+    if tracer is not None:
+        summary = tracer.summary()
+        result["obs"] = {"counters": summary["counters"],
+                         "ep_rtt": summary["histograms"].get("ep.rtt")}
+    return result
 
 
 @pytest.fixture(scope="module")
 def results():
+    # Table runs carry a metrics-only tracer (protocol counters land in
+    # BENCH_e3_fanout.json); the benchmark()-timed run below does NOT —
+    # it times the uninstrumented fast path.
+    from repro import Tracer
     fanouts = (1, 2, 4, 8, 16)
-    return fanouts, {f: run_fanout(f, reorder=0.1) for f in fanouts}
+    return fanouts, {f: run_fanout(f, reorder=0.1,
+                                   tracer=Tracer(metrics_only=True))
+                     for f in fanouts}
 
 
 def test_e3_table_and_shape(results, benchmark, request):

@@ -33,7 +33,7 @@ N = 200
 
 
 def run_stream(drop: float, reliable: bool, seed: int = 9, *,
-               sack: bool = True):
+               sack: bool = True, tracer=None):
     options = {"reliable": reliable}
     if reliable:
         options.update(rto_initial=0.1, max_retries=60, sack=sack,
@@ -41,7 +41,7 @@ def run_stream(drop: float, reliable: bool, seed: int = 9, *,
     world = World(seed=seed, latency=ConstantLatency(0.02),
                   faults=FaultPlan(drop_prob=drop, duplicate_prob=0.05,
                                    reorder_jitter=0.05),
-                  endpoint_options=options)
+                  endpoint_options=options, tracer=tracer)
     src = world.dapplet(Node, "caltech.edu", "src")
     dst = world.dapplet(Node, "rice.edu", "dst")
     arrivals: list[tuple[float, int]] = []
@@ -57,7 +57,7 @@ def run_stream(drop: float, reliable: bool, seed: int = 9, *,
     world.run()
     seq = [s for _, s in arrivals]
     latencies = [t - send_times[s] for t, s in arrivals]
-    return {
+    result = {
         "delivered": len(set(seq)),
         "fifo": seq == sorted(set(seq)),
         "mean_latency": (sum(latencies) / len(latencies)) if latencies else 0,
@@ -65,16 +65,28 @@ def run_stream(drop: float, reliable: bool, seed: int = 9, *,
         "fast_retransmits": src.endpoint.stats.fast_retransmits,
         "acks": dst.endpoint.stats.acks_sent,
     }
+    if tracer is not None:
+        summary = tracer.summary()
+        result["obs"] = {"counters": summary["counters"],
+                         "ep_rtt": summary["histograms"].get("ep.rtt")}
+    return result
 
 
 @pytest.fixture(scope="module")
 def results():
+    # Table runs carry a metrics-only tracer (protocol counters and the
+    # RTT histogram land in BENCH_e4_reliability.json); the timed run in
+    # test_e4_table_and_shape does NOT — it times the uninstrumented
+    # fast path.
+    from repro import Tracer
     drops = (0.0, 0.1, 0.3, 0.5)
     table = {}
     for drop in drops:
-        table[(drop, "raw")] = run_stream(drop, reliable=False)
-        table[(drop, "cum")] = run_stream(drop, reliable=True, sack=False)
-        table[(drop, "sack")] = run_stream(drop, reliable=True, sack=True)
+        for mode, kwargs in (("raw", {"reliable": False}),
+                             ("cum", {"reliable": True, "sack": False}),
+                             ("sack", {"reliable": True, "sack": True})):
+            table[(drop, mode)] = run_stream(
+                drop, tracer=Tracer(metrics_only=True), **kwargs)
     return drops, table
 
 

@@ -6,9 +6,10 @@ addresses, an initiator linking them into a session (Figure 2), session
 ports (inboxes/outboxes over FIFO channels), and clean termination.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace trace.jsonl   # export a trace
 """
 
-from repro import Dapplet, Initiator, SessionSpec, World
+from repro import Dapplet, Initiator, SessionSpec, Tracer, World
 from repro.messages import Text
 from repro.net import GeoLatency
 
@@ -33,10 +34,12 @@ class PingPong(Dapplet):
         return respond()
 
 
-def main() -> None:
+def main(trace: str | None = None) -> World:
     # One world = one simulated internetwork. GeoLatency places hosts at
     # real coordinates; caltech<->sydney is a ~100 ms round trip.
-    world = World(seed=1, latency=GeoLatency())
+    # With --trace, a Tracer records every layer's events for export.
+    world = World(seed=1, latency=GeoLatency(),
+                  tracer=Tracer() if trace is not None else None)
     caller = world.dapplet(PingPong, "caltech.edu", "caller")
     world.dapplet(PingPong, "sydney.edu.au", "responder")
     initiator = world.dapplet(Initiator, "caltech.edu", "init")
@@ -65,7 +68,15 @@ def main() -> None:
     stats = world.network.stats
     print(f"network: {stats.sent} datagrams sent, "
           f"{stats.delivered} delivered")
+    if trace is not None:
+        path = world.export_trace(trace)
+        print(f"trace: {len(world.tracer.events)} events -> {path}")
+    return world
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export a JSONL trace of the run to PATH")
+    main(parser.parse_args().trace)

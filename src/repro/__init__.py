@@ -19,7 +19,7 @@ Quick start::
 The subpackages are importable directly for the full API:
 ``repro.sim``, ``repro.runtime``, ``repro.net``, ``repro.messages``, ``repro.mailbox``,
 ``repro.dapplet``, ``repro.session``, ``repro.rpc``, ``repro.services``,
-``repro.patterns``, ``repro.apps``.
+``repro.patterns``, ``repro.apps``, ``repro.obs``.
 """
 
 from repro.dapplet.dapplet import Dapplet
@@ -40,6 +40,7 @@ from repro.mailbox.inbox import Inbox
 from repro.mailbox.outbox import Outbox
 from repro.messages.message import Message, message_type
 from repro.net.address import InboxAddress, NodeAddress
+from repro.obs import Tracer
 from repro.runtime import AsyncioSubstrate, SimSubstrate, Substrate
 from repro.session.initiator import Initiator
 from repro.session.session import Session, SessionContext
@@ -75,6 +76,7 @@ __all__ = [
     "SimSubstrate",
     "Substrate",
     "TokenError",
+    "Tracer",
     "World",
     "message_type",
     "__version__",

@@ -67,6 +67,11 @@ class Dapplet:
         # clock satisfying the global snapshot criterion (paper §4.2).
         from repro.services.clocks.lamport import LamportClock
         self.clock = LamportClock(self)
+        # An attached tracer stamps this dapplet's events with its
+        # Lamport clock (worlds attach tracers; see repro.obs).
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.register_clock(address, self.clock)
         self.setup()
         # Every dapplet listens for link requests from the moment it is
         # installed (the paper's model: dapplets are installed first,

@@ -21,6 +21,7 @@ knowing anything about clocks.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from repro.errors import ReceiveTimeout
@@ -45,6 +46,11 @@ class Inbox:
         self.ref = ref
         self.name = name
         self._store = Store(kernel)
+        self._store.on_get = self._on_dequeue
+        #: Enqueue instants of queued messages, head-aligned with the
+        #: store; pairs enqueues with dequeues for the mailbox-wait
+        #: histogram. Only fed while a tracer is attached.
+        self._enqueued_at: deque[float] = deque()
         self._nonempty_waiters: list[Event] = []
         #: Applied in order to every arriving message (may transform it).
         self.delivery_hooks: list[DeliveryHook] = []
@@ -83,6 +89,11 @@ class Inbox:
         the event fires immediately (same instant).
         """
         ev = self.kernel.event()
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("mbox", "await", node=self.endpoint.address,
+                    inbox=self.name or self.ref,
+                    ready=not self._store.is_empty)
         if not self._store.is_empty:
             ev.succeed(None)
         else:
@@ -106,6 +117,8 @@ class Inbox:
             if outer.triggered:
                 # Timed out in the same instant the message landed; put
                 # it back at the head so the next receive sees it.
+                if self.kernel.tracer is not None:
+                    self._enqueued_at.appendleft(self.kernel.now)
                 self._store.put_front(ev.value)
             else:
                 outer.succeed(ev.value)
@@ -142,11 +155,15 @@ class Inbox:
         have arrived, to normalize messages the hooks did not see.
         """
         items = list(self._store._items)
+        times = list(self._enqueued_at)
+        times += [self.kernel.now] * (len(items) - len(times))
         self._store._items.clear()
-        for item in items:
+        self._enqueued_at.clear()
+        for item, t in zip(items, times):
             replacement = fn(item)
             if replacement is not None:
                 self._store._items.append(replacement)
+                self._enqueued_at.append(t)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -175,11 +192,29 @@ class Inbox:
             if message is None:
                 return
         self.messages_received += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            self._enqueued_at.append(self.kernel.now)
+            tr.emit("mbox", "enqueue", node=self.endpoint.address,
+                    inbox=self.name or self.ref,
+                    qlen=len(self._store) + 1,
+                    msg=type(message).__name__)
         self._store.put(message)
         if self._nonempty_waiters:
             waiters, self._nonempty_waiters = self._nonempty_waiters, []
             for ev in waiters:
                 ev.succeed(None)
+
+    def _on_dequeue(self, message: Message) -> None:
+        """Store observer: one message handed to a receiver."""
+        enqueued = self._enqueued_at.popleft() if self._enqueued_at else None
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("mbox", "dequeue", node=self.endpoint.address,
+                    inbox=self.name or self.ref, qlen=len(self._store),
+                    msg=type(message).__name__,
+                    wait=(None if enqueued is None
+                          else self.kernel.now - enqueued))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or self.ref

@@ -122,7 +122,12 @@ class Outbox:
                 f"outbox {self.endpoint.address}/o{self.ref} has no bindings")
         wire = dumps(self._apply_hooks(message))
         receipts: list[DeliveryReceipt] = []
+        tr = self.kernel.tracer
         for address, chan in self._channels.items():
+            if tr is not None:
+                tr.emit("mbox", "send", node=self.endpoint.address,
+                        ch=chan.key, outbox=self.ref,
+                        msg=type(message).__name__, size=len(wire))
             receipt = self.endpoint.send(address, wire, chan.key,
                                          timeout=timeout)
             chan.copies_sent += 1

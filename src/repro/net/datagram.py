@@ -106,6 +106,12 @@ class DatagramNetwork:
         self.stats.bytes_sent += datagram.size
         for tap in self.wire_taps:
             tap(self.kernel.now, datagram)
+        tr = self.kernel.tracer
+        if tr is not None:
+            header = datagram.header
+            tr.emit("net", "send", node=datagram.src, dst=str(datagram.dst),
+                    kind=header.get("kind"), ch=header.get("ch"),
+                    seq=header.get("seq"), size=datagram.size)
 
         link = f"net/{datagram.src}->{datagram.dst}"
         fault_rng = self.kernel.rng.get(link + "/faults")
@@ -113,9 +119,19 @@ class DatagramNetwork:
                                           datagram.dst, datagram)
         if not extra_delays:
             self.stats.dropped += 1
+            if tr is not None:
+                header = datagram.header
+                tr.emit("net", "drop", node=datagram.src,
+                        dst=str(datagram.dst), kind=header.get("kind"),
+                        ch=header.get("ch"), seq=header.get("seq"))
             return
         if len(extra_delays) > 1:
             self.stats.duplicated += 1
+            if tr is not None:
+                header = datagram.header
+                tr.emit("net", "dup", node=datagram.src,
+                        dst=str(datagram.dst), kind=header.get("kind"),
+                        ch=header.get("ch"), seq=header.get("seq"))
 
         lat_rng = self.kernel.rng.get(link + "/latency")
         for extra in extra_delays:
@@ -125,9 +141,20 @@ class DatagramNetwork:
 
     def _deliver(self, datagram: Datagram) -> None:
         handler = self._handlers.get(datagram.dst)
+        tr = self.kernel.tracer
         if handler is None:
             self.stats.undeliverable += 1
+            if tr is not None:
+                tr.emit("net", "undeliverable", node=datagram.dst,
+                        src=str(datagram.src),
+                        kind=datagram.header.get("kind"))
             return
         self.stats.delivered += 1
         self.stats.bytes_delivered += datagram.size
+        if tr is not None:
+            header = datagram.header
+            tr.emit("net", "deliver", node=datagram.dst,
+                    src=str(datagram.src), kind=header.get("kind"),
+                    ch=header.get("ch"), seq=header.get("seq"),
+                    size=datagram.size)
         handler(datagram)

@@ -236,6 +236,11 @@ class Endpoint:
         if self.closed:
             return
         self.closed = True
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "close", node=self.address,
+                    unacked=sum(len(s.unacked)
+                                for s in self._send_streams.values()))
         self.network.unregister(self.address)
         for (node, channel), stream in self._send_streams.items():
             for pending in stream.unacked.values():
@@ -283,6 +288,10 @@ class Endpoint:
             if timeout is not None:
                 raise ValueError("delivery timeout requires a reliable endpoint")
             self.stats.raw_sent += 1
+            tr = self.kernel.tracer
+            if tr is not None:
+                tr.emit("ep", "raw", node=self.address, ch=channel,
+                        dst=str(dst.node))
             self.network.send(Datagram(
                 self.address, dst.node,
                 {"kind": KIND_RAW, "to": dst.ref, "ch": channel}, payload))
@@ -312,6 +321,10 @@ class Endpoint:
                                 first_sent_at=self.kernel.now)
         stream.unacked[seq] = pending
         self.stats.data_sent += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "data", node=self.address, ch=channel, seq=seq,
+                    dst=str(dst.node))
         self._transmit(dst.node, channel, pending)
         self._arm_timer(key, pending)
         return receipt
@@ -347,14 +360,20 @@ class Endpoint:
         """Fold every pending delayed ACK owed to ``dst_node`` into an
         outgoing DATA datagram (an ACK datagram saved per entry)."""
         packs: list[dict] = []
+        tr = self.kernel.tracer
         for (node, channel), stream in self._recv_streams.items():
             if node != dst_node or not stream.ack_pending:
                 continue
-            packs.append({"ch": channel, **self._ack_fields(stream)})
+            fields = self._ack_fields(stream)
+            packs.append({"ch": channel, **fields})
             stream.ack_pending = False
             stream.pending_ets = None
             stream.last_ack_at = self.kernel.now
             self.stats.acks_piggybacked += 1
+            if tr is not None:
+                tr.emit("ep", "ack", node=self.address, ch=channel,
+                        cum=fields["cum"], sack=fields.get("sack"),
+                        mode="piggyback")
         return packs
 
     def _arm_timer(self, key: tuple[NodeAddress, str],
@@ -390,6 +409,10 @@ class Endpoint:
             # retransmits normally, so liveness never depends on an
             # advertisement whose ACK may have been lost.
             self.stats.sacked_suppressed += 1
+            tr = self.kernel.tracer
+            if tr is not None:
+                tr.emit("ep", "sack_suppress", node=self.address, ch=key[1],
+                        seq=seq)
             pending.rto = min(pending.rto * 2.0, self.rto_max)
             self._arm_timer(key, pending)
             return
@@ -397,6 +420,10 @@ class Endpoint:
             # Give up: the channel is declared broken. All queued
             # packets fail; later sends fail immediately.
             self.stats.gave_up += 1
+            tr = self.kernel.tracer
+            if tr is not None:
+                tr.emit("ep", "broken", node=self.address, ch=key[1],
+                        seq=seq, attempts=pending.attempts)
             stream.broken = True
             for p in stream.unacked.values():
                 p.receipt._fail(DeliveryTimeout(
@@ -422,6 +449,10 @@ class Endpoint:
             pending.rto = min(pending.rto * 2.0, self.rto_max)
         pending.last_rtx_at = now
         self.stats.data_retransmitted += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "rtx", node=self.address, ch=key[1], seq=seq,
+                    reason="rto", attempt=pending.attempts)
         self._transmit(key[0], key[1], pending)
         self._arm_timer(key, pending)
 
@@ -448,16 +479,26 @@ class Endpoint:
             stream = _RecvStream()
             self._recv_streams[key] = stream
 
+        tr = self.kernel.tracer
         in_order_run = False
         if seq < stream.expected or seq in stream.buffer:
             self.stats.duplicates_discarded += 1
+            if tr is not None:
+                tr.emit("ep", "dup_data", node=self.address, ch=channel,
+                        seq=seq)
         else:
             in_order_run = seq == stream.expected and not stream.buffer
             stream.buffer[seq] = (datagram.header["to"], datagram.payload)
             if seq != stream.expected:
                 self.stats.buffered_out_of_order += 1
+                if tr is not None:
+                    tr.emit("ep", "ooo", node=self.address, ch=channel,
+                            seq=seq, expected=stream.expected)
             while stream.expected in stream.buffer:
                 to_ref, payload = stream.buffer.pop(stream.expected)
+                if tr is not None:
+                    tr.emit("ep", "deliver", node=self.address, ch=channel,
+                            seq=stream.expected)
                 stream.expected += 1
                 self._deliver(to_ref, payload, datagram.src, raw=False)
         # Acknowledge. Duplicates re-ack immediately (the previous ack
@@ -491,6 +532,10 @@ class Endpoint:
         stream.ack_pending = False
         stream.pending_ets = None
         stream.last_ack_at = self.kernel.now
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "ack", node=self.address, ch=key[1],
+                    cum=fields["cum"], sack=fields.get("sack"), mode="wire")
         self.network.send(Datagram(
             self.address, key[0], {"kind": KIND_ACK, "ch": key[1], **fields},
             ""))
@@ -521,8 +566,14 @@ class Endpoint:
                 # point yield samples; duplicate-triggered ACKs echo a
                 # retransmission's timestamp and would skew the estimate.
                 stream.observe_rtt(self.kernel.now - echoed)
+            tr = self.kernel.tracer
             for seq in [s for s in stream.unacked if s <= cum]:
-                stream.unacked.pop(seq).receipt._ack()
+                pending = stream.unacked.pop(seq)
+                if tr is not None:
+                    tr.emit("ep", "confirm", node=self.address, ch=key[1],
+                            seq=seq,
+                            rtt=self.kernel.now - pending.receipt.sent_at)
+                pending.receipt._ack()
         elif cum == stream.last_cum and stream.unacked:
             stream.dup_acks += 1
         for start, end in fields.get("sack", ()):
@@ -548,16 +599,25 @@ class Endpoint:
         stream.dup_acks = 0
         self.stats.fast_retransmits += 1
         self.stats.data_retransmitted += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "rtx", node=self.address, ch=key[1], seq=hole.seq,
+                    reason="fast", attempt=hole.attempts)
         self._transmit(key[0], key[1], hole)
 
     def _deliver(self, to_ref: "int | str", payload: str,
                  src: NodeAddress, *, raw: bool) -> None:
         deliver = self._inboxes.get(to_ref)
+        tr = self.kernel.tracer
         if deliver is None:
             self.stats.no_such_inbox += 1
+            if tr is not None:
+                tr.emit("ep", "no_inbox", node=self.address, to=to_ref)
             return
         if raw:
             self.stats.raw_delivered += 1
+            if tr is not None:
+                tr.emit("ep", "raw_deliver", node=self.address, to=to_ref)
         else:
             self.stats.delivered += 1
         deliver(payload, InboxAddress(self.address, to_ref))

@@ -71,6 +71,33 @@ class FaultPlan:
     def is_partitioned(self, src: NodeAddress, dst: NodeAddress) -> bool:
         return (src, dst) in self._partitions
 
+    # -- recording (the replay corpus serializes fault schedules) -------
+
+    def to_dict(self) -> dict:
+        """The probabilistic schedule as a JSON-encodable dict.
+
+        Only the seeded-random parameters serialize — together with the
+        run's seed they reproduce the exact per-datagram decisions.
+        Callable filters and live partitions are runtime state and
+        refuse to serialize rather than silently record half a plan.
+        """
+        if self.drop_filter is not None or self._partitions:
+            raise ValueError(
+                "cannot serialize a FaultPlan with a drop_filter or "
+                "active partitions")
+        return {"drop_prob": self.drop_prob,
+                "duplicate_prob": self.duplicate_prob,
+                "reorder_jitter": self.reorder_jitter}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan recorded by :meth:`to_dict`."""
+        unknown = set(data) - {"drop_prob", "duplicate_prob",
+                               "reorder_jitter"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**data)
+
     # -- per-datagram decision ------------------------------------------
 
     def copies(self, rng: Random, src: NodeAddress, dst: NodeAddress,

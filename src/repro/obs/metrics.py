@@ -1,0 +1,127 @@
+"""Metrics: counters and latency histograms fed by the tracer.
+
+The paper's debugging story is built on *observable* distributed state
+(logical clocks, snapshots); this module is the quantitative half of the
+observability layer: every traced event increments counters (globally,
+per dapplet node, and per channel), and selected numeric fields —
+round-trip times, mailbox wait times — are folded into log-bucketed
+histograms. Summaries are plain dicts of JSON-encodable values so they
+drop straight into ``BENCH_<id>.json`` files.
+
+Everything here is deterministic: bucket boundaries are fixed powers of
+two, keys are strings, and :meth:`Histogram.snapshot` sorts nothing at
+runtime that could vary between identical runs.
+"""
+
+from __future__ import annotations
+
+#: Inclusive upper bounds of the histogram buckets, in seconds:
+#: powers of two from 1 µs to ~67 s, plus a catch-all overflow bucket.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2 ** i for i in range(27))
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (log-spaced, base 2).
+
+    ``observe`` is O(number of buckets) in the worst case but typically
+    exits early; the tracer only calls it for fields that carry a
+    latency, never on the per-event fast path.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets", "overflow")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets = [0] * len(BUCKET_BOUNDS)
+        self.overflow = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding
+        the ``q``-th observation (``inf`` if it landed in overflow)."""
+        if not self.count:
+            return 0.0
+        target = max(1, int(q * self.count))
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                return BUCKET_BOUNDS[i]
+        return float("inf")
+
+    def snapshot(self) -> dict:
+        """A JSON-encodable summary (empty buckets omitted)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": {f"le_{BUCKET_BOUNDS[i]:.6g}": n
+                        for i, n in enumerate(self.buckets) if n},
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Counters (global / per-node / per-channel) plus named histograms."""
+
+    __slots__ = ("counters", "per_node", "per_channel", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.per_node: dict[str, dict[str, int]] = {}
+        self.per_channel: dict[str, dict[str, int]] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def count(self, key: str, node: str | None, channel: str | None) -> None:
+        self.counters[key] = self.counters.get(key, 0) + 1
+        if node is not None:
+            by = self.per_node.get(node)
+            if by is None:
+                by = self.per_node[node] = {}
+            by[key] = by.get(key, 0) + 1
+        if channel is not None:
+            by = self.per_channel.get(channel)
+            if by is None:
+                by = self.per_channel[channel] = {}
+            by[key] = by.get(key, 0) + 1
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def summary(self) -> dict:
+        """The full metrics summary, JSON-encodable and deterministic."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "per_node": {n: dict(sorted(c.items()))
+                         for n, c in sorted(self.per_node.items())},
+            "per_channel": {ch: dict(sorted(c.items()))
+                            for ch, c in sorted(self.per_channel.items())},
+            "histograms": {name: hist.snapshot()
+                           for name, hist in sorted(self.histograms.items())},
+        }

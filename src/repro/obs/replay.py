@@ -1,0 +1,133 @@
+"""Deterministic trace replay: recorded fault schedules as oracles.
+
+On :class:`~repro.runtime.SimSubstrate` a trace is a pure function of
+the program and the seed, so a recorded trace *is* a regression test:
+re-run the same scenario under the same recorded fault schedule and any
+byte of difference in the exported JSONL is a behaviour change somewhere
+in the stack — kernel scheduling, fault decisions, retransmission
+policy, delivery order, session protocol.
+
+A *case* is a small JSON document describing one run of the canonical
+scenario (a sessionful ping-pong stream under faults, exercising every
+layer the tracer instruments)::
+
+    {"seed": 7, "messages": 6,
+     "faults": {"drop_prob": 0.2, "duplicate_prob": 0.1,
+                "reorder_jitter": 0.05},
+     "categories": ["net", "ep", "mbox", "session"]}
+
+``tests/obs/corpus/`` holds ~10 such cases with committed golden
+traces; ``python -m repro.obs.replay <corpus_dir>`` regenerates the
+goldens after an intentional behaviour change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import pathlib
+from typing import Any
+
+from repro.obs.tracer import Tracer
+
+#: Endpoint options the canonical scenario always runs with: generous
+#: retry budget so even 30%-loss cases converge deterministically.
+SCENARIO_ENDPOINT_OPTIONS = {"rto_initial": 0.1, "max_retries": 80}
+
+
+def run_case(case: dict[str, Any]) -> Tracer:
+    """Run the canonical scenario described by ``case``; return its tracer.
+
+    The scenario: two dapplets linked into a session by an initiator, a
+    ping-pong stream of ``case["messages"]`` round trips under the
+    recorded fault schedule, then clean termination — touching session
+    setup/teardown, reliable channels under loss, mailboxes and clocks.
+    """
+    # Imported here, not at module top: the tracer must stay importable
+    # from any layer without dragging in the whole dapplet stack.
+    from repro import Dapplet, Initiator, SessionSpec, World
+    from repro.messages import Text
+    from repro.net import ConstantLatency, FaultPlan
+
+    tracer = Tracer(categories=case.get("categories"))
+    world = World(seed=case["seed"],
+                  latency=ConstantLatency(0.02),
+                  faults=FaultPlan.from_dict(case.get("faults", {})),
+                  endpoint_options=dict(SCENARIO_ENDPOINT_OPTIONS),
+                  tracer=tracer)
+
+    class _Echo(Dapplet):
+        kind = "obs-echo"
+
+        def on_session_start(self, ctx):
+            self.ctx = ctx
+            if ctx.member != "responder":
+                return None
+
+            def respond():
+                while ctx.active:
+                    msg = yield ctx.inbox("in").receive()
+                    ctx.outbox("out").send(Text(msg.text.replace("ping",
+                                                                 "pong")))
+            return respond()
+
+    caller = world.dapplet(_Echo, "caltech.edu", "caller")
+    world.dapplet(_Echo, "sydney.edu.au", "responder")
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+
+    spec = SessionSpec("obs-replay")
+    spec.add_member("caller", inboxes=("in",))
+    spec.add_member("responder", inboxes=("in",))
+    spec.bind("caller", "out", "responder", "in")
+    spec.bind("responder", "out", "caller", "in")
+
+    def director():
+        session = yield from initiator.establish(spec, timeout=120.0)
+        ctx = caller.ctx
+        for i in range(case.get("messages", 5)):
+            ctx.outbox("out").send(Text(f"ping {i}"))
+            yield ctx.inbox("in").receive()
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    return tracer
+
+
+def diff_traces(golden: str, actual: str, *, label: str = "trace",
+                max_lines: int = 40) -> str:
+    """A unified diff between two JSONL traces; ``""`` when identical."""
+    if golden == actual:
+        return ""
+    diff = difflib.unified_diff(
+        golden.splitlines(keepends=True), actual.splitlines(keepends=True),
+        fromfile=f"{label}.golden", tofile=f"{label}.actual")
+    lines = list(diff)
+    if len(lines) > max_lines:
+        lines = lines[:max_lines] + [
+            f"... ({len(lines) - max_lines} more diff lines)\n"]
+    return "".join(lines)
+
+
+def corpus_cases(corpus_dir: "str | pathlib.Path"):
+    """Yield ``(case_path, golden_path)`` pairs from a corpus directory."""
+    corpus = pathlib.Path(corpus_dir)
+    for case_path in sorted(corpus.glob("*.json")):
+        yield case_path, case_path.with_suffix(".golden.jsonl")
+
+
+def regenerate(corpus_dir: "str | pathlib.Path") -> list[pathlib.Path]:
+    """Re-run every corpus case and rewrite its golden trace."""
+    written = []
+    for case_path, golden_path in corpus_cases(corpus_dir):
+        case = json.loads(case_path.read_text())
+        golden_path.write_text(run_case(case).to_jsonl())
+        written.append(golden_path)
+    return written
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance CLI
+    import sys
+    target = sys.argv[1] if len(sys.argv) > 1 else "tests/obs/corpus"
+    for path in regenerate(target):
+        print(f"regenerated {path}")

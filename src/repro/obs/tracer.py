@@ -1,0 +1,229 @@
+"""Structured tracing across the dapplet stack.
+
+A :class:`Tracer` attached to a substrate records one typed
+:class:`TraceEvent` per interesting occurrence in any layer — kernel
+schedule/fire, datagram send/drop/deliver, DATA/ACK/retransmit at the
+endpoint, mailbox enqueue/dequeue/await, session join/leave, token
+grant/release — each stamped with the substrate's time (virtual on the
+simulator, wall-clock on asyncio) and, where the event belongs to a
+dapplet, that dapplet's Lamport clock.
+
+Attachment is a single attribute on the substrate::
+
+    tracer = Tracer()
+    world = World(seed=1, tracer=tracer)      # or tracer.attach(substrate)
+    ...
+    world.run()
+    tracer.export_jsonl("trace.jsonl")
+    print(tracer.summary()["counters"])
+
+Every instrumentation site in the stack is guarded by a plain ``is not
+None`` check on the substrate's ``tracer`` attribute; with no tracer
+attached the cost is one attribute load and a branch — no string
+formatting, no allocation. With a tracer attached, events outside its
+``categories`` filter are rejected before any record is built.
+
+On :class:`~repro.runtime.SimSubstrate` the trace is a deterministic
+function of the seed: two runs of the same program with the same seed
+produce byte-identical JSONL (see :meth:`to_jsonl`), which makes traces
+usable as regression oracles (:mod:`repro.obs.replay`).
+
+This module deliberately imports nothing from the concrete simulator or
+network layers, so any layer may import it without re-coupling to a
+runtime.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Any, Callable, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Every event category the stack emits. A ``Tracer(categories=...)``
+#: restricted to a subset rejects other categories at the emit boundary.
+CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens")
+
+#: Numeric event fields folded into latency histograms, field -> metric.
+_HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"))
+
+
+class TraceEvent:
+    """One traced occurrence.
+
+    ``t`` is substrate time; ``cat``/``name`` type the event; ``node``
+    is the owning node address (as a string) when the event belongs to
+    one; ``clk`` the owning dapplet's Lamport time at emission (``None``
+    when no clock is registered for the node); ``fields`` the
+    event-specific payload.
+    """
+
+    __slots__ = ("seq", "t", "cat", "name", "node", "clk", "fields")
+
+    def __init__(self, seq: int, t: float, cat: str, name: str,
+                 node: str | None, clk: int | None,
+                 fields: dict[str, Any]) -> None:
+        self.seq = seq
+        self.t = t
+        self.cat = cat
+        self.name = name
+        self.node = node
+        self.clk = clk
+        self.fields = fields
+
+    def to_dict(self) -> dict[str, Any]:
+        # The ordinal serializes as "i": several protocol events carry a
+        # "seq" field (the channel sequence number) which must keep the
+        # flat key without clobbering the envelope.
+        record: dict[str, Any] = {"i": self.seq, "t": self.t,
+                                  "cat": self.cat, "ev": self.name}
+        if self.node is not None:
+            record["node"] = self.node
+        if self.clk is not None:
+            record["clk"] = self.clk
+        if self.fields:
+            record.update(self.fields)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceEvent #{self.seq} t={self.t:.6f} "
+                f"{self.cat}/{self.name} {self.fields}>")
+
+
+class Tracer:
+    """Records typed events and aggregates metrics for one run.
+
+    Parameters
+    ----------
+    categories:
+        Restrict recording to these categories (default: all of
+        :data:`CATEGORIES`). The ``kernel`` category is by far the
+        noisiest; corpus traces typically exclude it.
+    metrics_only:
+        Keep counters and histograms but retain no event objects —
+        the cheap mode benchmarks use to fold protocol metrics into
+        their ``BENCH_<id>.json`` output.
+    max_events:
+        Hard cap on retained events; later events still count in the
+        metrics but are dropped from the trace (``dropped_events``
+        records how many). ``None`` means unbounded.
+    """
+
+    def __init__(self, *, categories: Iterable[str] | None = None,
+                 metrics_only: bool = False,
+                 max_events: int | None = None) -> None:
+        if categories is not None:
+            categories = frozenset(categories)
+            unknown = categories - frozenset(CATEGORIES)
+            if unknown:
+                raise ValueError(f"unknown trace categories: {sorted(unknown)}")
+        self.categories: frozenset[str] | None = categories
+        self.metrics_only = metrics_only
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self.metrics = MetricsRegistry()
+        self._seq = 0
+        self._now: Callable[[], float] | None = None
+        self._clocks: dict[Any, Any] = {}
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, substrate: Any) -> "Tracer":
+        """Attach to a substrate: become its ``tracer`` and read its clock."""
+        substrate.tracer = self
+        self._now = lambda: substrate.now
+        return self
+
+    def detach(self, substrate: Any) -> None:
+        """Stop tracing ``substrate`` (recorded events are kept)."""
+        if getattr(substrate, "tracer", None) is self:
+            substrate.tracer = None
+
+    def register_clock(self, node: Any, clock: Any) -> None:
+        """Stamp events for ``node`` with ``clock.time`` (a Lamport clock).
+
+        :meth:`repro.world.World.attach_tracer` registers every
+        dapplet's clock automatically; hand-wired stacks call this
+        directly.
+        """
+        self._clocks[node] = clock
+
+    def enabled(self, cat: str) -> bool:
+        return self.categories is None or cat in self.categories
+
+    # -- recording -------------------------------------------------------
+
+    def emit(self, cat: str, name: str, *, node: Any = None,
+             t: float | None = None, **fields: Any) -> None:
+        """Record one event. Call sites guard with ``tracer is not None``."""
+        if self.categories is not None and cat not in self.categories:
+            return
+        if t is None:
+            t = self._now() if self._now is not None else 0.0
+        clk = None
+        if node is not None:
+            clock = self._clocks.get(node)
+            if clock is not None:
+                clk = clock.time
+            node = str(node)
+        key = f"{cat}.{name}"
+        self.metrics.count(key, node, fields.get("ch"))
+        for field, metric in _HISTOGRAM_FIELDS:
+            value = fields.get(field)
+            if value is not None:
+                self.metrics.observe(metric, value)
+        if self.metrics_only:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent(self._seq, t, cat, name, node, clk,
+                                      fields))
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def select(self, cat: str | None = None,
+               name: str | None = None) -> list[TraceEvent]:
+        """The recorded events matching ``cat`` and/or ``name``."""
+        return [ev for ev in self.events
+                if (cat is None or ev.cat == cat)
+                and (name is None or ev.name == name)]
+
+    # -- export ----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The trace as JSONL: one sorted-key JSON object per line.
+
+        Key order, separators and float formatting are all fixed, so on
+        the deterministic substrate two runs with the same seed yield
+        byte-identical output.
+        """
+        out = io.StringIO()
+        for event in self.events:
+            out.write(json.dumps(event.to_dict(), sort_keys=True,
+                                 separators=(",", ":")))
+            out.write("\n")
+        return out.getvalue()
+
+    def export_jsonl(self, path: "str | pathlib.Path") -> pathlib.Path:
+        """Write :meth:`to_jsonl` to ``path`` and return it."""
+        path = pathlib.Path(path)
+        path.write_text(self.to_jsonl())
+        return path
+
+    def summary(self) -> dict:
+        """Counters + per-node/per-channel breakdowns + histograms."""
+        result = self.metrics.summary()
+        result["events"] = (len(self.events) if not self.metrics_only
+                            else sum(self.metrics.counters.values()))
+        result["dropped_events"] = self.dropped_events
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Tracer events={len(self.events)} "
+                f"counters={len(self.metrics.counters)}>")

@@ -81,6 +81,11 @@ class AsyncioSubstrate:
         self.closed = False
         #: Monitors notified of every processed event (kernel parity).
         self.trace_hooks: list[Callable[[float, Event], None]] = []
+        #: Optional :class:`repro.obs.Tracer` (kernel parity).
+        self.tracer = None
+        #: Armed timer handles, cancelled by :meth:`close` so a closed
+        #: substrate never leaks timers into a caller-owned loop.
+        self._handles: set[asyncio.TimerHandle] = set()
         #: The datagram half of the substrate.
         self.datagrams = UdpDatagramService(self, bind_host=bind_host,
                                             faults=faults)
@@ -126,7 +131,18 @@ class AsyncioSubstrate:
 
     def _enqueue(self, event: Event, delay: float) -> None:
         self._pending += 1
-        self._loop.call_later(max(0.0, delay), self._process_event, event)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("kernel", "schedule", at=self.now + delay,
+                    kind=type(event).__name__)
+        handle: asyncio.TimerHandle | None = None
+
+        def run() -> None:
+            self._handles.discard(handle)
+            self._process_event(event)
+
+        handle = self._loop.call_later(max(0.0, delay), run)
+        self._handles.add(handle)
 
     def _register_process(self, process: Process) -> None:
         self._processes.add(process)
@@ -145,6 +161,9 @@ class AsyncioSubstrate:
         self._pending -= 1
         if self._crash is not None:
             return
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("kernel", "fire", kind=type(event).__name__)
         callbacks, event.callbacks = event.callbacks, None
         try:
             for callback in callbacks:
@@ -275,6 +294,13 @@ class AsyncioSubstrate:
             return
         self.closed = True
         self.datagrams._close()
+        # Disarm every outstanding timer: a closed substrate must not
+        # keep firing retransmissions or delayed acks into a loop the
+        # caller still owns.
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        self._pending = 0
         if self._owns_loop and not self._loop.is_closed():
             self._loop.close()
 
@@ -365,10 +391,20 @@ class UdpDatagramService:
         self.stats.bytes_sent += datagram.size
         for tap in self.wire_taps:
             tap(self.substrate.now, datagram)
+        tr = self.substrate.tracer
+        if tr is not None:
+            header = datagram.header
+            tr.emit("net", "send", node=datagram.src, dst=str(datagram.dst),
+                    kind=header.get("kind"), ch=header.get("ch"),
+                    seq=header.get("seq"), size=datagram.size)
 
         route = self._routes.get(datagram.dst)
         if route is None:
             self.stats.undeliverable += 1
+            if tr is not None:
+                tr.emit("net", "undeliverable", node=datagram.dst,
+                        src=str(datagram.src),
+                        kind=datagram.header.get("kind"))
             return
 
         # Same fault model and stream naming as the simulated network,
@@ -379,9 +415,19 @@ class UdpDatagramService:
                                           datagram.dst, datagram)
         if not extra_delays:
             self.stats.dropped += 1
+            if tr is not None:
+                header = datagram.header
+                tr.emit("net", "drop", node=datagram.src,
+                        dst=str(datagram.dst), kind=header.get("kind"),
+                        ch=header.get("ch"), seq=header.get("seq"))
             return
         if len(extra_delays) > 1:
             self.stats.duplicated += 1
+            if tr is not None:
+                header = datagram.header
+                tr.emit("net", "dup", node=datagram.src,
+                        dst=str(datagram.dst), kind=header.get("kind"),
+                        ch=header.get("ch"), seq=header.get("seq"))
 
         data = encode_frame(datagram)
         for extra in extra_delays:
@@ -430,6 +476,13 @@ class UdpDatagramService:
                 continue
             self.stats.delivered += 1
             self.stats.bytes_delivered += datagram.size
+            tr = self.substrate.tracer
+            if tr is not None:
+                header = datagram.header
+                tr.emit("net", "deliver", node=datagram.dst,
+                        src=str(datagram.src), kind=header.get("kind"),
+                        ch=header.get("ch"), seq=header.get("seq"),
+                        size=datagram.size)
             try:
                 handler(datagram)
             except BaseException as exc:  # noqa: BLE001 - kernel parity

@@ -54,6 +54,12 @@ class Scheduler(Protocol):
 
     rng: "RandomStreams"
 
+    #: Optional :class:`repro.obs.Tracer`; ``None`` when unattached.
+    #: Emit sites throughout the stack guard on ``tracer is not None``,
+    #: which is the whole cost of the instrumentation when tracing is
+    #: off.
+    tracer: Any
+
     @property
     def now(self) -> float: ...
 

@@ -179,6 +179,10 @@ class TokenCoordinator:
             self.pool[color] = self.pool.get(color, 0) - n
             held[color] = held.get(color, 0) + n
         self.grants += 1
+        tr = self.dapplet.kernel.tracer
+        if tr is not None:
+            tr.emit("tokens", "grant", node=self.dapplet.address,
+                    agent=blocked.agent, tokens=dict(sorted(need.items())))
         self._agent_inboxes[blocked.agent] = blocked.reply_to
         self._send(blocked.reply_to, tm.Grant(blocked.req_id, need))
 
@@ -209,6 +213,11 @@ class TokenCoordinator:
                 if cycle:
                     self.deadlocks += 1
                     self._blocked.remove(blocked)
+                    tr = self.dapplet.kernel.tracer
+                    if tr is not None:
+                        tr.emit("tokens", "deadlock",
+                                node=self.dapplet.address,
+                                agent=blocked.agent, cycle=list(cycle))
                     self._send(blocked.reply_to,
                                tm.DeadlockNotice(blocked.req_id, tuple(cycle)))
                     changed = True
@@ -229,6 +238,10 @@ class TokenCoordinator:
             if held[color] == 0:
                 del held[color]
             self.pool[color] = self.pool.get(color, 0) + count
+        tr = self.dapplet.kernel.tracer
+        if tr is not None:
+            tr.emit("tokens", "release", node=self.dapplet.address,
+                    agent=msg.agent, tokens=dict(sorted(msg.tokens.items())))
         self._drain()
         self._detect_all()  # a grant inside drain can create new scarcity
 

@@ -355,7 +355,9 @@ class Initiator(Dapplet):
         record = self._records[session.session_id]
         deadline = self.kernel.now + timeout
         awaiting = set(session.members) - record.departed
-        for member in awaiting:
+        # Sorted, not set order: unlink order must not depend on string
+        # hashing, or same-seed traces differ across interpreter runs.
+        for member in sorted(awaiting):
             record.member_outboxes[member].send(
                 sm.Unlink(session.session_id, member))
         while awaiting:

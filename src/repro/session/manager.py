@@ -165,8 +165,12 @@ class SessionManager:
                 msg.session_id, existing.member,
                 {n: ib.named_address for n, ib in existing.inboxes.items()}))
             return
+        tr = self.kernel.tracer
         if not self.dapplet.acl.allows(msg.initiator):
             self.stats.rejects_acl += 1
+            if tr is not None:
+                tr.emit("session", "reject", node=self.dapplet.address,
+                        sid=msg.session_id, member=msg.member, reason="acl")
             self._reply(msg.reply_to, sm.Reject(
                 msg.session_id, msg.member, reason="acl"))
             return
@@ -183,6 +187,10 @@ class SessionManager:
                 self._admission_queue.append(msg)
                 return
             self.stats.rejects_interference += 1
+            if tr is not None:
+                tr.emit("session", "reject", node=self.dapplet.address,
+                        sid=msg.session_id, member=msg.member,
+                        reason="interference")
             self._reply(msg.reply_to, sm.Reject(
                 msg.session_id, msg.member, reason="interference"))
             return
@@ -225,6 +233,10 @@ class SessionManager:
             ctx._outboxes[name] = outbox
         entry.ctx = ctx
         ctx.active = True
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("session", "join", node=self.dapplet.address,
+                    sid=msg.session_id, member=entry.member, app=entry.app)
         monitor = getattr(self.dapplet.world, "interference_monitor", None)
         if monitor is not None:
             monitor.activated(self.dapplet.name, msg.session_id, entry.regions)
@@ -242,6 +254,10 @@ class SessionManager:
             self._admit_queued()
             return
         self.stats.aborts += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("session", "abort", node=self.dapplet.address,
+                    sid=entry.session_id, member=entry.member)
         for inbox in entry.inboxes.values():
             self.dapplet.close_inbox(inbox)
         self._drop_reply_outbox(entry.reply_to)
@@ -288,6 +304,10 @@ class SessionManager:
 
     def _teardown(self, entry: _Entry) -> None:
         self.stats.unlinks += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("session", "leave", node=self.dapplet.address,
+                    sid=entry.session_id, member=entry.member)
         self._entries.pop(entry.session_id, None)
         ctx = entry.ctx
         for inbox in entry.inboxes.values():

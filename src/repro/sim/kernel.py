@@ -50,6 +50,10 @@ class Kernel:
         #: Monitors notified of every processed event (used by tests and
         #: by execution monitors such as the interference checker).
         self.trace_hooks: list[Callable[[float, Event], None]] = []
+        #: Optional :class:`repro.obs.Tracer`; every layer's emit sites
+        #: are guarded by ``tracer is not None`` so the unattached fast
+        #: path costs one attribute load and a branch.
+        self.tracer = None
 
     # -- event constructors ---------------------------------------------
 
@@ -76,6 +80,10 @@ class Kernel:
     def _enqueue(self, event: Event, delay: float) -> None:
         self._sequence += 1
         heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("kernel", "schedule", at=self.now + delay,
+                    kind=type(event).__name__)
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` virtual seconds (fire-and-forget)."""
@@ -104,6 +112,9 @@ class Kernel:
             if lag > 0:
                 _wallclock.sleep(lag)
         self.now = at
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("kernel", "fire", kind=type(event).__name__)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -37,6 +37,11 @@ class Store:
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self._drain_scheduled = False
+        #: Optional observer called with each item as it is handed to a
+        #: getter (inboxes use it to trace dequeues at the true moment
+        #: of consumption, whichever path — immediate get or drain —
+        #: served the item).
+        self.on_get: "Any | None" = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -66,7 +71,10 @@ class Store:
         """An event firing with the item at the head of the queue."""
         ev = Event(self.kernel)
         if self._items and not self._getters:
-            ev.succeed(self._items.popleft())
+            item = self._items.popleft()
+            if self.on_get is not None:
+                self.on_get(item)
+            ev.succeed(item)
         else:
             self._getters.append(ev)
             self._schedule_drain()
@@ -80,7 +88,10 @@ class Store:
     def _drain(self) -> None:
         self._drain_scheduled = False
         while self._getters and self._items:
-            self._getters.popleft().succeed(self._items.popleft())
+            item = self._items.popleft()
+            if self.on_get is not None:
+                self.on_get(item)
+            self._getters.popleft().succeed(item)
         self._schedule_drain()
 
     def peek(self) -> Any:

@@ -58,6 +58,11 @@ class World:
         An explicit runtime to deploy on; mutually exclusive with the
         simulator-configuration parameters above, which all configure
         the default :class:`~repro.runtime.SimSubstrate`.
+    tracer:
+        An optional :class:`repro.obs.Tracer` recording structured
+        events from every layer (see ``docs/OBSERVABILITY.md``). Works
+        with either substrate; can also be attached later with
+        :meth:`attach_tracer`.
     """
 
     def __init__(self, seed: int = 0, *,
@@ -66,7 +71,8 @@ class World:
                  endpoint_options: dict[str, Any] | None = None,
                  realtime: bool = False,
                  realtime_factor: float = 1.0,
-                 substrate: Substrate | None = None) -> None:
+                 substrate: Substrate | None = None,
+                 tracer: "Any | None" = None) -> None:
         if substrate is not None:
             if (seed != 0 or latency is not None or faults is not None
                     or realtime or realtime_factor != 1.0):
@@ -87,6 +93,30 @@ class World:
         self.interference_monitor = None
         self._next_port: dict[str, int] = {}
         self._dapplets: dict[str, Dapplet] = {}
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The attached :class:`repro.obs.Tracer`, or ``None``."""
+        return self.substrate.tracer
+
+    def attach_tracer(self, tracer: Any) -> Any:
+        """Attach ``tracer`` to the substrate and register every
+        existing dapplet's logical clock with it (dapplets created later
+        register themselves). Returns the tracer."""
+        tracer.attach(self.substrate)
+        for dapplet in self._dapplets.values():
+            tracer.register_clock(dapplet.address, dapplet.clock)
+        return tracer
+
+    def export_trace(self, path: Any) -> Any:
+        """Export the attached tracer's JSONL trace to ``path``."""
+        if self.substrate.tracer is None:
+            raise ValueError("no tracer attached to this world")
+        return self.substrate.tracer.export_jsonl(path)
 
     # -- substrate views ---------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""Trace-replay regression corpus: recorded fault schedules as oracles.
+
+Each ``tests/obs/corpus/<name>.json`` describes one run of the canonical
+scenario (seed, message count, fault schedule, trace categories); the
+committed ``<name>.golden.jsonl`` is the trace that run produced when
+the golden was recorded. Re-running the case must reproduce the golden
+byte for byte — any diff is a behaviour change somewhere in the stack.
+
+After an *intentional* protocol change, regenerate with::
+
+    PYTHONPATH=src python -m repro.obs.replay tests/obs/corpus
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.replay import corpus_cases, diff_traces, run_case
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+CASES = list(corpus_cases(CORPUS))
+
+
+def test_corpus_is_populated():
+    assert len(CASES) >= 10
+    for case_path, golden_path in CASES:
+        assert golden_path.exists(), f"missing golden for {case_path.name}"
+
+
+@pytest.mark.parametrize(
+    "case_path,golden_path", CASES,
+    ids=[case_path.stem for case_path, _ in CASES])
+def test_replay_matches_golden(case_path, golden_path):
+    case = json.loads(case_path.read_text())
+    actual = run_case(case).to_jsonl()
+    diff = diff_traces(golden_path.read_text(), actual,
+                       label=case_path.stem)
+    assert diff == "", (
+        f"replayed trace for {case_path.name} diverged from its golden "
+        f"(regenerate with `python -m repro.obs.replay tests/obs/corpus` "
+        f"if the change is intentional):\n{diff}")

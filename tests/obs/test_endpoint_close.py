@@ -1,0 +1,90 @@
+"""Endpoint.close() under tracing: closing mid-protocol must emit one
+final ep/close event and then go silent — armed timers that fire later
+must not raise, retransmit, ack, or record further endpoint events."""
+
+import pytest
+
+from repro.errors import AddressError, DeliveryTimeout
+from repro.net import (ConstantLatency, DatagramNetwork, Endpoint,
+                       FaultPlan, NodeAddress)
+from repro.obs import Tracer
+from repro.sim import Kernel
+
+A = NodeAddress("a.edu", 1000)
+B = NodeAddress("b.edu", 1000)
+
+
+def make_stack(*, faults=None, seed=5, **opts):
+    kernel = Kernel(seed=seed)
+    tracer = Tracer().attach(kernel)
+    net = DatagramNetwork(kernel, latency=ConstantLatency(0.01),
+                          faults=faults)
+    ea = Endpoint(kernel, net, A, rto_initial=0.05, **opts)
+    eb = Endpoint(kernel, net, B, rto_initial=0.05, **opts)
+    return kernel, tracer, net, ea, eb
+
+
+def events_from(tracer, node, *, cat="ep", after=None):
+    return [ev for ev in tracer.select(cat)
+            if ev.node == str(node)
+            and (after is None or ev.t > after)]
+
+
+def test_close_with_unacked_data_emits_close_then_goes_silent():
+    # 100% loss: nothing is ever acknowledged, rto timers stay armed.
+    kernel, tracer, _net, ea, eb = make_stack(
+        faults=FaultPlan(drop_prob=1.0))
+    eb.register_inbox(0, lambda p, a: None)
+    receipts = [ea.send(B.inbox(0), f"m{i}", "ch") for i in range(4)]
+    kernel.run(until=0.12)  # let a couple of retransmissions happen
+    assert ea.stats.data_retransmitted > 0
+
+    ea.close()
+    closed_at = kernel.now
+    close_events = tracer.select("ep", "close")
+    assert [ev.node for ev in close_events] == [str(A)]
+    assert close_events[0].fields["unacked"] == 4
+    for receipt in receipts:
+        assert receipt.is_failed
+        with pytest.raises(DeliveryTimeout):
+            raise receipt.confirmed.value
+
+    # Drain every armed timer: the closed endpoint must stay silent.
+    kernel.run()
+    assert events_from(tracer, A, after=closed_at) == []
+    assert ea.stats.data_retransmitted <= 4 * 3  # no growth after close
+
+    ea.close()  # idempotent: no second close event
+    assert len(tracer.select("ep", "close")) == 1
+
+
+def test_close_with_armed_delayed_ack_does_not_ack_later():
+    kernel, tracer, _net, ea, eb = make_stack(ack_delay=0.5)
+    eb.register_inbox(0, lambda p, a: None)
+    ea.send(B.inbox(0), "first", "ch")
+    kernel.run(until=0.011)  # delivered; delayed-ack timer armed at B
+    acks_before = eb.stats.acks_sent
+    eb.close()
+    closed_at = kernel.now
+    kernel.run()  # delayed-ack timer fires after close
+    assert eb.stats.acks_sent == acks_before
+    assert events_from(tracer, B, after=closed_at) == []
+
+
+def test_datagrams_arriving_after_close_do_not_raise():
+    kernel, tracer, _net, ea, eb = make_stack()
+    eb.register_inbox(0, lambda p, a: None)
+    ea.send(B.inbox(0), "in-flight", "ch")
+    eb.close()  # with the DATA datagram still on the wire
+    kernel.run()  # arrival finds no handler: counted, never raised
+    assert tracer.select("net", "undeliverable")
+    assert eb.stats.delivered == 0
+
+
+def test_send_on_closed_endpoint_raises_without_tracing_data():
+    kernel, tracer, _net, ea, _eb = make_stack()
+    ea.close()
+    with pytest.raises(AddressError, match="closed"):
+        ea.send(B.inbox(0), "nope", "ch")
+    assert tracer.select("ep", "data") == []
+    assert kernel.tracer.metrics.counters.get("ep.data", 0) == 0

@@ -1,0 +1,183 @@
+"""Unit tests for the tracing/metrics core: repro.obs."""
+
+import json
+
+import pytest
+
+from repro.net import ConstantLatency, DatagramNetwork, Endpoint, NodeAddress
+from repro.obs import CATEGORIES, Histogram, MetricsRegistry, Tracer
+from repro.sim import Kernel
+
+A = NodeAddress("a.edu", 1000)
+B = NodeAddress("b.edu", 1000)
+
+
+def traced_pair(tracer, *, faults=None, seed=3, **endpoint_options):
+    kernel = Kernel(seed=seed)
+    tracer.attach(kernel)
+    net = DatagramNetwork(kernel, latency=ConstantLatency(0.01),
+                          faults=faults)
+    ea = Endpoint(kernel, net, A, rto_initial=0.05, **endpoint_options)
+    eb = Endpoint(kernel, net, B, rto_initial=0.05, **endpoint_options)
+    return kernel, net, ea, eb
+
+
+class TestTracer:
+    def test_records_protocol_events_with_time(self):
+        tracer = Tracer()
+        kernel, _net, ea, eb = traced_pair(tracer)
+        got = []
+        eb.register_inbox(0, lambda p, a: got.append(p))
+        ea.send(B.inbox(0), "hello", channel="c")
+        kernel.run()
+        assert got == ["hello"]
+        for cat, name in [("ep", "data"), ("net", "send"), ("net", "deliver"),
+                          ("ep", "deliver"), ("ep", "ack"), ("ep", "confirm"),
+                          ("kernel", "schedule"), ("kernel", "fire")]:
+            assert tracer.select(cat, name), f"missing {cat}/{name}"
+        data = tracer.select("ep", "data")[0]
+        assert data.node == str(A)
+        assert data.fields["ch"] == "c" and data.fields["seq"] == 0
+        confirm = tracer.select("ep", "confirm")[0]
+        assert confirm.t > 0 and confirm.fields["rtt"] > 0
+
+    def test_category_filter_rejects_at_emit(self):
+        tracer = Tracer(categories=["ep"])
+        kernel, _net, ea, eb = traced_pair(tracer)
+        eb.register_inbox(0, lambda p, a: None)
+        ea.send(B.inbox(0), "x", channel="c")
+        kernel.run()
+        assert tracer.events
+        assert {ev.cat for ev in tracer.events} == {"ep"}
+        # Filtered categories do not even reach the metrics.
+        assert not any(k.startswith("net.") or k.startswith("kernel.")
+                       for k in tracer.metrics.counters)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace categories"):
+            Tracer(categories=["ep", "nope"])
+
+    def test_metrics_only_keeps_counters_not_events(self):
+        tracer = Tracer(metrics_only=True)
+        kernel, _net, ea, eb = traced_pair(tracer)
+        eb.register_inbox(0, lambda p, a: None)
+        for i in range(5):
+            ea.send(B.inbox(0), f"m{i}", channel="c")
+        kernel.run()
+        assert tracer.events == []
+        assert tracer.metrics.counters["ep.data"] == 5
+        summary = tracer.summary()
+        assert summary["counters"]["ep.deliver"] == 5
+        assert summary["histograms"]["ep.rtt"]["count"] == 5
+
+    def test_max_events_caps_trace_but_not_metrics(self):
+        tracer = Tracer(max_events=10)
+        kernel, _net, ea, eb = traced_pair(tracer)
+        eb.register_inbox(0, lambda p, a: None)
+        for i in range(5):
+            ea.send(B.inbox(0), f"m{i}", channel="c")
+        kernel.run()
+        assert len(tracer.events) == 10
+        assert tracer.dropped_events > 0
+        assert tracer.metrics.counters["ep.data"] == 5
+        assert tracer.summary()["dropped_events"] == tracer.dropped_events
+
+    def test_clock_stamps_come_from_registered_clocks(self):
+        class FakeClock:
+            time = 41
+
+        tracer = Tracer()
+        kernel, _net, ea, eb = traced_pair(tracer)
+        tracer.register_clock(A, FakeClock())
+        eb.register_inbox(0, lambda p, a: None)
+        ea.send(B.inbox(0), "x", channel="c")
+        kernel.run()
+        data = tracer.select("ep", "data")[0]
+        assert data.clk == 41
+        # B has no registered clock: stamped None, serialized without clk.
+        deliver = tracer.select("ep", "deliver")[0]
+        assert deliver.clk is None
+        assert "clk" not in deliver.to_dict()
+
+    def test_ordinal_key_does_not_collide_with_protocol_seq(self):
+        tracer = Tracer()
+        kernel, _net, ea, eb = traced_pair(tracer)
+        eb.register_inbox(0, lambda p, a: None)
+        for i in range(3):
+            ea.send(B.inbox(0), f"m{i}", channel="c")
+        kernel.run()
+        records = [json.loads(line) for line in
+                   tracer.to_jsonl().splitlines()]
+        assert [r["i"] for r in records] == list(range(len(records)))
+        data = [r for r in records if r["cat"] == "ep" and r["ev"] == "data"]
+        assert [r["seq"] for r in data] == [0, 1, 2]
+
+    def test_per_node_and_per_channel_breakdowns(self):
+        tracer = Tracer()
+        kernel, _net, ea, eb = traced_pair(tracer)
+        eb.register_inbox(0, lambda p, a: None)
+        ea.send(B.inbox(0), "x", channel="c1")
+        ea.send(B.inbox(0), "y", channel="c2")
+        kernel.run()
+        summary = tracer.summary()
+        assert summary["per_node"][str(A)]["ep.data"] == 2
+        assert summary["per_channel"]["c1"]["ep.data"] == 1
+        assert summary["per_channel"]["c2"]["ep.data"] == 1
+
+    def test_detach_stops_recording(self):
+        tracer = Tracer()
+        kernel, _net, ea, eb = traced_pair(tracer)
+        eb.register_inbox(0, lambda p, a: None)
+        tracer.detach(kernel)
+        assert kernel.tracer is None
+        ea.send(B.inbox(0), "x", channel="c")
+        kernel.run()
+        assert tracer.events == []
+
+    def test_export_jsonl_writes_the_trace(self, tmp_path):
+        tracer = Tracer()
+        kernel, _net, ea, eb = traced_pair(tracer)
+        eb.register_inbox(0, lambda p, a: None)
+        ea.send(B.inbox(0), "x", channel="c")
+        kernel.run()
+        path = tracer.export_jsonl(tmp_path / "t.jsonl")
+        assert path.read_text() == tracer.to_jsonl()
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line is a standalone JSON object
+
+    def test_all_categories_are_known(self):
+        assert set(CATEGORIES) == {"kernel", "net", "ep", "mbox",
+                                   "session", "tokens"}
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        h = Histogram()
+        for v in [0.001, 0.002, 0.004, 0.1]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 0.001 and h.max == 0.1
+        assert h.mean == pytest.approx(0.02675)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert sum(snap["buckets"].values()) == 4
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        h = Histogram()
+        for _ in range(100):
+            h.observe(0.01)
+        q = h.quantile(0.5)
+        assert 0.01 <= q <= 0.02  # the enclosing power-of-two bucket
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0 and h.mean == 0.0
+
+    def test_registry_summary_is_sorted_and_plain(self):
+        reg = MetricsRegistry()
+        reg.count("z.last", None, None)
+        reg.count("a.first", "n1", "ch1")
+        reg.observe("lat", 0.5)
+        summary = reg.summary()
+        assert list(summary["counters"]) == sorted(summary["counters"])
+        json.dumps(summary)  # JSON-serializable throughout
