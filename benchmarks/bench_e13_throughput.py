@@ -1,0 +1,155 @@
+"""E13 — flow control: bounded receiver queues at undiminished goodput.
+
+Scenario: one producer fires a 400-message burst at one slow consumer
+(paced drain), with the transport's sliding-window layer on vs off —
+the off mode being the transmit-immediately protocol this repo shipped
+before flow control existed. Run on the virtual-time simulator and,
+smaller, over real UDP sockets. Metrics: peak receiver queue depth,
+goodput (delivered messages per second of substrate time), stall /
+resume / probe / batch counters, and the window events in the trace.
+
+Shape claims: with flow control **off** the whole burst lands in the
+receiver's queue (peak ≈ N); with it **on** the peak is bounded by the
+window geometry (recv_window worth of messages plus the racing
+in-flight packets), an order of magnitude below N — while goodput stays
+within a whisker of the unthrottled run, because the consumer's drain
+rate, not the window, is the bottleneck. The stall/resume/probe events
+that prove the machinery engaged are visible in the exported trace.
+
+``benchmarks/check_regression.py`` compares the flow-on simulator
+goodput in ``BENCH_e13_throughput.json`` against the checked-in
+baseline (``benchmarks/baselines/``) and fails CI on a >20% drop; the
+simulator metric is virtual-time and seed-deterministic, so only a
+protocol change can move it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import print_table, write_results
+from repro.mailbox import Inbox, Outbox
+from repro.messages import Text
+from repro.net import ConstantLatency, NodeAddress
+from repro.net.transport import Endpoint
+from repro.obs import Tracer
+from repro.runtime import AsyncioSubstrate, SimSubstrate
+
+HUB = NodeAddress("hub.edu", 1000)
+SRC = NodeAddress("src.edu", 1000)
+
+N_SIM = 400
+N_AIO = 60
+PACE = 0.002  # consumer service time per message, seconds
+
+
+def run_burst(kind: str, flow: bool, *, n: int, seed: int = 11,
+              tracer: "Tracer | None" = None,
+              wall_timeout: float | None = None) -> dict:
+    """One burst N producer->consumer; returns the metric row."""
+    if kind == "sim":
+        substrate = SimSubstrate(seed=seed, latency=ConstantLatency(0.005))
+    else:
+        substrate = AsyncioSubstrate(seed=seed)
+    try:
+        if tracer is not None:
+            tracer.attach(substrate)
+        eb = Endpoint(substrate, substrate.datagrams, HUB, rto_initial=0.1,
+                      flow_control=flow, recv_window=2000)
+        ea = Endpoint(substrate, substrate.datagrams, SRC, rto_initial=0.1,
+                      flow_control=flow, cwnd_initial=256)
+        inbox = Inbox(substrate, eb, 0)
+        peak = [0]
+        inbox.delivery_hooks.append(
+            lambda m: (peak.__setitem__(0, max(peak[0], len(inbox) + 1)), m)[1])
+        outbox = Outbox(substrate, ea, 0)
+        outbox.add(inbox.address)
+        finished = substrate.event()
+
+        def consumer():
+            for _ in range(n):
+                yield inbox.receive()
+                yield substrate.timeout(PACE)
+            finished.succeed(substrate.now)
+
+        substrate.process(consumer())
+        start = substrate.now
+        for i in range(n):
+            outbox.send(Text(f"{i:06d}"))
+        if wall_timeout is not None:
+            end = substrate.run(finished, wall_timeout=wall_timeout)
+            substrate.run(wall_timeout=wall_timeout)  # drain stray acks
+        else:
+            substrate.run(finished)
+            substrate.run()
+            end = finished.value
+        elapsed = end - start
+        stats = ea.stats
+        return {
+            "delivered": inbox.messages_received,
+            "peak_queue": peak[0],
+            "goodput": (inbox.messages_received / elapsed) if elapsed else 0.0,
+            "stalls": stats.window_stalls,
+            "resumes": stats.window_resumes,
+            "probes": stats.window_probes,
+            "batches": stats.batches_sent,
+            "batched_payloads": stats.batched_payloads,
+            "window_updates": eb.stats.window_updates,
+        }
+    finally:
+        substrate.close()
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for flow in (False, True):
+        table[("sim", flow)] = run_burst("sim", flow, n=N_SIM)
+        table[("aio", flow)] = run_burst("aio", flow, n=N_AIO,
+                                         wall_timeout=60)
+    return table
+
+
+def test_e13_table_and_shape(results, benchmark, request):
+    table = results
+    # The window events must be visible in an exported trace.
+    tracer = Tracer(categories=["ep"])
+    run_burst("sim", True, n=N_SIM, tracer=tracer)
+    trace = tracer.to_jsonl()
+    for name in ("stall", "resume", "wnd_update"):
+        assert tracer.select("ep", name), f"trace must show {name} events"
+    assert '"ev":"stall"' in trace
+
+    write_results(request, "e13_throughput",
+                  {f"{kind}/{'flow' if flow else 'noflow'}": metrics
+                   for (kind, flow), metrics in table.items()},
+                  seed=11)
+    rows = []
+    for kind, n in (("sim", N_SIM), ("aio", N_AIO)):
+        off, on = table[(kind, False)], table[(kind, True)]
+        rows.append([kind, n, off["peak_queue"], on["peak_queue"],
+                     f"{off['goodput']:.0f}", f"{on['goodput']:.0f}",
+                     on["stalls"], on["batches"], on["window_updates"]])
+    print_table("E13: burst onto a slow consumer, flow control off vs on",
+                ["substrate", "msgs", "peak q (off)", "peak q (on)",
+                 "goodput off", "goodput on", "stalls", "batches",
+                 "wnd updates"], rows)
+
+    for kind, n in (("sim", N_SIM), ("aio", N_AIO)):
+        off, on = table[(kind, False)], table[(kind, True)]
+        assert off["delivered"] == n and on["delivered"] == n
+        # Off: the burst swamps the queue. On: bounded by the window.
+        assert off["peak_queue"] > 0.8 * n
+        assert on["peak_queue"] < 0.4 * n
+        assert on["peak_queue"] < off["peak_queue"]
+        # Backpressure engaged...
+        assert on["stalls"] >= 1 and on["resumes"] >= 1
+        assert on["window_updates"] >= 1
+        # ...at equal-or-better goodput (the consumer is the bottleneck;
+        # 0.8 leaves room for the tail of window-update round trips).
+        assert on["goodput"] >= 0.8 * off["goodput"]
+    # The sim run is drain-limited: the whole burst takes ~N*PACE.
+    assert table[("sim", True)]["goodput"] == pytest.approx(
+        1.0 / PACE, rel=0.25)
+
+    benchmark(run_burst, "sim", True, n=N_SIM)

@@ -1,0 +1,75 @@
+"""Compare fresh ``BENCH_*.json`` results against checked-in baselines.
+
+CI's bench-smoke job runs the benchmark suite with ``--json <dir>`` and
+then::
+
+    python benchmarks/check_regression.py <dir>
+
+For every ``benchmarks/baselines/BENCH_<id>.json`` with a fresh
+counterpart in ``<dir>``, the guarded metrics (below) must not regress
+by more than their tolerance. Only virtual-time (simulator) metrics are
+guarded — they are seed-deterministic, so any drift is a protocol
+change, not machine noise; wall-clock metrics (the ``aio/*`` rows) are
+recorded for inspection but never gate.
+
+Exit status: 0 when everything holds, 1 on any regression or a missing
+fresh result for a baselined benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BASELINES = pathlib.Path(__file__).resolve().parent / "baselines"
+
+#: bench id -> list of (dotted metric path, tolerated fractional drop).
+#: "higher is better" for every guarded metric.
+GUARDED = {
+    "e13_throughput": [("sim/flow.goodput", 0.20),
+                       ("sim/noflow.goodput", 0.20)],
+}
+
+
+def lookup(metrics: dict, path: str) -> float:
+    node = metrics
+    for part in path.split("."):
+        node = node[part]
+    return float(node)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <results-dir>", file=sys.stderr)
+        return 2
+    results_dir = pathlib.Path(argv[1])
+    failures = 0
+    checked = 0
+    for baseline_path in sorted(BASELINES.glob("BENCH_*.json")):
+        baseline = json.loads(baseline_path.read_text())
+        bench_id = baseline["id"]
+        fresh_path = results_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL {bench_id}: no fresh result at {fresh_path}")
+            failures += 1
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        for path, tolerance in GUARDED.get(bench_id, ()):
+            old = lookup(baseline["metrics"], path)
+            new = lookup(fresh["metrics"], path)
+            floor = old * (1.0 - tolerance)
+            verdict = "ok" if new >= floor else "FAIL"
+            print(f"{verdict:4s} {bench_id} {path}: baseline {old:.2f} "
+                  f"-> fresh {new:.2f} (floor {floor:.2f})")
+            checked += 1
+            if new < floor:
+                failures += 1
+    if checked == 0:
+        print("FAIL: no guarded metrics were checked")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

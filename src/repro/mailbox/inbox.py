@@ -35,6 +35,10 @@ from repro.sim.primitives import Store
 
 DeliveryHook = Callable[[Message], Message]
 
+#: Byte charge for a locally injected message (``deliver_local`` with no
+#: wire payload to measure): the per-datagram header overhead stands in.
+LOCAL_MESSAGE_SIZE = 64
+
 
 class Inbox:
     """A FIFO queue of received messages, globally addressable."""
@@ -51,12 +55,21 @@ class Inbox:
         #: store; pairs enqueues with dequeues for the mailbox-wait
         #: histogram. Only fed while a tracer is attached.
         self._enqueued_at: deque[float] = deque()
+        #: Wire sizes of queued messages, head-aligned with the store;
+        #: their sum is :attr:`backlog_bytes`, the occupancy the
+        #: endpoint's advertised receive window (``rwnd``) is derived
+        #: from. Always fed, tracer or not.
+        self._queued_sizes: deque[int] = deque()
+        self.backlog_bytes = 0
+        self._incoming_size: int | None = None
+        self._last_dequeued_size = LOCAL_MESSAGE_SIZE
         self._nonempty_waiters: list[Event] = []
         #: Applied in order to every arriving message (may transform it).
         self.delivery_hooks: list[DeliveryHook] = []
         self.messages_received = 0
         self._closed = False
-        endpoint.register_inbox(ref, self._deliver_wire, name=name)
+        endpoint.register_inbox(ref, self._deliver_wire, name=name,
+                                backlog=lambda: self.backlog_bytes)
 
     # -- addressing ------------------------------------------------------
 
@@ -119,6 +132,8 @@ class Inbox:
                 # it back at the head so the next receive sees it.
                 if self.kernel.tracer is not None:
                     self._enqueued_at.appendleft(self.kernel.now)
+                self._queued_sizes.appendleft(self._last_dequeued_size)
+                self.backlog_bytes += self._last_dequeued_size
                 self._store.put_front(ev.value)
             else:
                 outer.succeed(ev.value)
@@ -157,13 +172,19 @@ class Inbox:
         items = list(self._store._items)
         times = list(self._enqueued_at)
         times += [self.kernel.now] * (len(items) - len(times))
+        sizes = list(self._queued_sizes)
+        sizes += [LOCAL_MESSAGE_SIZE] * (len(items) - len(sizes))
         self._store._items.clear()
         self._enqueued_at.clear()
-        for item, t in zip(items, times):
+        self._queued_sizes.clear()
+        self.backlog_bytes = 0
+        for item, t, size in zip(items, times, sizes):
             replacement = fn(item)
             if replacement is not None:
                 self._store._items.append(replacement)
                 self._enqueued_at.append(t)
+                self._queued_sizes.append(size)
+                self.backlog_bytes += size
 
     # -- lifecycle -------------------------------------------------------
 
@@ -177,7 +198,11 @@ class Inbox:
 
     def _deliver_wire(self, payload: str, _addr: InboxAddress) -> None:
         message = loads(payload)
-        self.deliver_local(message)
+        self._incoming_size = LOCAL_MESSAGE_SIZE + len(payload)
+        try:
+            self.deliver_local(message)
+        finally:
+            self._incoming_size = None
 
     def deliver_local(self, message: Message) -> None:
         """Inject an already-decoded message (same-process delivery path
@@ -192,6 +217,10 @@ class Inbox:
             if message is None:
                 return
         self.messages_received += 1
+        size = (self._incoming_size if self._incoming_size is not None
+                else LOCAL_MESSAGE_SIZE)
+        self._queued_sizes.append(size)
+        self.backlog_bytes += size
         tr = self.kernel.tracer
         if tr is not None:
             self._enqueued_at.append(self.kernel.now)
@@ -208,6 +237,10 @@ class Inbox:
     def _on_dequeue(self, message: Message) -> None:
         """Store observer: one message handed to a receiver."""
         enqueued = self._enqueued_at.popleft() if self._enqueued_at else None
+        size = (self._queued_sizes.popleft() if self._queued_sizes
+                else LOCAL_MESSAGE_SIZE)
+        self.backlog_bytes = max(0, self.backlog_bytes - size)
+        self._last_dequeued_size = size
         tr = self.kernel.tracer
         if tr is not None:
             tr.emit("mbox", "dequeue", node=self.endpoint.address,
@@ -215,6 +248,8 @@ class Inbox:
                     msg=type(message).__name__,
                     wait=(None if enqueued is None
                           else self.kernel.now - enqueued))
+        # Freed budget may reopen the advertised receive window.
+        self.endpoint.inbox_drained(self.ref, self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or self.ref

@@ -137,6 +137,40 @@ class Outbox:
         self.messages_sent += 1
         return SendResult(self.kernel, receipts)
 
+    def writable(self) -> Event:
+        """An event firing when every bound channel's send window accepts
+        a new packet (immediately when nothing is queued — including
+        with flow control off or no bindings at all). Fails with
+        :class:`~repro.errors.AddressError` if the endpoint closes while
+        a channel is blocked, so waiters never hang on a window that
+        cannot reopen."""
+        events = [self.endpoint.writable(address.node, chan.key)
+                  for address, chan in self._channels.items()]
+        if not events:
+            ev = self.kernel.event()
+            ev.succeed(None)
+            return ev
+        if len(events) == 1:
+            return events[0]
+        return AllOf(self.kernel, events)
+
+    def send_flow(self, message: Message, timeout: float | None = None):
+        """Backpressure-respecting ``send``: a generator to delegate to
+        from a process body::
+
+            result = yield from outbox.send_flow(message)
+
+        Blocks (in substrate time — virtual on the simulator, real on
+        asyncio) while any bound channel's bytes-in-flight sit at
+        ``min(cwnd, rwnd)``, then sends exactly like :meth:`send` and
+        returns its :class:`SendResult`. This is what keeps a
+        cooperative sender's retransmit queue bounded by the window
+        instead of growing with everything ever sent. Raises
+        :class:`~repro.errors.AddressError` if the endpoint is closed
+        while blocked (see :meth:`Endpoint.writable`)."""
+        yield self.writable()
+        return self.send(message, timeout=timeout)
+
     def send_confirmed(self, message: Message, timeout: float) -> Event:
         """``send`` + the confirmation event, in one call.
 

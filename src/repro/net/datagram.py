@@ -109,9 +109,11 @@ class DatagramNetwork:
         tr = self.kernel.tracer
         if tr is not None:
             header = datagram.header
+            parts = header.get("parts")
             tr.emit("net", "send", node=datagram.src, dst=str(datagram.dst),
                     kind=header.get("kind"), ch=header.get("ch"),
-                    seq=header.get("seq"), size=datagram.size)
+                    seq=header.get("seq"), size=datagram.size,
+                    **({"n": len(parts)} if parts else {}))
 
         link = f"net/{datagram.src}->{datagram.dst}"
         fault_rng = self.kernel.rng.get(link + "/faults")
@@ -153,8 +155,10 @@ class DatagramNetwork:
         self.stats.bytes_delivered += datagram.size
         if tr is not None:
             header = datagram.header
+            parts = header.get("parts")
             tr.emit("net", "deliver", node=datagram.dst,
                     src=str(datagram.src), kind=header.get("kind"),
                     ch=header.get("ch"), seq=header.get("seq"),
-                    size=datagram.size)
+                    size=datagram.size,
+                    **({"n": len(parts)} if parts else {}))
         handler(datagram)

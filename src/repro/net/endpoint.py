@@ -9,8 +9,8 @@ with exponential backoff, receiver-side reordering buffers and duplicate
 suppression — yielding per-channel FIFO, exactly-once delivery over a
 network that drops, duplicates and reorders.
 
-On top of the cumulative baseline the layer speaks three loss-recovery
-refinements borrowed from modern TCP, all per channel:
+On top of the cumulative baseline the layer speaks four refinements
+borrowed from modern TCP, all per channel:
 
 * **Selective acknowledgements** — every ACK carries a bounded ``sack``
   list of out-of-order sequence ranges held in the receiver's reordering
@@ -25,6 +25,22 @@ refinements borrowed from modern TCP, all per channel:
   hole-filling arrival always ACKs immediately so duplicate ACKs keep
   flowing for fast retransmit. A pending delayed ACK rides outgoing DATA
   to the same node for free (``stats.acks_piggybacked``).
+* **Flow + congestion control** (``flow_control``, default on) — every
+  ACK advertises the receiver's remaining buffer (``rwnd``, derived from
+  the destination inbox's queue occupancy plus the reordering buffer),
+  and the sender runs an AIMD congestion window with slow start (``cwnd``
+  grows per acknowledged byte below ``ssthresh`` and by ~one max-size
+  payload per round trip above it; halves on fast retransmit, collapses
+  to one payload on RTO). New packets are transmitted only while
+  bytes-in-flight stay within ``min(cwnd, rwnd)``; the excess queues in
+  the stream, and consecutive queued payloads are coalesced into batched
+  DATA frames (``parts`` framing, see :mod:`repro.net.wire`) when the
+  window reopens. A closed receive window is probed with payload-less
+  PROBE frames on a persist timer with exponential backoff, so a lost
+  window-update ACK can never deadlock a sender; the probe budget is
+  ``max_retries``, after which the channel is declared broken exactly
+  like a retry-exhausted packet. Backpressure is exposed upward through
+  :meth:`Endpoint.writable` (used by ``Outbox.send_flow``).
 
 One :class:`Endpoint` exists per node (machine); every inbox of every
 dapplet on that node registers with it, and every outbox sends through
@@ -37,7 +53,7 @@ The endpoint is substrate-agnostic: it talks to a
 :class:`~repro.runtime.substrate.DatagramService` for the wire, so the
 same protocol machinery runs on the virtual-time simulator and on real
 UDP sockets (see :mod:`repro.runtime`). The frame layout lives in
-:mod:`repro.net.wire`; the per-stream RTT/RTO state in
+:mod:`repro.net.wire`; the per-stream RTT/RTO and window state in
 :mod:`repro.net.rto`.
 
 The paper also specifies: "if a message is not delivered within a
@@ -53,9 +69,11 @@ from typing import Callable
 
 from repro.errors import AddressError, DeliveryTimeout
 from repro.net.address import InboxAddress, NodeAddress
-from repro.net.datagram import Datagram
+from repro.net.datagram import HEADER_OVERHEAD, Datagram
 from repro.net.rto import PendingPacket, SendStream
-from repro.net.wire import KIND_ACK, KIND_DATA, KIND_RAW, SACK_MAX_RANGES
+from repro.net.wire import (BATCH_MAX_PAYLOADS, KIND_ACK, KIND_DATA,
+                            KIND_PROBE, KIND_RAW, SACK_MAX_RANGES,
+                            decode_batch, encode_batch)
 from repro.runtime.substrate import DatagramService, Scheduler
 from repro.sim.events import Event
 
@@ -81,6 +99,14 @@ class EndpointStats:
     sacked_suppressed: int = 0
     acks_delayed: int = 0
     acks_piggybacked: int = 0
+    window_stalls: int = 0
+    window_resumes: int = 0
+    window_probes: int = 0
+    window_updates: int = 0
+    batches_sent: int = 0
+    batched_payloads: int = 0
+    cwnd_halvings: int = 0
+    cwnd_collapses: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(vars(self))
@@ -128,7 +154,8 @@ class _RecvStream:
     """Receiver half of one reliable channel (fixed src node + channel key)."""
 
     __slots__ = ("expected", "buffer", "ack_pending", "ack_armed",
-                 "last_ack_at", "pending_ets")
+                 "last_ack_at", "pending_ets", "buffered_bytes", "last_to",
+                 "advertised_rwnd")
 
     def __init__(self) -> None:
         self.expected = 0
@@ -142,6 +169,15 @@ class _RecvStream:
         #: ACK (RFC 7323 rule: a coalesced ACK echoes its oldest trigger,
         #: so RTT samples account for the ack delay the sender must absorb).
         self.pending_ets: float | None = None
+        #: Bytes held in the reordering buffer (charged against ``rwnd``).
+        self.buffered_bytes = 0
+        #: The inbox ref/name this channel last addressed; its queue
+        #: occupancy is what the advertised window is derived from.
+        self.last_to: "int | str | None" = None
+        #: The window value most recently put on the wire (``None``
+        #: before the first advertisement); window updates compare
+        #: against it.
+        self.advertised_rwnd: int | None = None
 
     def sack_ranges(self) -> list[list[int]]:
         """The out-of-order runs held in the buffer, as inclusive ranges."""
@@ -157,6 +193,7 @@ class _RecvStream:
 
 
 DeliverFn = Callable[[str, InboxAddress], None]
+BacklogFn = Callable[[], int]
 
 
 class Endpoint:
@@ -179,7 +216,8 @@ class Endpoint:
     rto_max / max_retries:
         Backoff cap and retry budget; exhausting the budget marks the
         channel broken (counted in ``stats.gave_up``) so runs always
-        quiesce even under pathological loss.
+        quiesce even under pathological loss. The same budget bounds
+        zero-window persist probes.
     sack:
         Enables selective acknowledgements and fast retransmit
         (default). False reverts to the pure cumulative-ACK protocol —
@@ -192,6 +230,23 @@ class Endpoint:
         within ``ack_delay`` of the previous ACK coalesce into one
         deferred ACK; out-of-order, duplicate and hole-filling arrivals
         always ACK immediately. 0 disables coalescing entirely.
+    flow_control:
+        Enables the sliding-window layer (default): receiver-advertised
+        ``rwnd`` on every ACK, AIMD ``cwnd`` at the sender, transmission
+        gated on ``min(cwnd, rwnd)``, batching of queued payloads, and
+        zero-window probing. False reverts to transmit-immediately with
+        an unbounded in-flight window — the ablation baseline of
+        benchmark E13.
+    cwnd_initial:
+        Initial congestion window in bytes. The generous default means
+        small workloads never queue; benchmarks and stress tests shrink
+        it to exercise the window.
+    recv_window:
+        Receive buffer budget advertised per channel, in bytes: queued
+        inbox bytes plus reordering-buffer bytes are subtracted from it.
+    batch_bytes:
+        Ceiling on one batched DATA frame's coalesced payload bytes
+        (see also :data:`~repro.net.wire.BATCH_MAX_PAYLOADS`).
     """
 
     def __init__(self, kernel: Scheduler, network: DatagramService,
@@ -199,13 +254,22 @@ class Endpoint:
                  rto_initial: float | None = None, rto_max: float = 5.0,
                  max_retries: int = 30, rto_mode: str = "static",
                  sack: bool = True, dup_ack_threshold: int = 3,
-                 ack_delay: float = 0.01) -> None:
+                 ack_delay: float = 0.01, flow_control: bool = True,
+                 cwnd_initial: int = 64 * 1024,
+                 recv_window: int = 64 * 1024,
+                 batch_bytes: int = 4096) -> None:
         if rto_mode not in ("static", "adaptive"):
             raise ValueError("rto_mode must be 'static' or 'adaptive'")
         if dup_ack_threshold < 1:
             raise ValueError("dup_ack_threshold must be >= 1")
         if ack_delay < 0:
             raise ValueError("ack_delay must be >= 0")
+        if cwnd_initial < 1:
+            raise ValueError("cwnd_initial must be >= 1")
+        if recv_window < 1:
+            raise ValueError("recv_window must be >= 1")
+        if batch_bytes < 1:
+            raise ValueError("batch_bytes must be >= 1")
         self.kernel = kernel
         self.network = network
         self.address = address
@@ -217,9 +281,14 @@ class Endpoint:
         self.sack = sack
         self.dup_ack_threshold = dup_ack_threshold
         self.ack_delay = ack_delay
+        self.flow_control = flow_control
+        self.cwnd_initial = cwnd_initial
+        self.recv_window = recv_window
+        self.batch_bytes = batch_bytes
         self.closed = False
         self.stats = EndpointStats()
         self._inboxes: dict["int | str", DeliverFn] = {}
+        self._backlogs: dict["int | str", BacklogFn] = {}
         self._send_streams: dict[tuple[NodeAddress, str], SendStream] = {}
         self._recv_streams: dict[tuple[NodeAddress, str], _RecvStream] = {}
         self._rto_cache: dict[str, float] = {}
@@ -228,10 +297,15 @@ class Endpoint:
     def close(self) -> None:
         """Detach from the network (in-flight datagrams to us are lost).
 
-        Armed retransmission and delayed-ack timers are neutralized (a
-        closed endpoint injects no further datagrams) and every
-        outstanding delivery receipt fails with :class:`DeliveryTimeout`:
-        once we stop listening, no acknowledgement can ever confirm them.
+        Armed retransmission, delayed-ack and persist-probe timers are
+        neutralized (a closed endpoint injects no further datagrams) and
+        every outstanding delivery receipt — queued behind a closed
+        window or already in flight — fails with
+        :class:`DeliveryTimeout`: once we stop listening, no
+        acknowledgement can ever confirm them. Blocked window waiters
+        (:meth:`writable`) fail with :class:`AddressError`, so a process
+        parked in ``Outbox.send_flow`` is released promptly instead of
+        hanging on a window that will never reopen.
         """
         if self.closed:
             return
@@ -249,27 +323,49 @@ class Endpoint:
                     f"{channel!r} to {node} unacknowledged",
                     destination=pending.receipt.destination))
             stream.unacked.clear()
+            stream.queue.clear()
+            stream.in_flight = 0
+            stream.stalled = False
+            for ev in stream.waiters:
+                if not ev.triggered:
+                    ev.fail(AddressError(
+                        f"endpoint {self.address} closed while channel "
+                        f"{channel!r} to {node} was blocked on its window"))
+                    ev.defused = True
+            stream.waiters.clear()
         for stream in self._recv_streams.values():
             stream.ack_pending = False
 
     # -- inbox registry ---------------------------------------------------
 
     def register_inbox(self, ref: int, deliver: DeliverFn,
-                       name: str | None = None) -> None:
-        """Register delivery for local inbox ``ref`` and optional ``name``."""
+                       name: str | None = None,
+                       backlog: BacklogFn | None = None) -> None:
+        """Register delivery for local inbox ``ref`` and optional ``name``.
+
+        ``backlog`` reports the inbox's queued bytes; the receive window
+        advertised to senders addressing this inbox subtracts it from
+        ``recv_window``. Without it the inbox counts as always-empty.
+        """
         if ref in self._inboxes:
             raise AddressError(f"inbox ref {ref} already registered on {self.address}")
         self._inboxes[ref] = deliver
+        if backlog is not None:
+            self._backlogs[ref] = backlog
         if name is not None:
             if name in self._inboxes:
                 raise AddressError(
                     f"inbox name {name!r} already registered on {self.address}")
             self._inboxes[name] = deliver
+            if backlog is not None:
+                self._backlogs[name] = backlog
 
     def unregister_inbox(self, ref: int, name: str | None = None) -> None:
         self._inboxes.pop(ref, None)
+        self._backlogs.pop(ref, None)
         if name is not None:
             self._inboxes.pop(name, None)
+            self._backlogs.pop(name, None)
 
     # -- sending ----------------------------------------------------------
 
@@ -281,6 +377,12 @@ class Endpoint:
         endpoints return ``None`` (and reject ``timeout``, which cannot
         be honoured without acknowledgements). A closed endpoint rejects
         all sends.
+
+        With flow control enabled the packet may be *queued* rather than
+        transmitted when bytes-in-flight have reached ``min(cwnd,
+        rwnd)``; ``send`` itself never blocks. Cooperative senders gate
+        on :meth:`writable` (or use ``Outbox.send_flow``) to keep their
+        queue bounded.
         """
         if self.closed:
             raise AddressError(f"endpoint {self.address} is closed")
@@ -300,7 +402,8 @@ class Endpoint:
         key = (dst.node, channel)
         stream = self._send_streams.get(key)
         if stream is None:
-            stream = SendStream(self._pick_rto(dst.node))
+            stream = SendStream(self._pick_rto(dst.node),
+                                cwnd_initial=float(self.cwnd_initial))
             self._send_streams[key] = stream
 
         receipt = DeliveryReceipt(self.kernel, dst)
@@ -318,16 +421,47 @@ class Endpoint:
                                 receipt=receipt, rto=initial_rto,
                                 deadline=(None if timeout is None
                                           else self.kernel.now + timeout),
-                                first_sent_at=self.kernel.now)
+                                first_sent_at=self.kernel.now,
+                                size=HEADER_OVERHEAD + len(payload))
         stream.unacked[seq] = pending
         self.stats.data_sent += 1
         tr = self.kernel.tracer
         if tr is not None:
             tr.emit("ep", "data", node=self.address, ch=channel, seq=seq,
                     dst=str(dst.node))
-        self._transmit(dst.node, channel, pending)
-        self._arm_timer(key, pending)
+        if self.flow_control:
+            stream.note_payload(pending.size)
+            stream.queue.append(pending)
+            self._pump(key, stream)
+        else:
+            pending.transmitted = True
+            self._transmit(dst.node, channel, pending)
+            self._arm_timer(key, pending)
         return receipt
+
+    def writable(self, dst_node: NodeAddress, channel: str) -> Event:
+        """An event firing when the channel accepts a new send.
+
+        Fires immediately when nothing is queued behind a closed window
+        (including when flow control is off, the stream does not exist
+        yet, or the channel is broken — a subsequent ``send`` then fails
+        fast rather than queueing). While sends are queued, the event
+        fires when the queue drains. Fails with :class:`AddressError` if
+        the endpoint closes first, so blocked senders are released
+        promptly.
+        """
+        ev = self.kernel.event()
+        if self.closed:
+            ev.fail(AddressError(f"endpoint {self.address} is closed"))
+            ev.defused = True
+            return ev
+        stream = self._send_streams.get((dst_node, channel))
+        if (not self.flow_control or stream is None or stream.broken
+                or not stream.queue):
+            ev.succeed(None)
+        else:
+            stream.waiters.append(ev)
+        return ev
 
     def _pick_rto(self, dst: NodeAddress) -> float:
         if self.rto_initial is not None:
@@ -343,6 +477,176 @@ class Endpoint:
             self._rto_cache[dst.host] = cached
         return cached
 
+    # -- the send window ---------------------------------------------------
+
+    def _pump(self, key: tuple[NodeAddress, str], stream: SendStream) -> None:
+        """Transmit queued packets while the window allows, coalescing
+        consecutive queued payloads into batched DATA frames; then update
+        the stall/resume state and wake or park accordingly."""
+        if self.closed or stream.broken:
+            return
+        while stream.queue:
+            head = stream.queue[0]
+            window = stream.window()
+            if stream.in_flight + head.size > window:
+                break
+            group = [stream.queue.popleft()]
+            total = head.size
+            while stream.queue and len(group) < BATCH_MAX_PAYLOADS:
+                nxt = stream.queue[0]
+                if total + nxt.size > self.batch_bytes:
+                    break
+                if stream.in_flight + total + nxt.size > window:
+                    break
+                stream.queue.popleft()
+                group.append(nxt)
+                total += nxt.size
+            for p in group:
+                p.transmitted = True
+            stream.in_flight += total
+            if len(group) == 1:
+                self._transmit(key[0], key[1], head)
+            else:
+                self._transmit_batch(key[0], key[1], group)
+            for p in group:
+                self._arm_timer(key, p)
+        tr = self.kernel.tracer
+        if stream.queue:
+            if not stream.stalled:
+                stream.stalled = True
+                self.stats.window_stalls += 1
+                if tr is not None:
+                    tr.emit("ep", "stall", node=self.address, ch=key[1],
+                            queued=len(stream.queue),
+                            in_flight=stream.in_flight,
+                            cwnd=int(stream.cwnd), rwnd=stream.rwnd)
+            if stream.in_flight == 0 and not stream.probe_armed:
+                # Zero-window persist: nothing in flight can solicit the
+                # window-opening ACK, so probe for it.
+                self._arm_probe(key, stream)
+        else:
+            if stream.stalled:
+                stream.stalled = False
+                self.stats.window_resumes += 1
+                if tr is not None:
+                    tr.emit("ep", "resume", node=self.address, ch=key[1],
+                            in_flight=stream.in_flight,
+                            cwnd=int(stream.cwnd), rwnd=stream.rwnd)
+            if stream.waiters:
+                waiters, stream.waiters = stream.waiters, []
+                for ev in waiters:
+                    ev.succeed(None)
+
+    def _cwnd_cut(self, key: tuple[NodeAddress, str], stream: SendStream,
+                  reason: str) -> None:
+        before = stream.cwnd
+        if reason == "halve":
+            stream.on_loss_halve()
+        else:
+            stream.on_loss_collapse()
+        if stream.cwnd >= before:
+            return  # already at (or below) the floor; nothing happened
+        if reason == "halve":
+            self.stats.cwnd_halvings += 1
+        else:
+            self.stats.cwnd_collapses += 1
+        stream.cwnd_band = int(stream.cwnd).bit_length()
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "cwnd", node=self.address, ch=key[1],
+                    cwnd=int(stream.cwnd), reason=reason)
+
+    def _arm_probe(self, key: tuple[NodeAddress, str],
+                   stream: SendStream) -> None:
+        if stream.probe_rto <= 0.0:
+            stream.probe_rto = (stream.current_rto()
+                                if self.rto_mode == "adaptive"
+                                else stream.rto_initial)
+        stream.probe_armed = True
+        self.kernel.call_later(stream.probe_rto,
+                               lambda: self._on_probe_timer(key))
+
+    def _on_probe_timer(self, key: tuple[NodeAddress, str]) -> None:
+        if self.closed:
+            return
+        stream = self._send_streams.get(key)
+        if stream is None:
+            return
+        if stream.broken:
+            stream.probe_armed = False
+            return
+        self._sweep_deadlines(key, stream)
+        # The window may have opened while the timer was armed
+        # (probe_armed stays True through this pump so it cannot re-arm).
+        self._pump(key, stream)
+        if not stream.queue or stream.in_flight > 0:
+            stream.probe_armed = False
+            stream.probe_attempts = 0
+            stream.probe_rto = 0.0
+            return
+        stream.probe_attempts += 1
+        if stream.probe_attempts > self.max_retries:
+            stream.probe_armed = False
+            self._break_channel(key, stream, seq=stream.queue[0].seq,
+                                attempts=stream.probe_attempts)
+            return
+        self.stats.window_probes += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "probe", node=self.address, ch=key[1],
+                    rwnd=stream.rwnd, attempt=stream.probe_attempts)
+        self.network.send(Datagram(
+            self.address, key[0], {"kind": KIND_PROBE, "ch": key[1]}, ""))
+        stream.probe_rto = min(stream.probe_rto * 2.0, self.rto_max)
+        self.kernel.call_later(stream.probe_rto,
+                               lambda: self._on_probe_timer(key))
+
+    def _sweep_deadlines(self, key: tuple[NodeAddress, str],
+                         stream: SendStream) -> None:
+        """Fail receipts of queued (untransmitted) packets whose delivery
+        deadline passed while the window was closed. The packets stay
+        queued: their sequence numbers are allocated, so skipping them
+        would hole the FIFO stream (same policy as timed-out in-flight
+        packets)."""
+        now = self.kernel.now
+        for pending in stream.queue:
+            if pending.deadline is not None and now >= pending.deadline \
+                    and not pending.timed_out:
+                pending.timed_out = True
+                pending.receipt._fail(DeliveryTimeout(
+                    f"message on channel {key[1]!r} to {key[0]} not delivered "
+                    f"within {pending.deadline - pending.receipt.sent_at:.3f}s",
+                    destination=pending.receipt.destination,
+                    timeout=pending.deadline - pending.receipt.sent_at))
+
+    def _break_channel(self, key: tuple[NodeAddress, str],
+                       stream: SendStream, seq: "int | None",
+                       attempts: "int | None") -> None:
+        """Give up: the channel is declared broken. All queued packets
+        fail; later sends fail immediately; blocked waiters are released
+        (their next ``send`` observes the broken channel)."""
+        self.stats.gave_up += 1
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "broken", node=self.address, ch=key[1],
+                    seq=seq, attempts=attempts)
+        stream.broken = True
+        for p in stream.unacked.values():
+            p.receipt._fail(DeliveryTimeout(
+                f"channel {key[1]!r} to {key[0]} broken after "
+                f"{self.max_retries} retries",
+                destination=p.receipt.destination))
+        stream.unacked.clear()
+        stream.queue.clear()
+        stream.in_flight = 0
+        stream.stalled = False
+        if stream.waiters:
+            waiters, stream.waiters = stream.waiters, []
+            for ev in waiters:
+                ev.succeed(None)
+
+    # -- transmission ------------------------------------------------------
+
     def _transmit(self, dst_node: NodeAddress, channel: str,
                   pending: PendingPacket) -> None:
         # "ts" is echoed back in acks (TCP-timestamps style) so RTT
@@ -355,6 +659,27 @@ class Endpoint:
             header["pack"] = packs
         self.network.send(Datagram(self.address, dst_node, header,
                                    pending.payload))
+
+    def _transmit_batch(self, dst_node: NodeAddress, channel: str,
+                        group: list[PendingPacket]) -> None:
+        """One DATA frame carrying several consecutive payloads: ``seq``
+        is the first packet's, ``parts`` the per-payload inbox refs (the
+        i-th part has sequence ``seq + i``)."""
+        header = {"kind": KIND_DATA, "to": group[0].to_ref, "ch": channel,
+                  "seq": group[0].seq, "ts": self.kernel.now,
+                  "parts": [p.to_ref for p in group]}
+        packs = self._collect_piggyback(dst_node)
+        if packs:
+            header["pack"] = packs
+        self.stats.batches_sent += 1
+        self.stats.batched_payloads += len(group)
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "batch", node=self.address, ch=channel,
+                    seq=group[0].seq, n=len(group))
+        self.network.send(Datagram(
+            self.address, dst_node, header,
+            encode_batch([p.payload for p in group])))
 
     def _collect_piggyback(self, dst_node: NodeAddress) -> list[dict]:
         """Fold every pending delayed ACK owed to ``dst_node`` into an
@@ -385,7 +710,12 @@ class Endpoint:
         if self.closed:
             return
         stream = self._send_streams.get(key)
-        if stream is None or seq not in stream.unacked:
+        if stream is None:
+            return
+        if self.flow_control and stream.queue:
+            # Queued packets have no timers of their own; ride this one.
+            self._sweep_deadlines(key, stream)
+        if seq not in stream.unacked:
             return  # acknowledged in the meantime
         pending = stream.unacked[seq]
         now = self.kernel.now
@@ -417,20 +747,8 @@ class Endpoint:
             self._arm_timer(key, pending)
             return
         if pending.attempts > self.max_retries:
-            # Give up: the channel is declared broken. All queued
-            # packets fail; later sends fail immediately.
-            self.stats.gave_up += 1
-            tr = self.kernel.tracer
-            if tr is not None:
-                tr.emit("ep", "broken", node=self.address, ch=key[1],
-                        seq=seq, attempts=pending.attempts)
-            stream.broken = True
-            for p in stream.unacked.values():
-                p.receipt._fail(DeliveryTimeout(
-                    f"channel {key[1]!r} to {key[0]} broken after "
-                    f"{self.max_retries} retries",
-                    destination=p.receipt.destination))
-            stream.unacked.clear()
+            self._break_channel(key, stream, seq=seq,
+                                attempts=pending.attempts)
             return
         pending.attempts += 1
         if self.sack and any(
@@ -448,6 +766,10 @@ class Endpoint:
         else:
             pending.rto = min(pending.rto * 2.0, self.rto_max)
         pending.last_rtx_at = now
+        if self.flow_control:
+            # A retransmission timeout is the strong congestion signal:
+            # collapse to one packet and slow-start back.
+            self._cwnd_cut(key, stream, "collapse")
         self.stats.data_retransmitted += 1
         tr = self.kernel.tracer
         if tr is not None:
@@ -469,45 +791,77 @@ class Endpoint:
             self._on_data(datagram)
         elif kind == KIND_ACK:
             self._handle_ack_info(datagram.src, datagram.header)
+        elif kind == KIND_PROBE:
+            self._on_probe(datagram)
+
+    def _on_probe(self, datagram) -> None:
+        """A zero-window probe: answer with an immediate ACK whose
+        ``rwnd`` field re-advertises the current window."""
+        key = (datagram.src, datagram.header["ch"])
+        stream = self._recv_streams.get(key)
+        if stream is None:
+            stream = _RecvStream()
+            self._recv_streams[key] = stream
+        stream.ack_pending = True
+        self._flush_ack(key, stream)
 
     def _on_data(self, datagram) -> None:
-        channel: str = datagram.header["ch"]
-        seq: int = datagram.header["seq"]
+        header = datagram.header
+        channel: str = header["ch"]
+        base: int = header["seq"]
         key = (datagram.src, channel)
         stream = self._recv_streams.get(key)
         if stream is None:
             stream = _RecvStream()
             self._recv_streams[key] = stream
 
-        tr = self.kernel.tracer
-        in_order_run = False
-        if seq < stream.expected or seq in stream.buffer:
-            self.stats.duplicates_discarded += 1
-            if tr is not None:
-                tr.emit("ep", "dup_data", node=self.address, ch=channel,
-                        seq=seq)
+        parts = header.get("parts")
+        if parts is None:
+            packets = [(base, header["to"], datagram.payload)]
         else:
-            in_order_run = seq == stream.expected and not stream.buffer
-            stream.buffer[seq] = (datagram.header["to"], datagram.payload)
+            payloads = decode_batch(datagram.payload)
+            packets = [(base + i, to_ref, payload)
+                       for i, (to_ref, payload) in enumerate(
+                           zip(parts, payloads))]
+
+        tr = self.kernel.tracer
+        in_order_run = True
+        for seq, to_ref, payload in packets:
+            if seq < stream.expected or seq in stream.buffer:
+                in_order_run = False
+                self.stats.duplicates_discarded += 1
+                if tr is not None:
+                    tr.emit("ep", "dup_data", node=self.address, ch=channel,
+                            seq=seq)
+                continue
+            if seq != stream.expected or stream.buffer:
+                in_order_run = False
+            stream.last_to = to_ref
+            stream.buffer[seq] = (to_ref, payload)
+            stream.buffered_bytes += HEADER_OVERHEAD + len(payload)
             if seq != stream.expected:
                 self.stats.buffered_out_of_order += 1
                 if tr is not None:
                     tr.emit("ep", "ooo", node=self.address, ch=channel,
                             seq=seq, expected=stream.expected)
             while stream.expected in stream.buffer:
-                to_ref, payload = stream.buffer.pop(stream.expected)
+                deliver_to, deliver_payload = stream.buffer.pop(
+                    stream.expected)
+                stream.buffered_bytes -= (HEADER_OVERHEAD
+                                          + len(deliver_payload))
                 if tr is not None:
                     tr.emit("ep", "deliver", node=self.address, ch=channel,
                             seq=stream.expected)
                 stream.expected += 1
-                self._deliver(to_ref, payload, datagram.src, raw=False)
+                self._deliver(deliver_to, deliver_payload, datagram.src,
+                              raw=False)
         # Acknowledge. Duplicates re-ack immediately (the previous ack
         # may have been lost), gaps and hole-fills ack immediately (the
         # sender is recovering and needs the feedback now); only clean
         # in-order arrivals coalesce behind the delayed-ack window.
         if not stream.ack_pending:
             stream.ack_pending = True
-            stream.pending_ets = datagram.header.get("ts")
+            stream.pending_ets = header.get("ts")
         now = self.kernel.now
         if (not in_order_run or self.ack_delay <= 0
                 or now - stream.last_ack_at >= self.ack_delay):
@@ -519,10 +873,24 @@ class Endpoint:
                 self.kernel.call_later(
                     self.ack_delay, lambda: self._on_ack_timer(key))
 
+    def _compute_rwnd(self, stream: _RecvStream) -> int:
+        """Remaining receive budget: ``recv_window`` minus the addressed
+        inbox's queued bytes minus this channel's reordering buffer."""
+        backlog = 0
+        if stream.last_to is not None:
+            backlog_fn = self._backlogs.get(stream.last_to)
+            if backlog_fn is not None:
+                backlog = backlog_fn()
+        return max(0, self.recv_window - backlog - stream.buffered_bytes)
+
     def _ack_fields(self, stream: _RecvStream) -> dict:
         fields = {"cum": stream.expected - 1, "ets": stream.pending_ets}
         if self.sack and stream.buffer:
             fields["sack"] = stream.sack_ranges()
+        if self.flow_control:
+            rwnd = self._compute_rwnd(stream)
+            stream.advertised_rwnd = rwnd
+            fields["rwnd"] = rwnd
         return fields
 
     def _flush_ack(self, key: tuple[NodeAddress, str],
@@ -549,15 +917,51 @@ class Endpoint:
             return  # flushed, piggybacked, or shut down in the meantime
         self._flush_ack(key, stream)
 
+    def inbox_drained(self, ref: "int | str",
+                      name: "str | None" = None) -> None:
+        """Called by an inbox when a message leaves its queue: freed
+        receive budget may warrant a window update.
+
+        An unsolicited ACK re-advertising the window goes out only when
+        it matters — the advertised window was zero (senders are in
+        persist mode) and is now positive, or it was below half of
+        ``recv_window`` and has recovered past half (TCP's
+        silly-window-avoidance shape). Fast-draining inboxes therefore
+        cost no extra ACK traffic."""
+        if self.closed or not self.flow_control:
+            return
+        targets = {ref} if name is None else {ref, name}
+        half = self.recv_window // 2
+        for key, stream in self._recv_streams.items():
+            if stream.last_to not in targets:
+                continue
+            advertised = stream.advertised_rwnd
+            if advertised is None:
+                continue
+            current = self._compute_rwnd(stream)
+            if (advertised <= 0 < current) or (advertised < half <= current):
+                self.stats.window_updates += 1
+                tr = self.kernel.tracer
+                if tr is not None:
+                    tr.emit("ep", "wnd_update", node=self.address, ch=key[1],
+                            rwnd=current)
+                stream.ack_pending = True
+                self._flush_ack(key, stream)
+
     def _handle_ack_info(self, src: NodeAddress, fields: dict) -> None:
         key = (src, fields["ch"])
         stream = self._send_streams.get(key)
         if stream is None:
             return
+        if self.flow_control:
+            rwnd = fields.get("rwnd")
+            if rwnd is not None:
+                stream.rwnd = rwnd
         cum: int = fields["cum"]
         echoed = fields.get("ets")
         if echoed is not None:
             stream.last_rtt = self.kernel.now - echoed
+        bytes_acked = 0
         if cum > stream.last_cum:
             stream.last_cum = cum
             stream.dup_acks = 0
@@ -569,11 +973,16 @@ class Endpoint:
             tr = self.kernel.tracer
             for seq in [s for s in stream.unacked if s <= cum]:
                 pending = stream.unacked.pop(seq)
+                if pending.transmitted:
+                    bytes_acked += pending.size
+                    stream.in_flight -= pending.size
                 if tr is not None:
                     tr.emit("ep", "confirm", node=self.address, ch=key[1],
                             seq=seq,
                             rtt=self.kernel.now - pending.receipt.sent_at)
                 pending.receipt._ack()
+            if stream.in_flight < 0:
+                stream.in_flight = 0
         elif cum == stream.last_cum and stream.unacked:
             stream.dup_acks += 1
         for start, end in fields.get("sack", ()):
@@ -581,8 +990,21 @@ class Endpoint:
                 pending = stream.unacked.get(seq)
                 if pending is not None:
                     pending.sacked = True
+        if self.flow_control and bytes_acked > 0:
+            stream.on_bytes_acked(bytes_acked)
+            band = int(stream.cwnd).bit_length()
+            if band != stream.cwnd_band:
+                # Growth is traced per log2 band, not per ACK, to keep
+                # traces readable; reductions always trace (_cwnd_cut).
+                stream.cwnd_band = band
+                tr = self.kernel.tracer
+                if tr is not None:
+                    tr.emit("ep", "cwnd", node=self.address, ch=key[1],
+                            cwnd=int(stream.cwnd), reason="grow")
         if self.sack and stream.dup_acks >= self.dup_ack_threshold:
             self._fast_retransmit(key, stream)
+        if self.flow_control:
+            self._pump(key, stream)
 
     def _fast_retransmit(self, key: tuple[NodeAddress, str],
                          stream: SendStream) -> None:
@@ -591,12 +1013,16 @@ class Endpoint:
             if not stream.unacked[seq].sacked:
                 hole = stream.unacked[seq]
                 break
-        if hole is None:
+        if hole is None or not hole.transmitted:
             return
         if self.kernel.now - hole.last_rtx_at <= stream.last_rtt:
             return  # already retransmitted within the last round trip
         hole.last_rtx_at = self.kernel.now
         stream.dup_acks = 0
+        if self.flow_control:
+            # Dup-ACK loss: the path still delivers, so halve rather
+            # than collapse (TCP's multiplicative decrease).
+            self._cwnd_cut(key, stream, "halve")
         self.stats.fast_retransmits += 1
         self.stats.data_retransmitted += 1
         tr = self.kernel.tracer

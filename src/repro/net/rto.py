@@ -1,21 +1,31 @@
-"""Adaptive retransmission-timer state, per sender-side channel stream.
+"""Per-channel sender state: retransmission timers and the send window.
 
 One :class:`SendStream` holds the sender half of one reliable channel
 (fixed destination node + channel key): the sequence space, the
-unacknowledged-packet window, and the Jacobson/Karn RTT machinery that
-sizes retransmission timeouts in ``adaptive`` mode. It is pure state —
-no scheduling, no I/O — which is what lets the endpoint machinery in
-:mod:`repro.net.endpoint` drive it identically on the virtual-time
-kernel and on a real event loop.
+unacknowledged-packet window, the Jacobson/Karn RTT machinery that
+sizes retransmission timeouts in ``adaptive`` mode, and — when flow
+control is enabled — the sliding-window state: an AIMD congestion
+window (``cwnd``), the receiver-advertised window (``rwnd``), the
+bytes-in-flight ledger and the queue of accepted-but-untransmitted
+packets. It is pure state — no scheduling, no I/O — which is what lets
+the endpoint machinery in :mod:`repro.net.endpoint` drive it
+identically on the virtual-time kernel and on a real event loop.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.endpoint import DeliveryReceipt
+    from repro.sim.events import Event
+
+#: Ceiling on congestion-window growth, in bytes. Far above any window
+#: this package can use; exists so additive increase cannot grow the
+#: float unboundedly over very long runs.
+CWND_MAX = float(1 << 24)
 
 
 @dataclass
@@ -40,6 +50,12 @@ class PendingPacket:
     #: retransmission is retried after ~one RTT instead of stalling
     #: until the (possibly huge) RTO, without ever flooding one hole.
     last_rtx_at: float = float("-inf")
+    #: Charge against the send window (header overhead + payload bytes).
+    size: int = 0
+    #: False while the packet sits in the stream's flow-control queue;
+    #: True once it has been put on the wire (and charged to
+    #: ``in_flight``). Always True when flow control is off.
+    transmitted: bool = False
 
 
 class SendStream:
@@ -50,12 +66,27 @@ class SendStream:
     cumulative point are sampled, so duplicate-triggered ACKs echoing a
     retransmission never pollute the estimate) and new packets start from
     ``srtt + 4*rttvar`` instead of the static initial RTO.
+
+    The flow-control half (used only when the endpoint enables it) is
+    TCP-shaped: ``cwnd`` follows AIMD with slow start (grow by the
+    acknowledged bytes below ``ssthresh``, by roughly one max-size
+    payload per window above it; halve on fast retransmit, collapse to
+    one payload on RTO), ``rwnd`` mirrors the receiver's last advertised
+    window (``None`` until the first advertisement arrives, treated as
+    unlimited), and new transmissions are admitted only while
+    ``in_flight + size <= min(cwnd, rwnd)``. ``cwnd`` never drops below
+    the largest payload seen, so the stream can always keep one packet
+    in flight and liveness never depends on the window.
     """
 
     __slots__ = ("next_seq", "unacked", "rto_initial", "broken",
-                 "srtt", "rttvar", "last_cum", "dup_acks", "last_rtt")
+                 "srtt", "rttvar", "last_cum", "dup_acks", "last_rtt",
+                 "queue", "in_flight", "cwnd", "ssthresh", "rwnd",
+                 "max_payload", "stalled", "probe_armed", "probe_attempts",
+                 "probe_rto", "waiters", "cwnd_band")
 
-    def __init__(self, rto_initial: float) -> None:
+    def __init__(self, rto_initial: float,
+                 cwnd_initial: float = CWND_MAX) -> None:
         self.next_seq = 0
         self.unacked: dict[int, PendingPacket] = {}
         self.rto_initial = rto_initial
@@ -72,6 +103,30 @@ class SendStream:
         #: never sizes the RTO, so the retransmission ambiguity that
         #: Karn's rule guards against is harmless here.
         self.last_rtt = 0.0
+        #: Accepted-but-untransmitted packets, in sequence order. Every
+        #: queued packet is also in ``unacked`` (so close/broken paths
+        #: fail its receipt exactly like an in-flight one).
+        self.queue: deque[PendingPacket] = deque()
+        #: Bytes transmitted but not yet cumulatively acknowledged.
+        self.in_flight = 0
+        self.cwnd = float(cwnd_initial)
+        self.ssthresh = CWND_MAX
+        #: Receiver-advertised window; ``None`` = not yet advertised.
+        self.rwnd: int | None = None
+        #: Largest packet size accepted so far — the floor under
+        #: ``cwnd`` and the congestion-avoidance increment unit.
+        self.max_payload = 1
+        #: A stall trace event has been emitted for the current closed-
+        #: window episode (reset when the queue drains).
+        self.stalled = False
+        self.probe_armed = False
+        self.probe_attempts = 0
+        #: Current persist-probe interval (exponential backoff).
+        self.probe_rto = 0.0
+        #: Events succeeded when the queue drains (``Endpoint.writable``).
+        self.waiters: list["Event"] = []
+        #: log2 band of ``cwnd`` when last traced (growth trace dedup).
+        self.cwnd_band = int(cwnd_initial).bit_length()
 
     def observe_rtt(self, sample: float) -> None:
         if self.srtt is None:
@@ -85,3 +140,38 @@ class SendStream:
         if self.srtt is None:
             return self.rto_initial
         return max(self.srtt + 4 * self.rttvar, floor)
+
+    # -- the send window --------------------------------------------------
+
+    def window(self) -> float:
+        """Current admission limit: ``min(cwnd, rwnd)`` in bytes."""
+        if self.rwnd is None:
+            return self.cwnd
+        return min(self.cwnd, float(self.rwnd))
+
+    def note_payload(self, size: int) -> None:
+        """Record an accepted packet's size; keeps the cwnd floor valid."""
+        if size > self.max_payload:
+            self.max_payload = size
+        if self.cwnd < size:
+            self.cwnd = float(size)
+
+    def on_bytes_acked(self, acked: int) -> None:
+        """AIMD growth: slow start below ``ssthresh``, ~one payload per
+        round trip above it."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + acked, CWND_MAX)
+        else:
+            self.cwnd = min(
+                self.cwnd + self.max_payload * acked / max(self.cwnd, 1.0),
+                CWND_MAX)
+
+    def on_loss_halve(self) -> None:
+        """Multiplicative decrease on fast retransmit (dup-ACK loss)."""
+        self.ssthresh = max(self.in_flight / 2.0, 2.0 * self.max_payload)
+        self.cwnd = max(self.ssthresh, float(self.max_payload))
+
+    def on_loss_collapse(self) -> None:
+        """Timeout loss: back to one packet, slow-start from there."""
+        self.ssthresh = max(self.in_flight / 2.0, 2.0 * self.max_payload)
+        self.cwnd = float(self.max_payload)

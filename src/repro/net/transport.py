@@ -24,7 +24,8 @@ from repro.net.endpoint import (
     _RecvStream,
 )
 from repro.net.rto import PendingPacket, SendStream
-from repro.net.wire import KIND_ACK, KIND_DATA, KIND_RAW, SACK_MAX_RANGES
+from repro.net.wire import (KIND_ACK, KIND_DATA, KIND_PROBE, KIND_RAW,
+                            SACK_MAX_RANGES)
 
 #: Historical aliases from before the split (kept for callers that poked
 #: at the internals).
@@ -38,6 +39,7 @@ __all__ = [
     "EndpointStats",
     "KIND_ACK",
     "KIND_DATA",
+    "KIND_PROBE",
     "KIND_RAW",
     "PendingPacket",
     "SACK_MAX_RANGES",

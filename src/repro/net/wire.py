@@ -21,6 +21,10 @@ from repro.net.datagram import Datagram
 KIND_DATA = "DATA"
 KIND_ACK = "ACK"
 KIND_RAW = "RAW"
+#: Zero-window persist probe: payload-less, solicits an immediate ACK
+#: (which re-advertises ``rwnd``) so a closed receive window whose
+#: opening advertisement was lost can never deadlock a sender.
+KIND_PROBE = "PROBE"
 
 #: Most SACK ranges one ACK may carry (mirrors TCP's option-space bound;
 #: ranges beyond the limit are simply re-advertised by later ACKs).
@@ -28,6 +32,29 @@ SACK_MAX_RANGES = 3
 
 #: Largest frame we will encode (UDP's practical payload ceiling).
 MAX_FRAME_BYTES = 65000
+
+#: Most payloads one batched DATA frame may coalesce. A batch frame
+#: carries ``parts`` (the per-payload inbox refs) in its header and a
+#: JSON array of the payload strings as its payload; sequence numbers
+#: are implicit — ``seq``, ``seq+1``, ... in array order.
+BATCH_MAX_PAYLOADS = 32
+
+
+def encode_batch(payloads: list[str]) -> str:
+    """Pack coalesced DATA payloads into one batch-frame payload."""
+    return json.dumps(payloads, separators=(",", ":"))
+
+
+def decode_batch(payload: str) -> list[str]:
+    """Unpack a batch-frame payload into its ordered payload strings."""
+    try:
+        parts = json.loads(payload)
+    except ValueError as exc:
+        raise FrameError("cannot decode batch payload") from exc
+    if not isinstance(parts, list) \
+            or not all(isinstance(p, str) for p in parts):
+        raise FrameError("batch payload is not a list of strings")
+    return parts
 
 
 class FrameError(AddressError):

@@ -46,8 +46,12 @@ from repro.obs.metrics import MetricsRegistry
 #: restricted to a subset rejects other categories at the emit boundary.
 CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens")
 
-#: Numeric event fields folded into latency histograms, field -> metric.
-_HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"))
+#: Numeric event fields folded into histograms, field -> metric. ``rtt``
+#: and ``wait`` are latencies; ``cwnd`` (carried by the endpoint's
+#: window events: cwnd/stall/resume) is a size distribution — its
+#: histogram shows which congestion-window bands a run lived in.
+_HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"),
+                     ("cwnd", "ep.cwnd"))
 
 
 class TraceEvent:

@@ -130,6 +130,13 @@ class AsyncioSubstrate:
     # -- plumbing used by Event/Process ----------------------------------
 
     def _enqueue(self, event: Event, delay: float) -> None:
+        if self.closed:
+            # Teardown race: layers above may still trigger events while
+            # shutting down (e.g. Endpoint.close failing receipts after
+            # the substrate was closed). The loop may already be gone;
+            # dropping the schedule is correct — nothing runs a closed
+            # substrate, and the events' values stay readable.
+            return
         self._pending += 1
         tr = self.tracer
         if tr is not None:
@@ -394,9 +401,11 @@ class UdpDatagramService:
         tr = self.substrate.tracer
         if tr is not None:
             header = datagram.header
+            parts = header.get("parts")
             tr.emit("net", "send", node=datagram.src, dst=str(datagram.dst),
                     kind=header.get("kind"), ch=header.get("ch"),
-                    seq=header.get("seq"), size=datagram.size)
+                    seq=header.get("seq"), size=datagram.size,
+                    **({"n": len(parts)} if parts else {}))
 
         route = self._routes.get(datagram.dst)
         if route is None:
@@ -479,10 +488,12 @@ class UdpDatagramService:
             tr = self.substrate.tracer
             if tr is not None:
                 header = datagram.header
+                parts = header.get("parts")
                 tr.emit("net", "deliver", node=datagram.dst,
                         src=str(datagram.src), kind=header.get("kind"),
                         ch=header.get("ch"), seq=header.get("seq"),
-                        size=datagram.size)
+                        size=datagram.size,
+                        **({"n": len(parts)} if parts else {}))
             try:
                 handler(datagram)
             except BaseException as exc:  # noqa: BLE001 - kernel parity
