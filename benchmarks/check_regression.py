@@ -29,6 +29,9 @@ BASELINES = pathlib.Path(__file__).resolve().parent / "baselines"
 GUARDED = {
     "e13_throughput": [("sim/flow.goodput", 0.20),
                        ("sim/noflow.goodput", 0.20)],
+    "e14_discovery": [("sim/cached.resolves_per_s", 0.20),
+                      ("sim/cached.hit_rate", 0.10),
+                      ("sim/churn.bound_margin", 0.50)],
 }
 
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Discovery under churn: a replica crashes mid-run, the session still forms.
+
+Three replicated directory dapplets hold the name->address map. Workers
+register through lease agents (TTL + heartbeat renewals) and an
+initiator resolves members through a caching, failing-over resolver
+instead of a static table. Mid-run we crash the very replica the
+initiator's resolver points at *and* silently kill one worker; the
+session among the survivors still forms, and the dead worker's name
+expires everywhere instead of hanging a lookup forever.
+
+Run:  python examples/discovery_churn.py
+"""
+
+from repro import (Dapplet, Initiator, LeaseConfig, LeaseExpired, SessionSpec,
+                   World)
+from repro.net import ConstantLatency
+
+
+class Worker(Dapplet):
+    """A member that just sits in sessions; discovery is the show here."""
+
+    kind = "worker"
+
+
+def main() -> World:
+    # Sub-second lease timings so a full expiry cycle fits the demo.
+    cfg = LeaseConfig(ttl=1.0, renew_interval=0.25, sweep_interval=0.2,
+                      gossip_interval=0.3, cache_ttl=0.3,
+                      request_timeout=0.5)
+    world = World(seed=14, latency=ConstantLatency(0.01))
+    replicas = world.host_directory(3, config=cfg)
+    print(f"directory: {len(replicas)} replicas at "
+          f"{[str(r.address) for r in replicas]}")
+
+    world.dapplet(Worker, "caltech.edu", "alice")
+    world.dapplet(Worker, "rice.edu", "bob")
+    carol = world.dapplet(Worker, "anl.gov", "carol")
+    init = world.dapplet(Initiator, "cern.ch", "init")
+
+    spec = SessionSpec("survivors")
+    spec.add_member("alice", inboxes=("in",))
+    spec.add_member("bob", inboxes=("in",))
+    spec.bind("alice", "out", "bob", "in")
+
+    def director():
+        yield world.kernel.timeout(1.0)  # leases granted and gossiped
+        # Crash the replica the initiator's resolver is bound to, so the
+        # next resolve *must* fail over; kill carol without unregistering.
+        victim = next(r for r in replicas
+                      if r.address == init.resolver.replica)
+        victim.stop()
+        carol.stop()
+        print(f"[{world.now:5.2f} s] crashed replica {victim.name}, "
+              f"killed carol silently")
+
+        yield world.kernel.timeout(cfg.staleness_bound(len(replicas)) + 1.0)
+        session = yield from init.establish(spec, timeout=10.0)
+        print(f"[{world.now:5.2f} s] session formed despite replica crash: "
+              f"{sorted(session.members)} "
+              f"(resolver failovers: {init.resolver.stats.failovers})")
+
+        init.resolver.invalidate()
+        try:
+            yield from init.resolver.resolve("carol")
+            print("carol still resolves -- NO!")
+        except LeaseExpired as exc:
+            print(f"[{world.now:5.2f} s] lease expired for "
+                  f"{exc.name!r}: dead members fail fast, not forever")
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    for dapplet in list(world.dapplets()):
+        dapplet.stop()
+    world.run()
+    survivors = [r for r in replicas if not r.stopped]
+    print(f"surviving replicas agree: "
+          f"{all(r.live_entries() == survivors[0].live_entries() for r in survivors)}")
+    return world
+
+
+if __name__ == "__main__":
+    main()

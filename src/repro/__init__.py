@@ -25,9 +25,17 @@ The subpackages are importable directly for the full API:
 from repro.dapplet.dapplet import Dapplet
 from repro.dapplet.directory import AddressDirectory
 from repro.dapplet.state import PersistentState
+from repro.discovery import (
+    DirectoryReplica,
+    LeaseConfig,
+    RegistrationAgent,
+    Resolver,
+)
 from repro.errors import (
     DeadlockDetected,
     DeliveryTimeout,
+    DiscoveryError,
+    LeaseExpired,
     ReceiveTimeout,
     ReproError,
     RpcError,
@@ -56,16 +64,22 @@ __all__ = [
     "Dapplet",
     "DeadlockDetected",
     "DeliveryTimeout",
+    "DirectoryReplica",
+    "DiscoveryError",
     "Inbox",
     "InboxAddress",
     "Initiator",
+    "LeaseConfig",
+    "LeaseExpired",
     "MemberSpec",
     "Message",
     "NodeAddress",
     "Outbox",
     "PersistentState",
     "ReceiveTimeout",
+    "RegistrationAgent",
     "ReproError",
+    "Resolver",
     "RpcError",
     "RpcTimeout",
     "Session",

@@ -71,13 +71,24 @@ class AddressDirectory:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def to_dict(self) -> dict[str, str]:
-        """Wire-encodable snapshot (name -> "host:port")."""
-        return {name: str(e.address) for name, e in self._entries.items()}
+    def to_dict(self) -> dict[str, dict[str, str]]:
+        """Wire-encodable snapshot (name -> {"addr", "kind"})."""
+        return {name: {"addr": str(e.address), "kind": e.kind}
+                for name, e in self._entries.items()}
 
     @classmethod
-    def from_dict(cls, data: dict[str, str]) -> "AddressDirectory":
+    def from_dict(cls, data: "dict[str, dict[str, str] | str]",
+                  ) -> "AddressDirectory":
+        """Rebuild from :meth:`to_dict` output.
+
+        Also accepts the historical flat form (name -> ``"host:port"``),
+        whose entries rehydrate with an empty kind.
+        """
         directory = cls()
-        for name, addr in data.items():
-            directory.register(name, NodeAddress.parse(addr))
+        for name, value in data.items():
+            if isinstance(value, str):
+                directory.register(name, NodeAddress.parse(value))
+            else:
+                directory.register(name, NodeAddress.parse(value["addr"]),
+                                   kind=value.get("kind", ""))
         return directory

@@ -1,0 +1,131 @@
+"""Wire messages of the discovery protocol.
+
+Three conversations share the replicas' well-known ``_directory`` inbox:
+
+* **lease maintenance** — an owning dapplet's agent sends
+  :class:`Register` / :class:`Renew` / :class:`Unregister`; the replica
+  answers :class:`LeaseGrant` or :class:`LeaseDenied`;
+* **resolution** — a resolver sends :class:`LookupRequest` and gets a
+  :class:`LookupReply`;
+* **anti-entropy** — replicas exchange :class:`GossipSync` carrying
+  version-stamped lease entries (:meth:`repro.discovery.lease.
+  LeaseRecord.to_wire`).
+
+Requests carry a ``req_id`` echoed by the reply so clients that failed
+over mid-request can discard answers from a slow earlier replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.message import Message, message_type
+from repro.net.address import InboxAddress, NodeAddress
+
+
+@message_type("dir.register")
+@dataclass(frozen=True)
+class Register(Message):
+    """Claim (or re-claim) a name; replied with a grant or denial."""
+
+    req_id: int
+    name: str
+    address: NodeAddress
+    kind: str
+    reply_to: InboxAddress
+    #: Highest epoch the agent has held; the replica grants a higher
+    #: one, so a re-registration supersedes the old lease everywhere.
+    epoch_hint: int = 0
+
+
+@message_type("dir.renew")
+@dataclass(frozen=True)
+class Renew(Message):
+    """Heartbeat extending the lease of ``name`` under ``epoch``."""
+
+    req_id: int
+    name: str
+    epoch: int
+    reply_to: InboxAddress
+
+
+@message_type("dir.unregister")
+@dataclass(frozen=True)
+class Unregister(Message):
+    """Graceful departure: tombstone the lease immediately (no reply)."""
+
+    name: str
+    epoch: int
+
+
+@message_type("dir.lease_grant")
+@dataclass(frozen=True)
+class LeaseGrant(Message):
+    """A lease is (still) held: valid for ``ttl`` from receipt."""
+
+    req_id: int
+    name: str
+    epoch: int
+    version: int
+    ttl: float
+
+
+@message_type("dir.lease_denied")
+@dataclass(frozen=True)
+class LeaseDenied(Message):
+    """Registration/renewal refused.
+
+    ``reason`` is machine-readable: ``"name-taken"`` (a live lease at a
+    different address exists), ``"stale-epoch"`` (the renewal's epoch
+    was superseded — re-register), or ``"unknown"`` (renewing a name
+    this replica has no record of — re-register).
+    """
+
+    req_id: int
+    name: str
+    reason: str
+
+
+@message_type("dir.lookup")
+@dataclass(frozen=True)
+class LookupRequest(Message):
+    """Resolve ``name`` to its registered address."""
+
+    req_id: int
+    name: str
+    reply_to: InboxAddress
+
+
+@message_type("dir.lookup_reply")
+@dataclass(frozen=True)
+class LookupReply(Message):
+    """Answer to a :class:`LookupRequest`.
+
+    ``found`` is False when the name has no *live* lease here (never
+    registered, expired, or unregistered). ``ttl_left`` bounds how long
+    the caller may cache the answer.
+    """
+
+    req_id: int
+    name: str
+    found: bool
+    address: NodeAddress | None
+    kind: str
+    ttl_left: float
+    epoch: int
+
+
+@message_type("dir.gossip")
+@dataclass(frozen=True)
+class GossipSync(Message):
+    """One anti-entropy exchange between replicas.
+
+    ``entries`` is a tuple of wire-encoded lease records. With
+    ``want_reply`` the receiver answers with every record it holds that
+    is strictly newer than (or absent from) what it was sent —
+    push-pull, so one round reconciles both directions.
+    """
+
+    origin: NodeAddress
+    entries: tuple
+    want_reply: bool

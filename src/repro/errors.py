@@ -139,6 +139,23 @@ class DeadlockDetected(TokenError):
         self.cycle = tuple(cycle)
 
 
+class DiscoveryError(ReproError):
+    """A discovery-subsystem configuration or protocol error."""
+
+
+class LeaseExpired(DiscoveryError):
+    """Resolution failed because the name has no live lease.
+
+    Raised by :meth:`repro.discovery.Resolver.resolve` when a replica
+    answers authoritatively that the name is unknown, expired, or
+    unregistered. ``name`` is the name that failed to resolve.
+    """
+
+    def __init__(self, message: str, *, name: str = "") -> None:
+        super().__init__(message)
+        self.name = name
+
+
 class ClockError(ReproError):
     """A logical-clock or snapshot protocol error."""
 

@@ -44,14 +44,16 @@ from repro.obs.metrics import MetricsRegistry
 
 #: Every event category the stack emits. A ``Tracer(categories=...)``
 #: restricted to a subset rejects other categories at the emit boundary.
-CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens")
+CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir")
 
 #: Numeric event fields folded into histograms, field -> metric. ``rtt``
 #: and ``wait`` are latencies; ``cwnd`` (carried by the endpoint's
 #: window events: cwnd/stall/resume) is a size distribution — its
-#: histogram shows which congestion-window bands a run lived in.
+#: histogram shows which congestion-window bands a run lived in;
+#: ``rlat`` is the discovery resolver's lookup latency (cache misses;
+#: hits return without a round-trip and are counted, not timed).
 _HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"),
-                     ("cwnd", "ep.cwnd"))
+                     ("cwnd", "ep.cwnd"), ("rlat", "dir.resolve"))
 
 
 class TraceEvent:

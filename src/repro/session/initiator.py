@@ -22,7 +22,8 @@ import itertools
 from typing import Generator
 
 from repro.dapplet.dapplet import Dapplet
-from repro.errors import ReceiveTimeout, SessionError, SessionRejected
+from repro.errors import (ReceiveTimeout, ReproError, SessionError,
+                          SessionRejected)
 from repro.mailbox.inbox import Inbox
 from repro.mailbox.outbox import Outbox
 from repro.net.address import InboxAddress, NodeAddress
@@ -53,6 +54,28 @@ class Initiator(Dapplet):
     def setup(self) -> None:
         self._session_ids = itertools.count(1)
         self._records: dict[str, _Record] = {}
+        #: Optional :class:`repro.discovery.Resolver`; when set, member
+        #: names resolve through the replicated directory (with caching
+        #: and failover) instead of the world's static dict.
+        self.resolver = None
+
+    def use_resolver(self, resolver) -> None:
+        """Resolve member names through ``resolver`` from now on."""
+        self.resolver = resolver
+
+    def _resolve_address(self, mspec: MemberSpec) -> Generator:
+        """One member's node address: explicit > resolver > static dict.
+
+        A generator (the resolver may need a network round-trip). With a
+        resolver attached, a dead participant surfaces as
+        :class:`~repro.errors.LeaseExpired` — the caller should drop or
+        replace that member rather than time out against silence.
+        """
+        if mspec.address is not None:
+            return mspec.address
+        if self.resolver is not None:
+            return (yield from self.resolver.resolve(mspec.directory_name))
+        return self.world.directory.lookup(mspec.directory_name)
 
     # -- establishment ------------------------------------------------------
 
@@ -84,11 +107,20 @@ class Initiator(Dapplet):
         self._records[session_id] = record
         deadline = self.kernel.now + timeout
 
+        # Resolve every member before preparing any: a dead or
+        # unresolvable participant aborts the establishment up front,
+        # with no dapplet left half-linked.
+        try:
+            for member, mspec in spec.members.items():
+                record.member_addresses[member] = \
+                    yield from self._resolve_address(mspec)
+        except ReproError:
+            self._dispose(session_id)
+            raise
+
         # Phase 1: prepare.
         for member, mspec in spec.members.items():
-            address = mspec.address or self.world.directory.lookup(
-                mspec.directory_name)
-            record.member_addresses[member] = address
+            address = record.member_addresses[member]
             outbox = self.create_outbox()
             outbox.add(InboxAddress(address, CONTROL_INBOX))
             record.member_outboxes[member] = outbox
@@ -177,8 +209,7 @@ class Initiator(Dapplet):
 
         record = self._records[session.session_id]
         deadline = self.kernel.now + timeout
-        address = mspec.address or self.world.directory.lookup(
-            mspec.directory_name)
+        address = yield from self._resolve_address(mspec)
         outbox = self.create_outbox()
         outbox.add(InboxAddress(address, CONTROL_INBOX))
         record.member_outboxes[mspec.member] = outbox

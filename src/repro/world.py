@@ -93,6 +93,9 @@ class World:
         self.interference_monitor = None
         self._next_port: dict[str, int] = {}
         self._dapplets: dict[str, Dapplet] = {}
+        self._directory_replicas: list[Dapplet] = []
+        self._lease_config = None
+        self._auto_enroll = False
         if tracer is not None:
             self.attach_tracer(tracer)
 
@@ -152,7 +155,89 @@ class World:
         instance = cls(self, address, name, **kwargs)
         self._dapplets[name] = instance
         self.directory.register(name, address, kind=cls.kind)
+        if self._auto_enroll:
+            self._enroll_new(instance)
         return instance
+
+    # -- replicated discovery (repro.discovery) ----------------------------
+
+    def host_directory(self, hosts: "int | list[str]" = 3, *,
+                       config: Any | None = None,
+                       auto_enroll: bool = True) -> list[Dapplet]:
+        """Deploy N replicated directory dapplets (see ``repro.discovery``).
+
+        ``hosts`` is either a replica count (each on its own synthetic
+        ``dirN.example.org`` host) or an explicit list of host names.
+        The replicas gossip with each other; dapplets already installed
+        are enrolled (given a lease-renewing
+        :class:`~repro.discovery.RegistrationAgent`), and — with
+        ``auto_enroll`` (the default) — so is every dapplet created
+        afterwards. Dapplets exposing ``use_resolver`` (initiators) get
+        a :class:`~repro.discovery.Resolver` attached.
+
+        Call once, before :meth:`run`. Returns the replicas.
+        """
+        from repro.discovery import DirectoryReplica, LeaseConfig
+        if self._directory_replicas:
+            raise DappletError("this world already hosts a directory")
+        if isinstance(hosts, int):
+            hosts = [f"dir{i}.example.org" for i in range(hosts)]
+        if not hosts:
+            raise DappletError("host_directory needs >= 1 host")
+        self._lease_config = config or LeaseConfig()
+        existing = self.dapplets()
+        for i, host in enumerate(hosts):
+            replica = self.dapplet(DirectoryReplica, host, f"_dir{i}",
+                                   config=self._lease_config)
+            self._directory_replicas.append(replica)
+        addresses = self.replica_addresses()
+        for replica in self._directory_replicas:
+            replica.set_peers(a for a in addresses if a != replica.address)
+        self._auto_enroll = auto_enroll
+        for dapplet in existing:
+            self._enroll_new(dapplet)
+        return list(self._directory_replicas)
+
+    @property
+    def directory_replicas(self) -> list[Dapplet]:
+        """The directory replicas hosted by :meth:`host_directory`."""
+        return list(self._directory_replicas)
+
+    def replica_addresses(self) -> list["NodeAddress"]:
+        """Node addresses of the hosted directory replicas."""
+        return [r.address for r in self._directory_replicas]
+
+    def enroll(self, dapplet: Dapplet) -> Any:
+        """Give ``dapplet`` a lease in the replicated directory.
+
+        Attaches a :class:`~repro.discovery.RegistrationAgent` as
+        ``dapplet.lease_agent`` (idempotent) and returns it.
+        """
+        from repro.discovery import RegistrationAgent
+        if not self._directory_replicas:
+            raise DappletError("no directory hosted; call host_directory()")
+        agent = getattr(dapplet, "lease_agent", None)
+        if agent is None:
+            agent = RegistrationAgent(dapplet, self.replica_addresses(),
+                                      config=self._lease_config)
+            dapplet.lease_agent = agent
+        return agent
+
+    def resolver_for(self, dapplet: Dapplet) -> Any:
+        """A :class:`~repro.discovery.Resolver` bound to ``dapplet``."""
+        from repro.discovery import Resolver
+        if not self._directory_replicas:
+            raise DappletError("no directory hosted; call host_directory()")
+        return Resolver(dapplet, self.replica_addresses(),
+                        config=self._lease_config)
+
+    def _enroll_new(self, dapplet: Dapplet) -> None:
+        from repro.discovery import DirectoryReplica
+        if isinstance(dapplet, DirectoryReplica):
+            return
+        self.enroll(dapplet)
+        if hasattr(dapplet, "use_resolver"):
+            dapplet.use_resolver(self.resolver_for(dapplet))
 
     def _forget_dapplet(self, dapplet: Dapplet) -> None:
         self._dapplets.pop(dapplet.name, None)

@@ -66,3 +66,22 @@ def test_dict_roundtrip():
     back = AddressDirectory.from_dict(d.to_dict())
     assert back.lookup("mani") == A
     assert back.lookup("joann") == B
+
+
+def test_dict_roundtrip_preserves_kind():
+    # Regression: to_dict() used to flatten entries to bare "host:port"
+    # strings, so a directory that travelled in a message rehydrated
+    # with every kind == "" and kind-filtered selection found nothing.
+    d = AddressDirectory()
+    d.register("mani", A, kind="calendar")
+    d.register("joann", B, kind="secretary")
+    back = AddressDirectory.from_dict(d.to_dict())
+    assert back.entry("mani").kind == "calendar"
+    assert back.entry("joann").kind == "secretary"
+    assert back.names(kind="calendar") == ["mani"]
+
+
+def test_from_dict_accepts_legacy_flat_form():
+    back = AddressDirectory.from_dict({"mani": "caltech.edu:2000"})
+    assert back.lookup("mani") == A
+    assert back.entry("mani").kind == ""

@@ -1,0 +1,28 @@
+"""Shared fixtures for the discovery-subsystem tests."""
+
+from repro import Dapplet, LeaseConfig
+
+
+class Worker(Dapplet):
+    """A minimal session-capable dapplet to register and resolve."""
+
+    kind = "worker"
+
+    def setup(self):
+        self.data = self.create_inbox()
+
+
+#: Tight timings so whole lease lifecycles fit in a few virtual seconds.
+def fast_config(**overrides) -> LeaseConfig:
+    base = dict(ttl=1.0, renew_interval=0.25, sweep_interval=0.2,
+                gossip_interval=0.3, cache_ttl=0.3, request_timeout=0.5,
+                tombstone_ttl=10.0)
+    base.update(overrides)
+    return LeaseConfig(**base)
+
+
+def drain(world):
+    """Stop every dapplet and run the substrate to quiescence."""
+    for dapplet in list(world.dapplets()):
+        dapplet.stop()
+    world.run()

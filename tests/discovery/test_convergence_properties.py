@@ -1,0 +1,143 @@
+"""Property tests: gossip convergence and bounded staleness.
+
+Under random registration/kill schedules and a random replica-replica
+partition window, once the system is quiescent:
+
+* every surviving replica holds **identical** live directory contents
+  (anti-entropy converged);
+* every surviving worker resolves to its correct address;
+* every killed worker's name raises :class:`~repro.errors.LeaseExpired`;
+* no resolver ever returned a killed worker later than the config's
+  :meth:`~repro.discovery.LeaseConfig.staleness_bound` after the kill
+  (the lease TTL, plus gossip lag, plus one sweep, plus the cache).
+
+Partition windows are kept shorter than the transport's retry budget so
+reliable channels stall and recover rather than break — a broken channel
+never heals, which is the transport's contract, not a discovery bug
+(and the replica's send path rebinds if one does break).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import AsyncioSubstrate, LeaseConfig, LeaseExpired, World
+from repro.net import ConstantLatency, FaultPlan
+
+from tests.discovery.conftest import Worker, drain, fast_config
+
+N_REPLICAS = 3
+
+#: Which of 4 workers die mid-run (at least one survives, so the
+#: "survivors still resolve" half of the property is never vacuous).
+kill_masks = st.lists(st.booleans(), min_size=4, max_size=4).filter(
+    lambda m: not all(m))
+
+#: A replica-replica partition window: (start, duration). Bounded well
+#: under the transport's ~break threshold at rto_initial defaults.
+partitions = st.one_of(
+    st.none(),
+    st.tuples(st.floats(min_value=0.5, max_value=1.5),
+              st.floats(min_value=0.3, max_value=1.5)))
+
+
+def quiesce_and_check(world, replicas, cfg, workers, killed, probe_log):
+    """Post-churn assertions shared by both substrates."""
+    live = [r for r in replicas if not r.stopped]
+    assert live
+    contents = [r.live_entries() for r in live]
+    for other in contents[1:]:
+        assert other == contents[0]
+    for name, worker in workers.items():
+        if name in killed:
+            assert name not in contents[0]
+        else:
+            assert contents[0][name] == (worker.address, "worker")
+    # Staleness: no successful resolve of a killed name later than the
+    # bound after its kill instant.
+    bound = cfg.staleness_bound(N_REPLICAS)
+    for name, kill_t, resolve_t in probe_log:
+        assert resolve_t - kill_t <= bound + 1e-6, (
+            f"{name} still resolved {resolve_t - kill_t:.2f}s after its "
+            f"kill; bound is {bound:.2f}s")
+
+
+def churn_run(world, replicas, cfg, kill_mask, partition, *, step=0.2):
+    """Drive the schedule; returns (workers, killed, probe_log, done)."""
+    workers = {f"w{i}": world.dapplet(Worker, f"h{i}.edu", f"w{i}")
+               for i in range(len(kill_mask))}
+    killed = {f"w{i}" for i, dead in enumerate(kill_mask) if dead}
+    prober = world.dapplet(Worker, "probe.edu", "probe")
+    resolver = world.resolver_for(prober)
+    probe_log = []
+    kill_times = {}
+    done = world.kernel.event()
+
+    def director():
+        yield world.kernel.timeout(2 * cfg.renew_interval)
+        if partition is not None:
+            start, duration = partition
+            yield world.kernel.timeout(start)
+            a, b = replicas[0].address, replicas[1].address
+            world.network.faults.partition(a, b)
+            yield world.kernel.timeout(duration)
+            world.network.faults.heal(a, b)
+        for name in sorted(killed):
+            workers[name].stop()
+            kill_times[name] = world.kernel.now
+        # Probe killed names through the churn window: every success is
+        # checked against the staleness bound afterwards.
+        until = world.kernel.now + cfg.staleness_bound(N_REPLICAS) + 1.0
+        while world.kernel.now < until:
+            yield world.kernel.timeout(step)
+            resolver.invalidate()
+            for name in sorted(killed):
+                try:
+                    yield from resolver.resolve(name)
+                    probe_log.append((name, kill_times[name],
+                                      world.kernel.now))
+                except LeaseExpired:
+                    pass
+        # A few extra gossip rounds so anti-entropy fully reconciles
+        # whatever the partition delayed.
+        yield world.kernel.timeout(4 * cfg.gossip_interval)
+        done.succeed(None)
+
+    world.process(director())
+    return workers, killed, probe_log, done
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       kill_mask=kill_masks, partition=partitions)
+def test_replicas_converge_after_churn_on_sim(seed, kill_mask, partition):
+    cfg = fast_config()
+    world = World(seed=seed, latency=ConstantLatency(0.01),
+                  faults=FaultPlan())
+    replicas = world.host_directory(N_REPLICAS, config=cfg)
+    workers, killed, probe_log, done = churn_run(
+        world, replicas, cfg, kill_mask, partition)
+    world.run(until=done)
+    quiesce_and_check(world, replicas, cfg, workers, killed, probe_log)
+    drain(world)
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       kill_mask=kill_masks)
+def test_replicas_converge_after_churn_on_asyncio(seed, kill_mask):
+    # Real sockets and wall-clock time: a tiny config so a full lease
+    # lifecycle fits in a couple of seconds, few examples, no partition
+    # (loopback UDP supplies its own timing noise).
+    cfg = LeaseConfig(ttl=0.6, renew_interval=0.15, sweep_interval=0.1,
+                      gossip_interval=0.15, cache_ttl=0.1,
+                      request_timeout=0.4, tombstone_ttl=10.0)
+    world = World(substrate=AsyncioSubstrate(seed=seed))
+    try:
+        replicas = world.host_directory(N_REPLICAS, config=cfg)
+        workers, killed, probe_log, done = churn_run(
+            world, replicas, cfg, kill_mask, None, step=0.1)
+        world.run(until=done, wall_timeout=60)
+        quiesce_and_check(world, replicas, cfg, workers, killed, probe_log)
+    finally:
+        world.close()

@@ -1,0 +1,120 @@
+"""Unit tests for lease records, stamps, merging and the config."""
+
+import pytest
+
+from repro.discovery import LeaseConfig, LeaseRecord, merge
+from repro.errors import DiscoveryError
+from repro.net import NodeAddress
+
+A = NodeAddress("caltech.edu", 2000)
+B = NodeAddress("rice.edu", 2000)
+
+
+def rec(**overrides):
+    base = dict(name="w", address=A, kind="worker", epoch=1, version=0,
+                alive=True, expires_at=10.0)
+    base.update(overrides)
+    return LeaseRecord(**base)
+
+
+# -- config ---------------------------------------------------------------
+
+def test_config_defaults_are_valid():
+    cfg = LeaseConfig()
+    assert 0 < cfg.renew_interval < cfg.ttl
+
+
+@pytest.mark.parametrize("bad", [
+    dict(ttl=0.0),
+    dict(ttl=-1.0),
+    dict(sweep_interval=0.0),
+    dict(gossip_interval=-0.1),
+    dict(tombstone_ttl=0.0),
+    dict(request_timeout=0.0),
+    dict(renew_interval=0.0),
+    dict(renew_interval=4.0),       # == ttl
+    dict(renew_interval=5.0),       # > ttl
+    dict(cache_ttl=-0.5),
+])
+def test_config_rejects_bad_timings(bad):
+    with pytest.raises(DiscoveryError):
+        LeaseConfig(**bad)
+
+
+def test_config_cache_ttl_zero_is_allowed():
+    assert LeaseConfig(cache_ttl=0.0).cache_ttl == 0.0
+
+
+def test_staleness_bound_grows_with_replica_count():
+    cfg = LeaseConfig()
+    bounds = [cfg.staleness_bound(n) for n in (1, 2, 3, 5)]
+    assert bounds == sorted(bounds)
+    assert bounds[0] == cfg.ttl + cfg.sweep_interval + cfg.cache_ttl
+    assert bounds[2] - bounds[0] == pytest.approx(2 * cfg.gossip_interval)
+
+
+# -- stamps ---------------------------------------------------------------
+
+def test_stamp_orders_epoch_then_version_then_tombstone():
+    assert rec(epoch=2, version=0).stamp > rec(epoch=1, version=9).stamp
+    assert rec(epoch=1, version=3).stamp > rec(epoch=1, version=2).stamp
+    # A tombstone wins a tie at identical (epoch, version): a detected
+    # death must never be un-detected by a concurrent equal write.
+    assert rec(alive=False).stamp > rec(alive=True).stamp
+
+
+def test_live_at_and_expired():
+    r = rec(expires_at=10.0)
+    assert r.live_at(9.99)
+    assert not r.live_at(10.0)
+    tomb = r.expired(10.0, tombstone_ttl=5.0)
+    assert not tomb.alive
+    assert tomb.version == r.version + 1
+    assert tomb.expires_at == 15.0
+    assert not tomb.live_at(0.0)
+
+
+# -- merging --------------------------------------------------------------
+
+def test_merge_prefers_newer_stamp():
+    old = rec(epoch=1, version=2)
+    new = rec(epoch=2, version=0, address=B)
+    assert merge(old, new) is new
+    assert merge(new, old) is None
+    assert merge(None, old) is old
+
+
+def test_merge_equal_stamp_keeps_later_expiry():
+    held = rec(expires_at=10.0)
+    fresher = rec(expires_at=12.0)
+    merged = merge(held, fresher)
+    assert merged is not None
+    assert merged.expires_at == 12.0
+    # The reverse direction must not roll the expiry back.
+    assert merge(fresher, held) is None
+
+
+def test_merge_tombstone_beats_live_at_same_version():
+    live = rec(alive=True)
+    tomb = rec(alive=False)
+    assert merge(live, tomb) is tomb
+    assert merge(tomb, live) is None
+
+
+# -- wire form ------------------------------------------------------------
+
+def test_wire_roundtrip_rebases_expiry_on_receiver_clock():
+    r = rec(expires_at=10.0)
+    wire = r.to_wire(now=7.0)          # 3 seconds of TTL left
+    assert wire["tl"] == pytest.approx(3.0)
+    back = LeaseRecord.from_wire(wire, now=100.0)
+    assert back.expires_at == pytest.approx(103.0)
+    assert (back.name, back.address, back.kind) == (r.name, r.address, r.kind)
+    assert back.stamp == r.stamp
+
+
+def test_wire_roundtrip_preserves_tombstones():
+    tomb = rec(alive=False, version=4)
+    back = LeaseRecord.from_wire(tomb.to_wire(now=0.0), now=0.0)
+    assert not back.alive
+    assert back.stamp == tomb.stamp

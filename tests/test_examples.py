@@ -16,6 +16,7 @@ CASES = [
     ("card_game.py", "winner:"),
     ("global_snapshot.py", "consistent?"),
     ("lossy_wan.py", "DeliveryTimeout raised"),
+    ("discovery_churn.py", "session formed despite replica crash"),
 ]
 
 

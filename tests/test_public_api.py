@@ -32,3 +32,14 @@ def test_headline_classes_present():
     for name in ("World", "Dapplet", "Inbox", "Outbox", "Substrate",
                  "SimSubstrate", "AsyncioSubstrate"):
         assert name in repro.__all__
+
+
+def test_discovery_exports_present():
+    for name in ("DirectoryReplica", "Resolver", "RegistrationAgent",
+                 "LeaseConfig", "LeaseExpired", "DiscoveryError"):
+        assert name in repro.__all__
+    # The lease knobs clients tune must exist on the exported config.
+    cfg = repro.LeaseConfig()
+    for field in ("ttl", "renew_interval", "gossip_interval", "cache_ttl"):
+        assert hasattr(cfg, field)
+    assert cfg.staleness_bound(3) > cfg.ttl
