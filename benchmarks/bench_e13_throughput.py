@@ -16,11 +16,18 @@ within a whisker of the unthrottled run, because the consumer's drain
 rate, not the window, is the bottleneck. The stall/resume/probe events
 that prove the machinery engaged are visible in the exported trace.
 
-``benchmarks/check_regression.py`` compares the flow-on simulator
-goodput in ``BENCH_e13_throughput.json`` against the checked-in
-baseline (``benchmarks/baselines/``) and fails CI on a >20% drop; the
-simulator metric is virtual-time and seed-deterministic, so only a
-protocol change can move it.
+A third **wire** row removes the consumer pacing entirely (flow on,
+``pace=0``): the paced rows measure the protocol against a
+drain-limited consumer (goodput pinned near 1/PACE by construction),
+so the wire row is the one that exposes the transport itself — framing,
+batching, window growth — as the bottleneck. It is the row that moved
+when the JSON wire became struct-packed binary frames.
+
+``benchmarks/check_regression.py`` compares the flow-on and wire-mode
+simulator goodputs in ``BENCH_e13_throughput.json`` against the
+checked-in baseline (``benchmarks/baselines/``) and fails CI on a >20%
+drop; the simulator metrics are virtual-time and seed-deterministic,
+so only a protocol change can move them.
 """
 
 from __future__ import annotations
@@ -40,10 +47,14 @@ SRC = NodeAddress("src.edu", 1000)
 
 N_SIM = 400
 N_AIO = 60
+N_SIM_WIRE = 2000
+N_AIO_WIRE = 400
 PACE = 0.002  # consumer service time per message, seconds
 
 
 def run_burst(kind: str, flow: bool, *, n: int, seed: int = 11,
+              pace: float = PACE, cwnd_initial: int = 256,
+              recv_window: int = 2000,
               tracer: "Tracer | None" = None,
               wall_timeout: float | None = None) -> dict:
     """One burst N producer->consumer; returns the metric row."""
@@ -55,9 +66,9 @@ def run_burst(kind: str, flow: bool, *, n: int, seed: int = 11,
         if tracer is not None:
             tracer.attach(substrate)
         eb = Endpoint(substrate, substrate.datagrams, HUB, rto_initial=0.1,
-                      flow_control=flow, recv_window=2000)
+                      flow_control=flow, recv_window=recv_window)
         ea = Endpoint(substrate, substrate.datagrams, SRC, rto_initial=0.1,
-                      flow_control=flow, cwnd_initial=256)
+                      flow_control=flow, cwnd_initial=cwnd_initial)
         inbox = Inbox(substrate, eb, 0)
         peak = [0]
         inbox.delivery_hooks.append(
@@ -69,7 +80,8 @@ def run_burst(kind: str, flow: bool, *, n: int, seed: int = 11,
         def consumer():
             for _ in range(n):
                 yield inbox.receive()
-                yield substrate.timeout(PACE)
+                if pace > 0:
+                    yield substrate.timeout(pace)
             finished.succeed(substrate.now)
 
         substrate.process(consumer())
@@ -100,6 +112,13 @@ def run_burst(kind: str, flow: bool, *, n: int, seed: int = 11,
         substrate.close()
 
 
+def run_wire(kind: str, *, n: int, wall_timeout: float | None = None) -> dict:
+    """The transport-limited row: flow control on, no consumer pacing,
+    a window wide enough that batching carries the burst."""
+    return run_burst(kind, True, n=n, pace=0.0, cwnd_initial=4096,
+                     recv_window=64000, wall_timeout=wall_timeout)
+
+
 @pytest.fixture(scope="module")
 def results():
     table = {}
@@ -107,6 +126,8 @@ def results():
         table[("sim", flow)] = run_burst("sim", flow, n=N_SIM)
         table[("aio", flow)] = run_burst("aio", flow, n=N_AIO,
                                          wall_timeout=60)
+    table[("sim", "wire")] = run_wire("sim", n=N_SIM_WIRE)
+    table[("aio", "wire")] = run_wire("aio", n=N_AIO_WIRE, wall_timeout=60)
     return table
 
 
@@ -120,20 +141,27 @@ def test_e13_table_and_shape(results, benchmark, request):
         assert tracer.select("ep", name), f"trace must show {name} events"
     assert '"ev":"stall"' in trace
 
+    def mode_name(flow):
+        if flow == "wire":
+            return "wire"
+        return "flow" if flow else "noflow"
+
     write_results(request, "e13_throughput",
-                  {f"{kind}/{'flow' if flow else 'noflow'}": metrics
+                  {f"{kind}/{mode_name(flow)}": metrics
                    for (kind, flow), metrics in table.items()},
                   seed=11)
     rows = []
     for kind, n in (("sim", N_SIM), ("aio", N_AIO)):
         off, on = table[(kind, False)], table[(kind, True)]
+        wire = table[(kind, "wire")]
         rows.append([kind, n, off["peak_queue"], on["peak_queue"],
                      f"{off['goodput']:.0f}", f"{on['goodput']:.0f}",
+                     f"{wire['goodput']:.0f}",
                      on["stalls"], on["batches"], on["window_updates"]])
     print_table("E13: burst onto a slow consumer, flow control off vs on",
                 ["substrate", "msgs", "peak q (off)", "peak q (on)",
-                 "goodput off", "goodput on", "stalls", "batches",
-                 "wnd updates"], rows)
+                 "goodput off", "goodput on", "goodput wire", "stalls",
+                 "batches", "wnd updates"], rows)
 
     for kind, n in (("sim", N_SIM), ("aio", N_AIO)):
         off, on = table[(kind, False)], table[(kind, True)]
@@ -151,5 +179,15 @@ def test_e13_table_and_shape(results, benchmark, request):
     # The sim run is drain-limited: the whole burst takes ~N*PACE.
     assert table[("sim", True)]["goodput"] == pytest.approx(
         1.0 / PACE, rel=0.25)
+    # The wire row is transport-limited: with no pacing and a wide
+    # window, the batched binary transport clears the paced ceiling by
+    # a wide margin (3x the paced-consumer goodput, on both substrates'
+    # simulator-deterministic side at least).
+    for kind, n in (("sim", N_SIM_WIRE), ("aio", N_AIO_WIRE)):
+        wire = table[(kind, "wire")]
+        assert wire["delivered"] == n
+        assert wire["batches"] >= 1
+    assert (table[("sim", "wire")]["goodput"]
+            >= 3.0 * table[("sim", True)]["goodput"])
 
     benchmark(run_burst, "sim", True, n=N_SIM)

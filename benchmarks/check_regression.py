@@ -28,10 +28,17 @@ BASELINES = pathlib.Path(__file__).resolve().parent / "baselines"
 #: "higher is better" for every guarded metric.
 GUARDED = {
     "e13_throughput": [("sim/flow.goodput", 0.20),
-                       ("sim/noflow.goodput", 0.20)],
+                       ("sim/noflow.goodput", 0.20),
+                       ("sim/wire.goodput", 0.20)],
     "e14_discovery": [("sim/cached.resolves_per_s", 0.20),
                       ("sim/cached.hit_rate", 0.10),
                       ("sim/churn.bound_margin", 0.50)],
+    # Size ratios are pure functions of the codec (bit-deterministic on
+    # any machine); the wall-clock roundtrips/s are recorded, not gated.
+    "e15_wire": [("data_small.size_ratio", 0.05),
+                 ("data_batch32.size_ratio", 0.01),
+                 ("ack_full.size_ratio", 0.05),
+                 ("probe.size_ratio", 0.05)],
 }
 
 

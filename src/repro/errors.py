@@ -46,6 +46,39 @@ class AddressError(ReproError):
     """An address is malformed, unknown, or already in use."""
 
 
+class TransportError(ReproError):
+    """Base class for transport-layer failures (framing, codec, channel).
+
+    Introduced to separate wire/codec problems from :class:`AddressError`
+    (which is about address *values*, not frames). During the deprecation
+    window :class:`repro.net.wire.FrameError` inherits from both, so
+    existing ``except AddressError`` call sites keep catching codec
+    failures; new code should catch :class:`TransportError` (or
+    :class:`WireFormatError`) instead.
+    """
+
+
+class WireFormatError(TransportError):
+    """A frame could not be encoded to or decoded from its wire bytes."""
+
+
+class PayloadTooLarge(WireFormatError):
+    """A single payload cannot fit one frame even unbatched.
+
+    Raised (or carried by a failed delivery receipt) at *send* time on
+    every substrate, so the simulated network and real UDP sockets agree
+    on the frame-size ceiling instead of diverging at encode time.
+    ``limit`` is the ceiling (:data:`repro.net.wire.MAX_FRAME_BYTES`),
+    ``size`` the frame size the payload would have needed.
+    """
+
+    def __init__(self, message: str, *, size: int = 0,
+                 limit: int = 0) -> None:
+        super().__init__(message)
+        self.size = size
+        self.limit = limit
+
+
 class SerializationError(ReproError):
     """A message could not be converted to or from its wire string."""
 

@@ -30,19 +30,28 @@ class Datagram:
     """One datagram on the wire.
 
     ``header`` carries the ordering layer's framing — ``DATA {kind, to,
-    ch, seq, ts, pack?}``, ``ACK {kind, ch, cum, ets, sack?}`` or ``RAW
-    {kind, to}``; see ``docs/PROTOCOLS.md`` for the field glossary.
-    ``payload`` is the serialized message string. ``size`` in bytes
-    drives transmission delay in size-aware latency models.
+    ch, seq, ts, pack?, parts?}``, ``ACK {kind, ch, cum, ets, sack?,
+    rwnd?}`` or ``RAW {kind, to}``; see ``docs/PROTOCOLS.md`` for the
+    field glossary. ``payload`` is the serialized message string.
+    ``size`` in bytes drives transmission delay in size-aware latency
+    models.
+
+    A batched DATA frame (``parts`` in the header) carries its payload
+    strings as ``parts_payloads`` (``payload`` stays ``""``): the binary
+    codec writes each string into the frame exactly once — no
+    intermediate batch document on any substrate.
     """
 
     src: NodeAddress
     dst: NodeAddress
     header: dict[str, Any]
     payload: str
+    parts_payloads: "tuple[str, ...] | None" = None
 
     @property
     def size(self) -> int:
+        if self.parts_payloads is not None:
+            return HEADER_OVERHEAD + sum(map(len, self.parts_payloads))
         return HEADER_OVERHEAD + len(self.payload)
 
 
@@ -57,6 +66,8 @@ class NetworkStats:
     undeliverable: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    #: Datagrams whose wire bytes failed to decode (dropped, not raised).
+    bad_frames: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(vars(self))
@@ -70,15 +81,24 @@ class DatagramNetwork:
     latency per surviving copy, and schedules handler invocation on the
     kernel. Sending to an unregistered address silently drops the
     datagram (as UDP does), counted in ``stats.undeliverable``.
+
+    ``encoded=True`` (opt-in) round-trips every surviving datagram
+    through the binary wire codec (:mod:`repro.net.wire`) at the same
+    boundaries the real UDP substrate does — encode once at send, decode
+    per delivered copy, bad frames dropped and counted — so a
+    deterministic simulated run can prove sim/asyncio byte-parity (the
+    golden trace corpus runs identically in both modes).
     """
 
     def __init__(self, kernel: Kernel, *,
                  latency: LatencyModel | None = None,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 encoded: bool = False) -> None:
         self.kernel = kernel
         self.latency = latency if latency is not None else ConstantLatency(0.05)
         self.faults = faults if faults is not None else FaultPlan()
         self.stats = NetworkStats()
+        self.encoded = encoded
         self._handlers: dict[NodeAddress, Callable[[Datagram], None]] = {}
         #: Taps observing every datagram put on the wire (testing aid).
         self.wire_taps: list[Callable[[float, Datagram], None]] = []
@@ -136,10 +156,36 @@ class DatagramNetwork:
                         ch=header.get("ch"), seq=header.get("seq"))
 
         lat_rng = self.kernel.rng.get(link + "/latency")
+        if self.encoded:
+            # Same boundary as the UDP substrate: one encode per send,
+            # one decode per delivered copy.
+            from repro.net.wire import encode_frame
+            data = encode_frame(datagram)
+            for extra in extra_delays:
+                delay = extra + self.latency.sample(
+                    lat_rng, datagram.src.host, datagram.dst.host,
+                    datagram.size)
+                self.kernel.call_later(
+                    delay, lambda b=data: self._deliver_bytes(b))
+            return
         for extra in extra_delays:
             delay = extra + self.latency.sample(
                 lat_rng, datagram.src.host, datagram.dst.host, datagram.size)
             self.kernel.call_later(delay, lambda d=datagram: self._deliver(d))
+
+    def _deliver_bytes(self, data: bytes) -> None:
+        """Decode one encoded copy and deliver it; drop bad frames with a
+        ``net``-category trace event and a counter (UDP-substrate parity)."""
+        from repro.net.wire import FrameError, decode_frame
+        try:
+            datagram = decode_frame(data)
+        except FrameError as exc:
+            self.stats.bad_frames += 1
+            tr = self.kernel.tracer
+            if tr is not None:
+                tr.emit("net", "bad_frame", size=len(data), err=str(exc))
+            return
+        self._deliver(datagram)
 
     def _deliver(self, datagram: Datagram) -> None:
         handler = self._handlers.get(datagram.dst)

@@ -71,9 +71,12 @@ from repro.errors import AddressError, DeliveryTimeout
 from repro.net.address import InboxAddress, NodeAddress
 from repro.net.datagram import HEADER_OVERHEAD, Datagram
 from repro.net.rto import PendingPacket, SendStream
-from repro.net.wire import (BATCH_MAX_PAYLOADS, KIND_ACK, KIND_DATA,
-                            KIND_PROBE, KIND_RAW, SACK_MAX_RANGES,
-                            decode_batch, encode_batch)
+from repro.net.wire import (BATCH_COUNT_SIZE, BATCH_MAX_PAYLOADS,
+                            DATA_FIXED_SIZE, KIND_ACK, KIND_DATA, KIND_PROBE,
+                            KIND_RAW, MAX_FRAME_BYTES, PART_LEN_SIZE,
+                            SACK_MAX_RANGES, frame_base_size,
+                            pack_entry_wire_size, payload_too_large,
+                            ref_wire_size, utf8_len)
 from repro.runtime.substrate import DatagramService, Scheduler
 from repro.sim.events import Event
 
@@ -292,6 +295,10 @@ class Endpoint:
         self._send_streams: dict[tuple[NodeAddress, str], SendStream] = {}
         self._recv_streams: dict[tuple[NodeAddress, str], _RecvStream] = {}
         self._rto_cache: dict[str, float] = {}
+        #: Per source node: how many receive streams owe it an ACK.
+        #: Index over ``_recv_streams[...].ack_pending`` so the DATA
+        #: fast path skips the piggyback scan when nothing is owed.
+        self._acks_owed: dict[NodeAddress, int] = {}
         network.register(address, self._on_datagram)
 
     def close(self) -> None:
@@ -335,6 +342,7 @@ class Endpoint:
             stream.waiters.clear()
         for stream in self._recv_streams.values():
             stream.ack_pending = False
+        self._acks_owed.clear()
 
     # -- inbox registry ---------------------------------------------------
 
@@ -386,9 +394,18 @@ class Endpoint:
         """
         if self.closed:
             raise AddressError(f"endpoint {self.address} is closed")
+        # Frame-ceiling check, identical on every substrate: a payload
+        # that cannot fit one frame even unbatched must fail *here*
+        # (typed, at send time) rather than blow up in the UDP encoder
+        # while sailing through the in-memory simulator.
+        wire_len = utf8_len(payload)
+        frame_size = (frame_base_size(self.address, dst.node, channel)
+                      + ref_wire_size(dst.ref) + wire_len)
         if not self.reliable:
             if timeout is not None:
                 raise ValueError("delivery timeout requires a reliable endpoint")
+            if frame_size > MAX_FRAME_BYTES:
+                raise payload_too_large(frame_size)
             self.stats.raw_sent += 1
             tr = self.kernel.tracer
             if tr is not None:
@@ -407,6 +424,15 @@ class Endpoint:
             self._send_streams[key] = stream
 
         receipt = DeliveryReceipt(self.kernel, dst)
+        if frame_size + DATA_FIXED_SIZE > MAX_FRAME_BYTES:
+            # Failed before a sequence number is allocated, so the FIFO
+            # stream is not holed by the rejected payload.
+            tr = self.kernel.tracer
+            if tr is not None:
+                tr.emit("ep", "too_large", node=self.address, ch=channel,
+                        size=frame_size + DATA_FIXED_SIZE)
+            receipt._fail(payload_too_large(frame_size + DATA_FIXED_SIZE))
+            return receipt
         if stream.broken:
             receipt._fail(DeliveryTimeout(
                 f"channel {channel!r} to {dst.node} is broken (retries exhausted)",
@@ -422,7 +448,8 @@ class Endpoint:
                                 deadline=(None if timeout is None
                                           else self.kernel.now + timeout),
                                 first_sent_at=self.kernel.now,
-                                size=HEADER_OVERHEAD + len(payload))
+                                size=HEADER_OVERHEAD + len(payload),
+                                wire_len=wire_len)
         stream.unacked[seq] = pending
         self.stats.data_sent += 1
         tr = self.kernel.tracer
@@ -482,9 +509,17 @@ class Endpoint:
     def _pump(self, key: tuple[NodeAddress, str], stream: SendStream) -> None:
         """Transmit queued packets while the window allows, coalescing
         consecutive queued payloads into batched DATA frames; then update
-        the stall/resume state and wake or park accordingly."""
+        the stall/resume state and wake or park accordingly.
+
+        The filler is size-aware in *wire* bytes, not just in the flow
+        accounting: the group stops before the encoded batch frame would
+        exceed :data:`~repro.net.wire.MAX_FRAME_BYTES`, so a run of
+        large payloads splits into several frames on every substrate
+        instead of encoding an oversized frame on the UDP one."""
         if self.closed or stream.broken:
             return
+        batch_base = (frame_base_size(self.address, key[0], key[1])
+                      + DATA_FIXED_SIZE + BATCH_COUNT_SIZE)
         while stream.queue:
             head = stream.queue[0]
             window = stream.window()
@@ -492,15 +527,24 @@ class Endpoint:
                 break
             group = [stream.queue.popleft()]
             total = head.size
+            # Projected wire size if the group becomes a batch frame
+            # (the head's ref appears both as ``to`` and in ``parts``).
+            wire_total = (batch_base + 2 * ref_wire_size(head.to_ref)
+                          + PART_LEN_SIZE + head.wire_len)
             while stream.queue and len(group) < BATCH_MAX_PAYLOADS:
                 nxt = stream.queue[0]
                 if total + nxt.size > self.batch_bytes:
                     break
                 if stream.in_flight + total + nxt.size > window:
                     break
+                nxt_wire = (ref_wire_size(nxt.to_ref) + PART_LEN_SIZE
+                            + nxt.wire_len)
+                if wire_total + nxt_wire > MAX_FRAME_BYTES:
+                    break
                 stream.queue.popleft()
                 group.append(nxt)
                 total += nxt.size
+                wire_total += nxt_wire
             for p in group:
                 p.transmitted = True
             stream.in_flight += total
@@ -654,7 +698,11 @@ class Endpoint:
         # retransmission ambiguity.
         header = {"kind": KIND_DATA, "to": pending.to_ref, "ch": channel,
                   "seq": pending.seq, "ts": self.kernel.now}
-        packs = self._collect_piggyback(dst_node)
+        budget = (MAX_FRAME_BYTES
+                  - frame_base_size(self.address, dst_node, channel)
+                  - DATA_FIXED_SIZE - ref_wire_size(pending.to_ref)
+                  - pending.wire_len)
+        packs = self._collect_piggyback(dst_node, budget)
         if packs:
             header["pack"] = packs
         self.network.send(Datagram(self.address, dst_node, header,
@@ -664,11 +712,19 @@ class Endpoint:
                         group: list[PendingPacket]) -> None:
         """One DATA frame carrying several consecutive payloads: ``seq``
         is the first packet's, ``parts`` the per-payload inbox refs (the
-        i-th part has sequence ``seq + i``)."""
+        i-th part has sequence ``seq + i``). The payload strings ride in
+        ``parts_payloads`` — the wire codec writes each exactly once
+        (length-prefixed), with no intermediate join/copy."""
         header = {"kind": KIND_DATA, "to": group[0].to_ref, "ch": channel,
                   "seq": group[0].seq, "ts": self.kernel.now,
                   "parts": [p.to_ref for p in group]}
-        packs = self._collect_piggyback(dst_node)
+        budget = (MAX_FRAME_BYTES
+                  - frame_base_size(self.address, dst_node, channel)
+                  - DATA_FIXED_SIZE - ref_wire_size(group[0].to_ref)
+                  - BATCH_COUNT_SIZE
+                  - sum(ref_wire_size(p.to_ref) + PART_LEN_SIZE + p.wire_len
+                        for p in group))
+        packs = self._collect_piggyback(dst_node, budget)
         if packs:
             header["pack"] = packs
         self.stats.batches_sent += 1
@@ -678,20 +734,36 @@ class Endpoint:
             tr.emit("ep", "batch", node=self.address, ch=channel,
                     seq=group[0].seq, n=len(group))
         self.network.send(Datagram(
-            self.address, dst_node, header,
-            encode_batch([p.payload for p in group])))
+            self.address, dst_node, header, "",
+            parts_payloads=tuple(p.payload for p in group)))
 
-    def _collect_piggyback(self, dst_node: NodeAddress) -> list[dict]:
-        """Fold every pending delayed ACK owed to ``dst_node`` into an
-        outgoing DATA datagram (an ACK datagram saved per entry)."""
+    def _collect_piggyback(self, dst_node: NodeAddress,
+                           budget: "float | None" = None) -> list[dict]:
+        """Fold pending delayed ACKs owed to ``dst_node`` into an
+        outgoing DATA datagram (an ACK datagram saved per entry).
+
+        ``budget`` caps the collected packs' wire size so the carrying
+        frame stays under ``MAX_FRAME_BYTES``; an entry that does not
+        fit keeps its ``ack_pending`` flag (its own delayed-ack timer —
+        or the next outgoing frame — still flushes it). The
+        ``_acks_owed`` index makes the common nothing-owed case O(1)
+        instead of a scan over every receive stream."""
+        if not self._acks_owed.get(dst_node):
+            return []
         packs: list[dict] = []
         tr = self.kernel.tracer
         for (node, channel), stream in self._recv_streams.items():
             if node != dst_node or not stream.ack_pending:
                 continue
             fields = self._ack_fields(stream)
+            if budget is not None:
+                cost = pack_entry_wire_size(channel, fields)
+                if cost > budget:
+                    continue
+                budget -= cost
             packs.append({"ch": channel, **fields})
             stream.ack_pending = False
+            self._ack_owed_dec(dst_node)
             stream.pending_ets = None
             stream.last_ack_at = self.kernel.now
             self.stats.acks_piggybacked += 1
@@ -700,6 +772,18 @@ class Endpoint:
                         cum=fields["cum"], sack=fields.get("sack"),
                         mode="piggyback")
         return packs
+
+    def _ack_owed_inc(self, node: NodeAddress) -> None:
+        """A receive stream toward ``node`` newly set ``ack_pending``."""
+        self._acks_owed[node] = self._acks_owed.get(node, 0) + 1
+
+    def _ack_owed_dec(self, node: NodeAddress) -> None:
+        """A receive stream toward ``node`` cleared ``ack_pending``."""
+        owed = self._acks_owed.get(node, 0) - 1
+        if owed > 0:
+            self._acks_owed[node] = owed
+        else:
+            self._acks_owed.pop(node, None)
 
     def _arm_timer(self, key: tuple[NodeAddress, str],
                    pending: PendingPacket) -> None:
@@ -802,7 +886,9 @@ class Endpoint:
         if stream is None:
             stream = _RecvStream()
             self._recv_streams[key] = stream
-        stream.ack_pending = True
+        if not stream.ack_pending:
+            stream.ack_pending = True
+            self._ack_owed_inc(key[0])
         self._flush_ack(key, stream)
 
     def _on_data(self, datagram) -> None:
@@ -819,7 +905,7 @@ class Endpoint:
         if parts is None:
             packets = [(base, header["to"], datagram.payload)]
         else:
-            payloads = decode_batch(datagram.payload)
+            payloads = datagram.parts_payloads or ()
             packets = [(base + i, to_ref, payload)
                        for i, (to_ref, payload) in enumerate(
                            zip(parts, payloads))]
@@ -861,6 +947,7 @@ class Endpoint:
         # in-order arrivals coalesce behind the delayed-ack window.
         if not stream.ack_pending:
             stream.ack_pending = True
+            self._ack_owed_inc(key[0])
             stream.pending_ets = header.get("ts")
         now = self.kernel.now
         if (not in_order_run or self.ack_delay <= 0
@@ -898,6 +985,7 @@ class Endpoint:
         self.stats.acks_sent += 1
         fields = self._ack_fields(stream)
         stream.ack_pending = False
+        self._ack_owed_dec(key[0])
         stream.pending_ets = None
         stream.last_ack_at = self.kernel.now
         tr = self.kernel.tracer
@@ -945,7 +1033,9 @@ class Endpoint:
                 if tr is not None:
                     tr.emit("ep", "wnd_update", node=self.address, ch=key[1],
                             rwnd=current)
-                stream.ack_pending = True
+                if not stream.ack_pending:
+                    stream.ack_pending = True
+                    self._ack_owed_inc(key[0])
                 self._flush_ack(key, stream)
 
     def _handle_ack_info(self, src: NodeAddress, fields: dict) -> None:

@@ -52,6 +52,9 @@ class PendingPacket:
     last_rtx_at: float = float("-inf")
     #: Charge against the send window (header overhead + payload bytes).
     size: int = 0
+    #: UTF-8 byte length of ``payload`` on the wire (computed once at
+    #: ``send``; sizes the frame-ceiling check and batch coalescing).
+    wire_len: int = 0
     #: False while the packet sits in the stream's flow-control queue;
     #: True once it has been put on the wire (and charged to
     #: ``in_flight``). Always True when flow control is off.

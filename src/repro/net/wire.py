@@ -1,19 +1,60 @@
 """Wire format of the ordering layer: frame constants and frame codec.
 
 The frame layout is shared by every substrate (see ``docs/PROTOCOLS.md``
-for the field glossary). On the simulated network a :class:`Datagram`
-travels as a Python object and the header stays a dict; over real UDP
-sockets the same header/payload pair is encoded to bytes by
-:func:`encode_frame` / :func:`decode_frame` — one JSON document per
-datagram, so the DATA/ACK/SACK protocol runs unmodified over the real
-Internet exactly as it does in virtual time.
+for the field glossary and the byte-level table). On the simulated
+network a :class:`Datagram` travels as a Python object and the header
+stays a dict; over real UDP sockets — and in the simulator's opt-in
+``encoded`` mode — the same header/payload pair is serialized by
+:func:`encode_frame` / :func:`decode_frame` into a **struct-packed
+binary frame**: a fixed packed prelude (magic, version, kind, flags)
+followed by length-prefixed varlen sections for the virtual addresses,
+the channel key, inbox refs, SACK ranges, piggybacked ACK packs and
+batched ``parts`` payloads. One encode path covers singleton and
+batched DATA alike; each batched payload's bytes are written into the
+output buffer exactly once (no intermediate batch document, no
+re-escape — the zero-recopy property the old JSON wire lacked).
+
+The previous one-JSON-document-per-datagram form is retained as
+:func:`encode_frame_json` / :func:`decode_frame_json` purely as the
+reference/baseline codec for the E15 serialization benchmark; nothing
+in the stack speaks it on a socket anymore.
+
+Binary layout (all integers big-endian)::
+
+    prelude   !BBBB   magic 0xC3, version 1, kind, flags
+    src       u8 host-len, host utf-8, u16 port
+    dst       u8 host-len, host utf-8, u16 port
+    ch        u16 len, utf-8
+    -- kind DATA (1), flags bit0 = pack, bit1 = parts --
+    seq,ts    u32, f64
+    to        ref
+    parts?    u16 count, count x ref
+    pack?     u8 count, count x (u16 ch-len, ch utf-8, ackbody)
+    payload   parts: count x (u16 len, bytes)   else: rest of frame
+    -- kind ACK (2) --
+    ackbody   i64 cum, u8 aflags (1 ets, 2 sack, 4 rwnd),
+              f64 ets?, (u8 n, n x (u32 lo, u32 hi))?, u64 rwnd?
+    payload   rest of frame (normally empty)
+    -- kind RAW (3) --
+    to        ref
+    payload   rest of frame
+    -- kind PROBE (4) --
+    payload   rest of frame (normally empty)
+
+    ref       u8 tag (0 int, 1 name), then u32 | (u16 len, utf-8)
+
+Every multi-byte field is validated on decode; malformed bytes raise
+:class:`FrameError` — never ``struct.error``/``KeyError``/
+``IndexError`` — so receive loops can treat "drop and count" as the
+single failure mode.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 
-from repro.errors import AddressError
+from repro.errors import AddressError, PayloadTooLarge, WireFormatError
 from repro.net.address import NodeAddress
 from repro.net.datagram import Datagram
 
@@ -34,46 +75,420 @@ SACK_MAX_RANGES = 3
 MAX_FRAME_BYTES = 65000
 
 #: Most payloads one batched DATA frame may coalesce. A batch frame
-#: carries ``parts`` (the per-payload inbox refs) in its header and a
-#: JSON array of the payload strings as its payload; sequence numbers
-#: are implicit — ``seq``, ``seq+1``, ... in array order.
+#: carries ``parts`` (the per-payload inbox refs) in its header and the
+#: payload strings as ``Datagram.parts_payloads``; sequence numbers are
+#: implicit — ``seq``, ``seq+1``, ... in order.
 BATCH_MAX_PAYLOADS = 32
 
+WIRE_MAGIC = 0xC3
+WIRE_VERSION = 1
 
-def encode_batch(payloads: list[str]) -> str:
-    """Pack coalesced DATA payloads into one batch-frame payload."""
-    return json.dumps(payloads, separators=(",", ":"))
+_KIND_TO_WIRE = {KIND_DATA: 1, KIND_ACK: 2, KIND_RAW: 3, KIND_PROBE: 4}
+_WIRE_TO_KIND = {1: KIND_DATA, 2: KIND_ACK, 3: KIND_RAW, 4: KIND_PROBE}
+
+_FLAG_PACK = 0x01
+_FLAG_PARTS = 0x02
+_AFLAG_ETS = 0x01
+_AFLAG_SACK = 0x02
+_AFLAG_RWND = 0x04
+
+_PRELUDE = struct.Struct("!BBBB")
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_SEQ_TS = struct.Struct("!Id")
+_RANGE = struct.Struct("!II")
+_CUM_AFLAGS = struct.Struct("!qB")
 
 
-def decode_batch(payload: str) -> list[str]:
-    """Unpack a batch-frame payload into its ordered payload strings."""
+class FrameError(WireFormatError, AddressError):
+    """A frame failed to encode or decode.
+
+    Primary base: :class:`repro.errors.WireFormatError` (transport
+    taxonomy). The :class:`repro.errors.AddressError` base is a
+    **deprecated alias** kept for one release so pre-existing ``except
+    AddressError`` call sites keep catching codec failures; catch
+    ``WireFormatError``/``TransportError`` in new code.
+    """
+
+
+def utf8_len(text: str) -> int:
+    """Byte length of ``text`` on the wire (fast path for ASCII)."""
+    return len(text) if text.isascii() else len(text.encode("utf-8"))
+
+
+def ref_wire_size(ref: "int | str") -> int:
+    """Encoded size of one inbox ref (tag byte + value)."""
+    if type(ref) is int:
+        return 5
+    return 3 + utf8_len(ref)
+
+
+def frame_base_size(src: NodeAddress, dst: NodeAddress, ch: str) -> int:
+    """Bytes of prelude + addresses + channel, shared by every kind."""
+    return (4 + 3 + utf8_len(src.host) + 3 + utf8_len(dst.host)
+            + 2 + utf8_len(ch))
+
+
+#: seq (u32) + ts (f64) in a DATA section.
+DATA_FIXED_SIZE = 12
+#: u16 parts-count prefix of a batched DATA frame.
+BATCH_COUNT_SIZE = 2
+#: u16 length prefix in front of each batched part payload (every part
+#: fits: the whole frame is capped at ``MAX_FRAME_BYTES`` < 2**16).
+PART_LEN_SIZE = 2
+
+
+def ack_fields_wire_size(fields: dict) -> int:
+    """Encoded size of one ackbody built from ``fields``."""
+    size = 9  # cum + aflags
+    if fields.get("ets") is not None:
+        size += 8
+    sack = fields.get("sack")
+    if sack:
+        size += 1 + 8 * len(sack)
+    if fields.get("rwnd") is not None:
+        size += 8
+    return size
+
+
+def pack_entry_wire_size(ch: str, fields: dict) -> int:
+    """Encoded size of one piggybacked-ACK pack entry."""
+    return 2 + utf8_len(ch) + ack_fields_wire_size(fields)
+
+
+# -- encoding ------------------------------------------------------------
+
+
+def _put_str16(out: bytearray, text: str, what: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise FrameError(f"{what} of {len(data)} bytes exceeds u16 bound")
+    out += _U16.pack(len(data))
+    out += data
+
+
+def _put_address(out: bytearray, address: NodeAddress) -> None:
+    host = address.host.encode("utf-8")
+    if len(host) > 0xFF:
+        raise FrameError(f"host of {len(host)} bytes exceeds u8 bound")
+    out += _U8.pack(len(host))
+    out += host
+    out += _U16.pack(address.port)
+
+
+def _put_ref(out: bytearray, ref: "int | str") -> None:
+    if type(ref) is int:
+        if not 0 <= ref < 1 << 32:
+            raise FrameError(f"inbox ref {ref} outside u32 range")
+        out += b"\x00"
+        out += _U32.pack(ref)
+    elif type(ref) is str:
+        out += b"\x01"
+        _put_str16(out, ref, "inbox name")
+    else:
+        raise FrameError(f"inbox ref must be int or str, got {type(ref)!r}")
+
+
+def _put_ackbody(out: bytearray, fields: dict) -> None:
     try:
-        parts = json.loads(payload)
-    except ValueError as exc:
-        raise FrameError("cannot decode batch payload") from exc
-    if not isinstance(parts, list) \
-            or not all(isinstance(p, str) for p in parts):
-        raise FrameError("batch payload is not a list of strings")
-    return parts
-
-
-class FrameError(AddressError):
-    """A frame failed to encode or decode."""
+        cum = fields["cum"]
+    except (KeyError, TypeError) as exc:
+        raise FrameError("ack fields missing 'cum'") from exc
+    ets = fields.get("ets")
+    sack = fields.get("sack")
+    rwnd = fields.get("rwnd")
+    aflags = ((_AFLAG_ETS if ets is not None else 0)
+              | (_AFLAG_SACK if sack else 0)
+              | (_AFLAG_RWND if rwnd is not None else 0))
+    try:
+        out += _CUM_AFLAGS.pack(cum, aflags)
+    except struct.error as exc:
+        raise FrameError(f"cum {cum!r} outside i64 range") from exc
+    try:
+        if ets is not None:
+            out += _F64.pack(ets)
+        if sack:
+            if len(sack) > 0xFF:
+                raise FrameError(f"{len(sack)} sack ranges exceed u8 bound")
+            out += _U8.pack(len(sack))
+            for lo, hi in sack:
+                out += _RANGE.pack(lo, hi)
+        if rwnd is not None:
+            out += _U64.pack(rwnd)
+    except (struct.error, TypeError, ValueError) as exc:
+        raise FrameError(f"cannot encode ack fields {fields!r}") from exc
 
 
 def encode_frame(datagram: Datagram) -> bytes:
     """Serialize one datagram to a self-contained UDP payload.
 
     The virtual source/destination node addresses travel inside the
-    frame: the receiving substrate routes by the frame's ``d`` field, so
+    frame: the receiving substrate routes by the frame's dst section, so
     a node keeps its paper-style identity (``host:port``) independent of
     the real socket address it happens to be bound to.
+    """
+    header = datagram.header
+    try:
+        kind = header["kind"]
+        ch = header.get("ch", "")
+    except TypeError as exc:
+        raise FrameError("frame header is not a mapping") from exc
+    wire_kind = _KIND_TO_WIRE.get(kind)
+    if wire_kind is None:
+        raise FrameError(f"unknown frame kind {kind!r}")
+    parts = header.get("parts")
+    pack = header.get("pack")
+    flags = 0
+    if kind == KIND_DATA:
+        if pack:
+            flags |= _FLAG_PACK
+        if parts is not None:
+            flags |= _FLAG_PARTS
+
+    out = bytearray()
+    out += _PRELUDE.pack(WIRE_MAGIC, WIRE_VERSION, wire_kind, flags)
+    _put_address(out, datagram.src)
+    _put_address(out, datagram.dst)
+    if not isinstance(ch, str):
+        raise FrameError(f"channel key must be str, got {type(ch)!r}")
+    _put_str16(out, ch, "channel key")
+
+    try:
+        if kind == KIND_DATA:
+            try:
+                out += _SEQ_TS.pack(header["seq"], header["ts"])
+            except (struct.error, TypeError) as exc:
+                raise FrameError(
+                    f"seq/ts {header.get('seq')!r}/{header.get('ts')!r} "
+                    "not encodable (seq must fit u32)") from exc
+            _put_ref(out, header["to"])
+            if parts is not None:
+                if len(parts) > 0xFFFF:
+                    raise FrameError(
+                        f"{len(parts)} parts exceed u16 bound")
+                out += _U16.pack(len(parts))
+                for ref in parts:
+                    _put_ref(out, ref)
+            if pack:
+                if len(pack) > 0xFF:
+                    raise FrameError(
+                        f"{len(pack)} pack entries exceed u8 bound")
+                out += _U8.pack(len(pack))
+                for entry in pack:
+                    _put_str16(out, entry["ch"], "pack channel key")
+                    _put_ackbody(out, entry)
+            if parts is not None:
+                payloads = datagram.parts_payloads
+                if payloads is None or len(payloads) != len(parts):
+                    raise FrameError(
+                        "batched frame needs one parts_payload per part")
+                for payload in payloads:
+                    data = payload.encode("utf-8")
+                    if len(data) > 0xFFFF:
+                        raise FrameError(
+                            f"batched payload of {len(data)} bytes "
+                            "exceeds u16 bound")
+                    out += _U16.pack(len(data))
+                    out += data
+            else:
+                out += datagram.payload.encode("utf-8")
+        elif kind == KIND_ACK:
+            _put_ackbody(out, header)
+            out += datagram.payload.encode("utf-8")
+        elif kind == KIND_RAW:
+            _put_ref(out, header["to"])
+            out += datagram.payload.encode("utf-8")
+        else:  # PROBE
+            out += datagram.payload.encode("utf-8")
+    except KeyError as exc:
+        raise FrameError(f"frame header missing field {exc}") from exc
+    except AttributeError as exc:
+        raise FrameError(f"frame field has wrong type: {exc}") from exc
+
+    if len(out) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(out)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "UDP payload ceiling")
+    return bytes(out)
+
+
+# -- decoding ------------------------------------------------------------
+
+
+def _get_str16(data: bytes, off: int) -> tuple[str, int]:
+    (n,) = _U16.unpack_from(data, off)
+    off += 2
+    end = off + n
+    if end > len(data):
+        raise FrameError("truncated string section")
+    return data[off:end].decode("utf-8"), end
+
+
+def _get_address(data: bytes, off: int) -> tuple[NodeAddress, int]:
+    (n,) = _U8.unpack_from(data, off)
+    off += 1
+    end = off + n
+    if end + 2 > len(data):
+        raise FrameError("truncated address section")
+    host = data[off:end].decode("utf-8")
+    (port,) = _U16.unpack_from(data, end)
+    return NodeAddress(host, port), end + 2
+
+
+def _get_ref(data: bytes, off: int) -> "tuple[int | str, int]":
+    (tag,) = _U8.unpack_from(data, off)
+    off += 1
+    if tag == 0:
+        (ref,) = _U32.unpack_from(data, off)
+        return ref, off + 4
+    if tag == 1:
+        return _get_str16(data, off)
+    raise FrameError(f"unknown inbox-ref tag {tag}")
+
+
+def _get_ackbody(data: bytes, off: int, fields: dict) -> int:
+    cum, aflags = _CUM_AFLAGS.unpack_from(data, off)
+    off += 9
+    fields["cum"] = cum
+    if aflags & _AFLAG_ETS:
+        (ets,) = _F64.unpack_from(data, off)
+        off += 8
+        fields["ets"] = ets
+    else:
+        fields["ets"] = None
+    if aflags & _AFLAG_SACK:
+        (n,) = _U8.unpack_from(data, off)
+        off += 1
+        sack = []
+        for _ in range(n):
+            lo, hi = _RANGE.unpack_from(data, off)
+            off += 8
+            sack.append([lo, hi])
+        fields["sack"] = sack
+    if aflags & _AFLAG_RWND:
+        (rwnd,) = _U64.unpack_from(data, off)
+        off += 8
+        fields["rwnd"] = rwnd
+    if aflags & ~(_AFLAG_ETS | _AFLAG_SACK | _AFLAG_RWND):
+        raise FrameError(f"unknown ack flags 0x{aflags:02x}")
+    return off
+
+
+def decode_frame(data: bytes) -> Datagram:
+    """Parse one UDP payload back into a :class:`Datagram`.
+
+    Every section is shape-validated: truncated, mutated or
+    wrong-versioned bytes raise :class:`FrameError` (wrapping the
+    underlying ``struct``/unicode/address error), so a receive loop has
+    exactly one exception type to drop-and-count on.
+    """
+    try:
+        magic, version, wire_kind, flags = _PRELUDE.unpack_from(data, 0)
+        if magic != WIRE_MAGIC:
+            raise FrameError(f"bad frame magic 0x{magic:02x}")
+        if version != WIRE_VERSION:
+            raise FrameError(f"unsupported wire version {version}")
+        kind = _WIRE_TO_KIND.get(wire_kind)
+        if kind is None:
+            raise FrameError(f"unknown wire kind {wire_kind}")
+        if flags and kind != KIND_DATA:
+            raise FrameError(f"flags 0x{flags:02x} invalid for {kind}")
+        if flags & ~(_FLAG_PACK | _FLAG_PARTS):
+            raise FrameError(f"unknown frame flags 0x{flags:02x}")
+        src, off = _get_address(data, 4)
+        dst, off = _get_address(data, off)
+        ch, off = _get_str16(data, off)
+
+        parts_payloads = None
+        if kind == KIND_DATA:
+            seq, ts = _SEQ_TS.unpack_from(data, off)
+            off += DATA_FIXED_SIZE
+            to, off = _get_ref(data, off)
+            header: dict = {"kind": kind, "to": to, "ch": ch,
+                            "seq": seq, "ts": ts}
+            nparts = None
+            if flags & _FLAG_PARTS:
+                (nparts,) = _U16.unpack_from(data, off)
+                off += 2
+                parts = []
+                for _ in range(nparts):
+                    ref, off = _get_ref(data, off)
+                    parts.append(ref)
+                header["parts"] = parts
+            if flags & _FLAG_PACK:
+                (npack,) = _U8.unpack_from(data, off)
+                off += 1
+                pack = []
+                for _ in range(npack):
+                    pch, off = _get_str16(data, off)
+                    entry = {"ch": pch}
+                    off = _get_ackbody(data, off, entry)
+                    pack.append(entry)
+                header["pack"] = pack
+            if nparts is not None:
+                payloads = []
+                for _ in range(nparts):
+                    (n,) = _U16.unpack_from(data, off)
+                    off += 2
+                    end = off + n
+                    if end > len(data):
+                        raise FrameError("truncated batch payload")
+                    payloads.append(data[off:end].decode("utf-8"))
+                    off = end
+                if off != len(data):
+                    raise FrameError(
+                        f"{len(data) - off} trailing bytes after batch")
+                parts_payloads = tuple(payloads)
+                payload = ""
+            else:
+                payload = data[off:].decode("utf-8")
+        elif kind == KIND_ACK:
+            header = {"kind": kind, "ch": ch}
+            off = _get_ackbody(data, off, header)
+            payload = data[off:].decode("utf-8")
+        elif kind == KIND_RAW:
+            to, off = _get_ref(data, off)
+            header = {"kind": kind, "to": to, "ch": ch}
+            payload = data[off:].decode("utf-8")
+        else:  # PROBE
+            header = {"kind": kind, "ch": ch}
+            payload = data[off:].decode("utf-8")
+        return Datagram(src=src, dst=dst, header=header, payload=payload,
+                        parts_payloads=parts_payloads)
+    except FrameError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError, ValueError,
+            TypeError, AddressError) as exc:
+        raise FrameError(
+            f"cannot decode {len(data)}-byte frame: {exc}") from exc
+
+
+def payload_too_large(size: int) -> PayloadTooLarge:
+    """The typed error for a payload that can never fit one frame."""
+    return PayloadTooLarge(
+        f"payload needs a {size}-byte frame, over the {MAX_FRAME_BYTES}-byte "
+        "ceiling on every substrate", size=size, limit=MAX_FRAME_BYTES)
+
+
+# -- the legacy JSON codec (E15 benchmark reference only) ----------------
+
+
+def encode_frame_json(datagram: Datagram) -> bytes:
+    """The pre-binary wire form: one JSON document per datagram.
+
+    Kept only as the baseline codec the E15 serialization benchmark
+    compares against; no substrate emits it anymore.
     """
     frame = {
         "s": str(datagram.src),
         "d": str(datagram.dst),
         "h": datagram.header,
-        "p": datagram.payload,
+        "p": (list(datagram.parts_payloads)
+              if datagram.parts_payloads is not None else datagram.payload),
     }
     data = json.dumps(frame, separators=(",", ":")).encode("utf-8")
     if len(data) > MAX_FRAME_BYTES:
@@ -83,15 +498,26 @@ def encode_frame(datagram: Datagram) -> bytes:
     return data
 
 
-def decode_frame(data: bytes) -> Datagram:
-    """Parse one UDP payload back into a :class:`Datagram`."""
+def decode_frame_json(data: bytes) -> Datagram:
+    """Parse one legacy JSON frame back into a :class:`Datagram`."""
     try:
         frame = json.loads(data.decode("utf-8"))
+        header = frame["h"]
+        if not isinstance(header, dict):
+            raise FrameError("frame header is not an object")
+        p = frame["p"]
+        if isinstance(p, list):
+            payload, parts_payloads = "", tuple(p)
+        else:
+            payload, parts_payloads = p, None
         return Datagram(
             src=NodeAddress.parse(frame["s"]),
             dst=NodeAddress.parse(frame["d"]),
-            header=frame["h"],
-            payload=frame["p"],
+            header=header,
+            payload=payload,
+            parts_payloads=parts_payloads,
         )
-    except (ValueError, KeyError, TypeError) as exc:
+    except FrameError:
+        raise
+    except (ValueError, KeyError, TypeError, AddressError) as exc:
         raise FrameError(f"cannot decode {len(data)}-byte frame") from exc

@@ -54,6 +54,7 @@ def run_case(case: dict[str, Any]) -> Tracer:
                   latency=ConstantLatency(0.02),
                   faults=FaultPlan.from_dict(case.get("faults", {})),
                   endpoint_options=dict(SCENARIO_ENDPOINT_OPTIONS),
+                  encoded=case.get("encoded", False),
                   tracer=tracer)
 
     class _Echo(Dapplet):

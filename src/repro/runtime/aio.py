@@ -467,25 +467,34 @@ class UdpDatagramService:
 
     def _on_readable(self, address: NodeAddress,
                      sock: socket.socket) -> None:
+        # Hot path: every lookup that is loop-invariant is hoisted out of
+        # the drain loop (the handler, the stats record, the tracer and
+        # the bound recvfrom), so per-datagram work is the codec plus the
+        # protocol machinery itself.
+        recvfrom = sock.recvfrom
+        handler = self._handlers.get(address)
+        stats = self.stats
+        tr = self.substrate.tracer
         while True:
             try:
-                data, _peer = sock.recvfrom(65536)
+                data, _peer = recvfrom(65536)
             except (BlockingIOError, InterruptedError):
                 return
             except OSError:
                 return  # socket closed under us
             try:
                 datagram = decode_frame(data)
-            except FrameError:
-                self.stats.undeliverable += 1
+            except FrameError as exc:
+                stats.bad_frames += 1
+                if tr is not None:
+                    tr.emit("net", "bad_frame", size=len(data),
+                            err=str(exc))
                 continue
-            handler = self._handlers.get(address)
             if handler is None:
-                self.stats.undeliverable += 1
+                stats.undeliverable += 1
                 continue
-            self.stats.delivered += 1
-            self.stats.bytes_delivered += datagram.size
-            tr = self.substrate.tracer
+            stats.delivered += 1
+            stats.bytes_delivered += datagram.size
             if tr is not None:
                 header = datagram.header
                 parts = header.get("parts")

@@ -27,6 +27,12 @@ class SimSubstrate(Kernel):
     latency / faults:
         The simulated network's latency model and fault plan (see
         :mod:`repro.net`).
+    encoded:
+        Opt-in: round-trip every datagram through the binary wire codec
+        at the send/deliver boundary, exactly as the real UDP substrate
+        does — proves sim/asyncio byte-parity (see
+        :class:`~repro.net.datagram.DatagramNetwork`). Default off: the
+        simulator hands `Datagram` objects around in memory.
     realtime / realtime_factor:
         Pace virtual time against the wall clock (for demos); see
         :class:`~repro.sim.Kernel`.
@@ -35,12 +41,14 @@ class SimSubstrate(Kernel):
     def __init__(self, seed: int = 0, *,
                  latency: LatencyModel | None = None,
                  faults: FaultPlan | None = None,
+                 encoded: bool = False,
                  realtime: bool = False,
                  realtime_factor: float = 1.0) -> None:
         super().__init__(seed=seed, realtime=realtime,
                          realtime_factor=realtime_factor)
         #: The datagram half of the substrate.
-        self.datagrams = DatagramNetwork(self, latency=latency, faults=faults)
+        self.datagrams = DatagramNetwork(self, latency=latency, faults=faults,
+                                         encoded=encoded)
 
     def close(self) -> None:
         """Nothing to release: the simulator holds no external resources."""

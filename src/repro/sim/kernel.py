@@ -19,6 +19,12 @@ from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessBody
 from repro.sim.rng import RandomStreams
 
+# Bound once at import: the event queue push/pop run for every single
+# event of every run, where even the ``heapq.`` attribute lookup shows
+# up in profiles.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Kernel:
     """Virtual-time event loop.
@@ -79,7 +85,7 @@ class Kernel:
 
     def _enqueue(self, event: Event, delay: float) -> None:
         self._sequence += 1
-        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+        _heappush(self._queue, (self.now + delay, self._sequence, event))
         tr = self.tracer
         if tr is not None:
             tr.emit("kernel", "schedule", at=self.now + delay,
@@ -106,7 +112,7 @@ class Kernel:
 
     def step(self) -> None:
         """Process exactly one event. Raises ``IndexError`` if idle."""
-        at, _seq, event = heapq.heappop(self._queue)
+        at, _seq, event = _heappop(self._queue)
         if self._realtime:
             lag = (at - self.now) / self._realtime_factor
             if lag > 0:
@@ -141,8 +147,9 @@ class Kernel:
           and returns its result.
         """
         if until is None:
-            while self._queue:
-                self.step()
+            step, queue = self.step, self._queue
+            while queue:
+                step()
             return None
 
         if isinstance(until, Event):
@@ -158,8 +165,9 @@ class Kernel:
                 finished.append(target)
             else:
                 target.callbacks.append(_capture)
-            while not finished and self._queue:
-                self.step()
+            step, queue = self.step, self._queue
+            while not finished and queue:
+                step()
             if not finished:
                 raise SimulationError(
                     f"simulation ran out of events at t={self.now:.6f} before "
@@ -173,8 +181,9 @@ class Kernel:
         deadline = float(until)
         if deadline < self.now:
             raise ValueError(f"until={deadline} is in the past (now={self.now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        step, queue = self.step, self._queue
+        while queue and queue[0][0] <= deadline:
+            step()
         self.now = deadline
         return None
 

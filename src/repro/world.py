@@ -52,6 +52,10 @@ class World:
     endpoint_options:
         Keyword arguments applied to every dapplet's transport endpoint
         (e.g. ``rto_initial``, ``max_retries``, ``reliable``).
+    encoded:
+        Round-trip every simulated datagram through the binary wire
+        codec at the network boundary (byte-parity mode; simulated
+        substrate only).
     realtime:
         Pace virtual time against the wall clock (for demos).
     substrate:
@@ -69,21 +73,22 @@ class World:
                  latency: LatencyModel | None = None,
                  faults: FaultPlan | None = None,
                  endpoint_options: dict[str, Any] | None = None,
+                 encoded: bool = False,
                  realtime: bool = False,
                  realtime_factor: float = 1.0,
                  substrate: Substrate | None = None,
                  tracer: "Any | None" = None) -> None:
         if substrate is not None:
             if (seed != 0 or latency is not None or faults is not None
-                    or realtime or realtime_factor != 1.0):
+                    or encoded or realtime or realtime_factor != 1.0):
                 raise ValueError(
                     "substrate= is mutually exclusive with the simulator "
-                    "parameters (seed/latency/faults/realtime); configure "
-                    "the substrate itself instead")
+                    "parameters (seed/latency/faults/encoded/realtime); "
+                    "configure the substrate itself instead")
             self.substrate: Substrate = substrate
         else:
             self.substrate = SimSubstrate(
-                seed=seed, latency=latency, faults=faults,
+                seed=seed, latency=latency, faults=faults, encoded=encoded,
                 realtime=realtime, realtime_factor=realtime_factor)
         self.directory = AddressDirectory()
         self.endpoint_options = dict(endpoint_options or {})

@@ -1,0 +1,134 @@
+"""Property-based tests for the binary wire codec.
+
+Two invariants:
+
+* **Round trip** — for every well-formed frame of every kind,
+  ``decode_frame(encode_frame(d)) == d`` (header, payload and batched
+  parts payloads all byte-exact).
+* **Total decode** — arbitrary bytes, and valid frames arbitrarily
+  truncated or mutated, either decode to *some* datagram or raise
+  :class:`~repro.net.wire.FrameError`. Never ``struct.error``,
+  ``KeyError``, ``IndexError``, ``UnicodeDecodeError`` or any other
+  leak from the parser internals: receive loops drop-and-count on
+  exactly one exception type.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.address import NodeAddress
+from repro.net.datagram import Datagram
+from repro.net.wire import (FrameError, KIND_ACK, KIND_DATA, KIND_PROBE,
+                            KIND_RAW, decode_frame, encode_frame)
+
+hosts = st.text(
+    st.characters(codec="utf-8", exclude_characters=":"),
+    min_size=1, max_size=24)
+addresses = st.builds(NodeAddress, host=hosts,
+                      port=st.integers(min_value=1, max_value=65535))
+channels = st.text(max_size=24)
+refs = st.one_of(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                 st.text(min_size=1, max_size=24))
+payloads = st.text(max_size=200)
+#: f64 round-trips exactly for every finite float.
+timestamps = st.floats(allow_nan=False, allow_infinity=False)
+
+sack_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=(1 << 32) - 1),
+              st.integers(min_value=0, max_value=(1 << 32) - 1)).map(list),
+    min_size=1, max_size=5)
+
+
+def ack_fields(with_ch):
+    """Ack field dicts as `_ack_fields`/`_collect_piggyback` produce
+    them: `ets` always present (possibly None), `sack`/`rwnd` optional
+    and only ever present non-empty."""
+    base = {
+        "cum": st.integers(min_value=-1, max_value=(1 << 48)),
+        "ets": st.one_of(st.none(), timestamps),
+    }
+    if with_ch:
+        base["ch"] = channels
+    return st.fixed_dictionaries(
+        base,
+        optional={
+            "sack": sack_lists,
+            "rwnd": st.integers(min_value=0, max_value=(1 << 48)),
+        })
+
+
+data_headers = st.fixed_dictionaries(
+    {"kind": st.just(KIND_DATA), "to": refs, "ch": channels,
+     "seq": st.integers(min_value=0, max_value=(1 << 32) - 1),
+     "ts": timestamps},
+    optional={"pack": st.lists(ack_fields(with_ch=True),
+                               min_size=1, max_size=4)})
+
+ack_headers = ack_fields(with_ch=True).map(
+    lambda f: {"kind": KIND_ACK, **f})
+
+raw_headers = st.fixed_dictionaries(
+    {"kind": st.just(KIND_RAW), "to": refs, "ch": channels})
+
+probe_headers = st.fixed_dictionaries(
+    {"kind": st.just(KIND_PROBE), "ch": channels})
+
+
+@st.composite
+def datagrams(draw):
+    kind = draw(st.sampled_from([KIND_DATA, KIND_ACK, KIND_RAW, KIND_PROBE]))
+    src = draw(addresses)
+    dst = draw(addresses)
+    if kind == KIND_DATA:
+        header = dict(draw(data_headers))
+        if draw(st.booleans()):  # batched form
+            parts = draw(st.lists(refs, min_size=1, max_size=6))
+            header["parts"] = parts
+            body = draw(st.lists(payloads, min_size=len(parts),
+                                 max_size=len(parts)))
+            return Datagram(src, dst, header, "",
+                            parts_payloads=tuple(body))
+        return Datagram(src, dst, header, draw(payloads))
+    if kind == KIND_ACK:
+        return Datagram(src, dst, draw(ack_headers), "")
+    if kind == KIND_RAW:
+        return Datagram(src, dst, draw(raw_headers), draw(payloads))
+    return Datagram(src, dst, draw(probe_headers), "")
+
+
+@settings(max_examples=300, deadline=None)
+@given(datagram=datagrams())
+def test_every_frame_kind_round_trips(datagram):
+    data = encode_frame(datagram)
+    assert isinstance(data, bytes)
+    assert decode_frame(data) == datagram
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=400))
+def test_decode_of_arbitrary_bytes_is_total(data):
+    try:
+        decode_frame(data)
+    except FrameError:
+        pass  # the single permitted failure mode
+
+
+@settings(max_examples=300, deadline=None)
+@given(datagram=datagrams(), cut=st.integers(min_value=0, max_value=10**6))
+def test_decode_of_truncated_frames_is_total(datagram, cut):
+    data = encode_frame(datagram)
+    try:
+        decode_frame(data[:cut % (len(data) + 1)])
+    except FrameError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(datagram=datagrams(), pos=st.integers(min_value=0, max_value=10**6),
+       bit=st.integers(min_value=0, max_value=7))
+def test_decode_of_mutated_frames_is_total(datagram, pos, bit):
+    data = bytearray(encode_frame(datagram))
+    data[pos % len(data)] ^= 1 << bit
+    try:
+        decode_frame(bytes(data))
+    except FrameError:
+        pass

@@ -40,3 +40,23 @@ def test_replay_matches_golden(case_path, golden_path):
         f"replayed trace for {case_path.name} diverged from its golden "
         f"(regenerate with `python -m repro.obs.replay tests/obs/corpus` "
         f"if the change is intentional):\n{diff}")
+
+
+@pytest.mark.parametrize(
+    "case_path,golden_path", CASES,
+    ids=[case_path.stem for case_path, _ in CASES])
+def test_encoded_replay_matches_same_golden(case_path, golden_path):
+    """Byte-parity proof for the binary wire codec: replaying a case
+    with every datagram round-tripped through ``encode_frame`` /
+    ``decode_frame`` at the network boundary (the simulator's
+    ``encoded`` mode — the exact boundary the UDP substrate uses) must
+    reproduce the *same* golden trace byte for byte. Any divergence
+    means the codec is not faithful for some frame the corpus
+    exercises."""
+    case = json.loads(case_path.read_text())
+    actual = run_case({**case, "encoded": True}).to_jsonl()
+    diff = diff_traces(golden_path.read_text(), actual,
+                       label=f"{case_path.stem}+encoded")
+    assert diff == "", (
+        f"encoded-mode trace for {case_path.name} diverged from the "
+        f"unencoded golden — the binary codec is not byte-faithful:\n{diff}")
