@@ -6,13 +6,17 @@ both recovery modes: pure cumulative ACKs (the seed protocol) and the
 default SACK + fast-retransmit + delayed-ack protocol. Metrics:
 delivered count, FIFO integrity, mean delivery latency, retransmits.
 
-Shape claims: the raw baseline loses messages in proportion to the drop
-rate and breaks FIFO under jitter; the layer delivers everything in
-order at every loss level, paying latency that grows with loss —
-graceful degradation, never corruption. Ablation claim: at every lossy
-level SACK retransmits less and delivers sooner than cumulative-only,
-because holes are fast-retransmitted after duplicate ACKs instead of
-stalling a full RTO and the already-buffered tail stays off the wire.
+Shape claims: the raw baseline (the UNRELIABLE delivery class since the
+per-outbox class refactor) loses wire arrivals in proportion to the
+drop rate, and under jitter its freshness filter stale-drops reordered
+arrivals rather than presenting them out of order — the application
+sees an ordered subsequence, never corruption, but pays for disorder in
+dropped messages. The reliable layer delivers everything in order at
+every loss level, paying latency that grows with loss. Ablation claim:
+at every lossy level SACK retransmits less and delivers sooner than
+cumulative-only, because holes are fast-retransmitted after duplicate
+ACKs instead of stalling a full RTO and the already-buffered tail stays
+off the wire.
 """
 
 from __future__ import annotations
@@ -59,6 +63,10 @@ def run_stream(drop: float, reliable: bool, seed: int = 9, *,
     latencies = [t - send_times[s] for t, s in arrivals]
     result = {
         "delivered": len(set(seq)),
+        # Raw mode: what actually crossed the wire — app deliveries plus
+        # the reordered arrivals the UNRELIABLE freshness filter dropped
+        # as stale. Loss proportionality shows here, not in `delivered`.
+        "arrived": len(set(seq)) + dst.endpoint.stats.stale_dropped,
         "fifo": seq == sorted(set(seq)),
         "mean_latency": (sum(latencies) / len(latencies)) if latencies else 0,
         "retransmits": src.endpoint.stats.data_retransmitted,
@@ -100,21 +108,28 @@ def test_e4_table_and_shape(results, benchmark, request):
         raw = table[(drop, "raw")]
         cum = table[(drop, "cum")]
         sel = table[(drop, "sack")]
-        rows.append([f"{drop:.0%}", raw["delivered"], raw["fifo"],
+        rows.append([f"{drop:.0%}", raw["arrived"], raw["delivered"],
                      f"{cum['mean_latency']*1000:.1f}", cum["retransmits"],
                      f"{sel['mean_latency']*1000:.1f}", sel["retransmits"],
                      sel["fast_retransmits"]])
     print_table("E4: raw vs ordering layer, cumulative vs SACK (200 msgs)",
-                ["drop", "raw recv", "raw fifo", "cum lat (ms)", "cum rtx",
+                ["drop", "raw wire", "raw recv", "cum lat (ms)", "cum rtx",
                  "sack lat (ms)", "sack rtx", "fast rtx"], rows)
 
     for drop in drops:
         for mode in ("cum", "sack"):
             rel = table[(drop, mode)]
             assert rel["delivered"] == N and rel["fifo"]
-    # Shape: raw loses roughly the drop fraction.
-    assert table[(0.3, "raw")]["delivered"] < 0.85 * N
-    assert table[(0.5, "raw")]["delivered"] < table[(0.1, "raw")]["delivered"]
+    # Shape: raw wire arrivals shrink with the drop fraction, and the
+    # UNRELIABLE freshness filter keeps app deliveries an ordered
+    # subsequence of them (stale reordered arrivals dropped, not
+    # presented out of order).
+    assert table[(0.3, "raw")]["arrived"] < 0.85 * N
+    assert table[(0.5, "raw")]["arrived"] < table[(0.1, "raw")]["arrived"]
+    for drop in drops:
+        raw = table[(drop, "raw")]
+        assert raw["fifo"]
+        assert raw["delivered"] <= raw["arrived"]
     # Shape: reliable latency grows with loss; retransmits too.
     for mode in ("cum", "sack"):
         lat = [table[(d, mode)]["mean_latency"] for d in drops]

@@ -39,6 +39,11 @@ GUARDED = {
                  ("data_batch32.size_ratio", 0.01),
                  ("ack_full.size_ratio", 0.05),
                  ("probe.size_ratio", 0.05)],
+    # Delivery-class ratios on the simulator: unreliable-vs-reliable
+    # throughput and the reliable-vs-skip p99 under 5% loss. Both are
+    # seed-deterministic ratios well above their floors (2x resp. 1x).
+    "e16_delivery": [("sim/tput.unreliable_speedup", 0.25),
+                     ("sim/lat.skip_p99_advantage", 0.25)],
 }
 
 

@@ -18,7 +18,7 @@ from repro.errors import DappletError
 from repro.mailbox.inbox import Inbox
 from repro.mailbox.outbox import Outbox
 from repro.net.address import NodeAddress
-from repro.net.transport import Endpoint
+from repro.net.endpoint import Endpoint
 from repro.sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -119,11 +119,19 @@ class Dapplet:
             hook(inbox)
         return inbox
 
-    def create_outbox(self) -> Outbox:
-        """A new outbox (initially bound to nothing)."""
+    def create_outbox(self, *, delivery: str | None = None,
+                      skip_timeout: float | None = None) -> Outbox:
+        """A new outbox (initially bound to nothing).
+
+        ``delivery`` picks its delivery class (see
+        :mod:`repro.net.delivery`); ``None`` inherits the endpoint's
+        default. ``skip_timeout`` tunes the RELIABLE_SKIP abandon
+        deadline for this outbox's channels.
+        """
         self._ensure_live()
         ref = next(self._outbox_refs)
-        outbox = Outbox(self.kernel, self.endpoint, ref)
+        outbox = Outbox(self.kernel, self.endpoint, ref,
+                        delivery=delivery, skip_timeout=skip_timeout)
         self.outboxes[ref] = outbox
         for hook in self.port_hooks:
             hook(outbox)

@@ -49,12 +49,10 @@ class AddressError(ReproError):
 class TransportError(ReproError):
     """Base class for transport-layer failures (framing, codec, channel).
 
-    Introduced to separate wire/codec problems from :class:`AddressError`
-    (which is about address *values*, not frames). During the deprecation
-    window :class:`repro.net.wire.FrameError` inherits from both, so
-    existing ``except AddressError`` call sites keep catching codec
-    failures; new code should catch :class:`TransportError` (or
-    :class:`WireFormatError`) instead.
+    Separates wire/codec problems from :class:`AddressError` (which is
+    about address *values*, not frames): :class:`repro.net.wire.FrameError`
+    is a :class:`WireFormatError` only. Catch :class:`TransportError` (or
+    :class:`WireFormatError`) for codec failures.
     """
 
 

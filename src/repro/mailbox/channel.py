@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.net.address import InboxAddress, NodeAddress
+from repro.net.delivery import RELIABLE
 
 
 def channel_key(src_node: NodeAddress, outbox_ref: int,
@@ -28,5 +29,8 @@ class Channel:
     outbox_ref: int
     destination: InboxAddress
     created_at: float
+    #: Delivery class of every copy on this channel (see
+    #: :mod:`repro.net.delivery`); per-send overrides may still differ.
+    delivery: str = RELIABLE
     copies_sent: int = 0
     bytes_sent: int = 0

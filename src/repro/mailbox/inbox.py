@@ -28,7 +28,7 @@ from repro.errors import ReceiveTimeout
 from repro.messages.message import Message
 from repro.messages.serialize import loads
 from repro.net.address import InboxAddress
-from repro.net.transport import Endpoint
+from repro.net.endpoint import Endpoint
 from repro.runtime.substrate import Scheduler
 from repro.sim.events import Event
 from repro.sim.primitives import Store

@@ -30,7 +30,8 @@ from repro.mailbox.inbox import Inbox
 from repro.messages.message import Message
 from repro.messages.serialize import dumps
 from repro.net.address import InboxAddress
-from repro.net.transport import DeliveryReceipt, Endpoint
+from repro.net.delivery import validate_delivery
+from repro.net.endpoint import DeliveryReceipt, Endpoint
 from repro.runtime.substrate import Scheduler
 from repro.sim.events import AllOf, Event
 
@@ -41,9 +42,11 @@ class SendResult:
     """The outcome of one ``send``: one receipt per bound channel.
 
     ``confirmed()`` builds an event that fires once every copy has been
-    acknowledged, or fails with :class:`DeliveryTimeout` if any copy
-    missed its deadline. On raw (unreliable) endpoints there are no
-    receipts and ``confirmed()`` fires immediately.
+    acknowledged (or, on RELIABLE_SKIP channels, abandoned at the skip
+    timeout — check each receipt's ``is_skipped``), or fails with
+    :class:`DeliveryTimeout` if any copy missed its deadline. On
+    UNRELIABLE-class channels there are no receipts and ``confirmed()``
+    fires immediately.
     """
 
     def __init__(self, kernel: Scheduler,
@@ -60,12 +63,26 @@ class SendResult:
 
 
 class Outbox:
-    """A send port; owns one FIFO channel per bound inbox."""
+    """A send port; owns one FIFO channel per bound inbox.
 
-    def __init__(self, kernel: Scheduler, endpoint: Endpoint, ref: int) -> None:
+    ``delivery`` picks the outbox's delivery class (see
+    :mod:`repro.net.delivery`); ``None`` inherits the endpoint's
+    default. ``skip_timeout`` tunes the RELIABLE_SKIP abandon deadline
+    for this outbox's channels (``None`` = the endpoint's).
+    """
+
+    def __init__(self, kernel: Scheduler, endpoint: Endpoint, ref: int, *,
+                 delivery: str | None = None,
+                 skip_timeout: float | None = None) -> None:
         self.kernel = kernel
         self.endpoint = endpoint
         self.ref = ref
+        if delivery is not None:
+            validate_delivery(delivery)
+        self.delivery = delivery
+        if skip_timeout is not None and skip_timeout <= 0:
+            raise ValueError("skip_timeout must be > 0")
+        self.skip_timeout = skip_timeout
         self._channels: dict[InboxAddress, Channel] = {}
         #: Applied in order to each copy before serialization (the
         #: logical-clock service stamps timestamps here).
@@ -82,7 +99,8 @@ class Outbox:
         self._channels[address] = Channel(
             key=channel_key(self.endpoint.address, self.ref, address),
             src_node=self.endpoint.address, outbox_ref=self.ref,
-            destination=address, created_at=self.kernel.now)
+            destination=address, created_at=self.kernel.now,
+            delivery=self.delivery or self.endpoint.delivery)
 
     def delete(self, target: "InboxAddress | Inbox") -> None:
         """Unbind; raises :class:`BindingError` if not bound (per the paper)."""
@@ -100,9 +118,12 @@ class Outbox:
     def is_bound_to(self, target: "InboxAddress | Inbox") -> bool:
         return self._resolve(target) in self._channels
 
-    def send(self, message: Message,
-             timeout: float | None = None) -> SendResult:
+    def send(self, message: Message, timeout: float | None = None, *,
+             delivery: str | None = None) -> SendResult:
         """Send a copy of ``message`` along every bound channel.
+
+        ``delivery`` overrides the outbox's delivery class for this one
+        message (UNRELIABLE copies yield no receipts).
 
         The paper models this as append-to-outbox plus a layer that
         drains the queue to all channels; since the drain is immediate
@@ -129,7 +150,9 @@ class Outbox:
                         ch=chan.key, outbox=self.ref,
                         msg=type(message).__name__, size=len(wire))
             receipt = self.endpoint.send(address, wire, chan.key,
-                                         timeout=timeout)
+                                         timeout=timeout,
+                                         delivery=delivery or chan.delivery,
+                                         skip_timeout=self.skip_timeout)
             chan.copies_sent += 1
             chan.bytes_sent += len(wire)
             if receipt is not None:

@@ -6,11 +6,18 @@ unreliable datagram service with configurable latency models and fault
 injection (:mod:`repro.net.datagram`), and on top of it the ordering
 layer the paper describes — per-channel FIFO, exactly-once delivery via
 sequence numbers, acknowledgements and retransmission
-(:mod:`repro.net.transport`).
+(:mod:`repro.net.endpoint`), with per-channel delivery classes
+(:mod:`repro.net.delivery`).
 """
 
 from repro.net.address import InboxAddress, NodeAddress
 from repro.net.datagram import Datagram, DatagramNetwork, NetworkStats
+from repro.net.delivery import (
+    DELIVERY_CLASSES,
+    RELIABLE,
+    RELIABLE_SKIP,
+    UNRELIABLE,
+)
 from repro.net.faults import FaultPlan
 from repro.net.latency import (
     ConstantLatency,
@@ -21,10 +28,11 @@ from repro.net.latency import (
     UniformLatency,
     WAN_SITES,
 )
-from repro.net.transport import DeliveryReceipt, Endpoint, EndpointStats
+from repro.net.endpoint import DeliveryReceipt, Endpoint, EndpointStats
 
 __all__ = [
     "ConstantLatency",
+    "DELIVERY_CLASSES",
     "Datagram",
     "DatagramNetwork",
     "DeliveryReceipt",
@@ -38,6 +46,9 @@ __all__ = [
     "NetworkStats",
     "NodeAddress",
     "PerLinkLatency",
+    "RELIABLE",
+    "RELIABLE_SKIP",
+    "UNRELIABLE",
     "UniformLatency",
     "WAN_SITES",
 ]

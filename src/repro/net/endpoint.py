@@ -42,6 +42,17 @@ borrowed from modern TCP, all per channel:
   like a retry-exhausted packet. Backpressure is exposed upward through
   :meth:`Endpoint.writable` (used by ``Outbox.send_flow``).
 
+Reliability is a per-channel **delivery class**, not an endpoint-wide
+switch (see :mod:`repro.net.delivery`): every send rides RELIABLE (all
+of the above), UNRELIABLE (fire-and-forget, sequence-stamped so the
+receiver drops duplicate and stale frames — no retransmit state, no
+reorder buffer, no window accounting) or RELIABLE_SKIP (RELIABLE until
+a skip timeout, then the sender abandons the packet, resolves its
+receipt ``skipped`` and sends a SKIP frame advancing the receiver past
+the hole, so FIFO delivery never stalls on an abandoned update). The
+classes multiplex over one socket; the endpoint's ``delivery`` option
+only sets the default.
+
 One :class:`Endpoint` exists per node (machine); every inbox of every
 dapplet on that node registers with it, and every outbox sends through
 the endpoint of its node. The *channel key* identifies one outbox→inbox
@@ -70,11 +81,13 @@ from typing import Callable
 from repro.errors import AddressError, DeliveryTimeout
 from repro.net.address import InboxAddress, NodeAddress
 from repro.net.datagram import HEADER_OVERHEAD, Datagram
+from repro.net.delivery import (RELIABLE, RELIABLE_SKIP, UNRELIABLE,
+                                validate_delivery)
 from repro.net.rto import PendingPacket, SendStream
 from repro.net.wire import (BATCH_COUNT_SIZE, BATCH_MAX_PAYLOADS,
                             DATA_FIXED_SIZE, KIND_ACK, KIND_DATA, KIND_PROBE,
-                            KIND_RAW, MAX_FRAME_BYTES, PART_LEN_SIZE,
-                            SACK_MAX_RANGES, frame_base_size,
+                            KIND_RAW, KIND_SKIP, MAX_FRAME_BYTES,
+                            PART_LEN_SIZE, SACK_MAX_RANGES, frame_base_size,
                             pack_entry_wire_size, payload_too_large,
                             ref_wire_size, utf8_len)
 from repro.runtime.substrate import DatagramService, Scheduler
@@ -110,20 +123,29 @@ class EndpointStats:
     batched_payloads: int = 0
     cwnd_halvings: int = 0
     cwnd_collapses: int = 0
+    unreliable_sent: int = 0
+    unreliable_delivered: int = 0
+    stale_dropped: int = 0
+    skipped: int = 0
+    skips_sent: int = 0
+    holes_skipped: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(vars(self))
 
 
 class DeliveryReceipt:
-    """Tracks delivery confirmation of one reliable send.
+    """Tracks the outcome of one reliable-class send.
 
     ``confirmed`` is an event that succeeds (with the elapsed
-    send-to-acknowledgement round-trip time) when the destination
-    endpoint acknowledges the message, or
-    fails with :class:`DeliveryTimeout` if a timeout was requested and
-    expired first. Callers that do not care may simply drop the receipt;
-    an unobserved timeout does not crash the run.
+    send-to-resolution round-trip time) when the destination endpoint
+    acknowledges the message — or, on a ``RELIABLE_SKIP`` channel, when
+    the sender abandons it at the skip timeout — or fails with
+    :class:`DeliveryTimeout` if a timeout was requested and expired
+    first. ``outcome`` distinguishes the two success cases:
+    ``"delivered"`` vs ``"skipped"`` (check :attr:`is_skipped`).
+    Callers that do not care may simply drop the receipt; an unobserved
+    timeout does not crash the run.
     """
 
     def __init__(self, kernel: Scheduler, destination: InboxAddress) -> None:
@@ -131,6 +153,8 @@ class DeliveryReceipt:
         self.destination = destination
         self.sent_at = kernel.now
         self.confirmed: Event = kernel.event()
+        #: ``"delivered"`` | ``"skipped"`` once resolved, else ``None``.
+        self.outcome: str | None = None
         #: Pre-defused: a failure here is an application-visible outcome
         #: carried by the event, not an internal simulator error.
         self.confirmed.defused = True
@@ -143,8 +167,18 @@ class DeliveryReceipt:
     def is_failed(self) -> bool:
         return self.confirmed.triggered and self.confirmed._ok is False
 
+    @property
+    def is_skipped(self) -> bool:
+        return self.outcome == "skipped"
+
     def _ack(self) -> None:
         if not self.confirmed.triggered:
+            self.outcome = "delivered"
+            self.confirmed.succeed(self.kernel.now - self.sent_at)
+
+    def _skip(self) -> None:
+        if not self.confirmed.triggered:
+            self.outcome = "skipped"
             self.confirmed.succeed(self.kernel.now - self.sent_at)
 
     def _fail(self, exc: Exception) -> None:
@@ -209,10 +243,21 @@ class Endpoint:
         kernel, an :class:`~repro.runtime.AsyncioSubstrate`, ...) and any
         :class:`DatagramService` (the simulated network, real UDP
         sockets, ...).
+    delivery:
+        The endpoint's default delivery class —
+        :data:`~repro.net.delivery.RELIABLE` (FIFO exactly-once, the
+        default), :data:`~repro.net.delivery.UNRELIABLE`
+        (fire-and-forget, stale/duplicate frames dropped by the
+        receiver) or :data:`~repro.net.delivery.RELIABLE_SKIP`
+        (retransmit until ``skip_timeout``, then abandon and advance the
+        receiver past the hole). Every :meth:`send` may override it.
     reliable:
-        When True (default), sends go through the FIFO exactly-once
-        layer. When False, sends are raw datagrams — the "bare UDP"
-        baseline used by experiment E4.
+        Deprecated boolean shim for ``delivery``: ``reliable=False``
+        maps to the UNRELIABLE class (the "bare UDP" baseline used by
+        experiment E4). Ignored when ``delivery`` is given.
+    skip_timeout:
+        RELIABLE_SKIP only: seconds a packet is retransmitted before
+        the sender abandons it and signals the receiver to skip.
     rto_initial:
         Initial retransmission timeout. ``None`` estimates it per
         destination as 4x the latency model's mean.
@@ -253,7 +298,8 @@ class Endpoint:
     """
 
     def __init__(self, kernel: Scheduler, network: DatagramService,
-                 address: NodeAddress, *, reliable: bool = True,
+                 address: NodeAddress, *, delivery: str | None = None,
+                 reliable: bool = True, skip_timeout: float = 0.25,
                  rto_initial: float | None = None, rto_max: float = 5.0,
                  max_retries: int = 30, rto_mode: str = "static",
                  sack: bool = True, dup_ack_threshold: int = 3,
@@ -273,10 +319,19 @@ class Endpoint:
             raise ValueError("recv_window must be >= 1")
         if batch_bytes < 1:
             raise ValueError("batch_bytes must be >= 1")
+        if skip_timeout <= 0:
+            raise ValueError("skip_timeout must be > 0")
+        if delivery is None:
+            # Deprecated shim: the old endpoint-wide boolean maps onto
+            # the delivery-class vocabulary.
+            delivery = RELIABLE if reliable else UNRELIABLE
+        else:
+            validate_delivery(delivery)
         self.kernel = kernel
         self.network = network
         self.address = address
-        self.reliable = reliable
+        self.delivery = delivery
+        self.skip_timeout = skip_timeout
         self.rto_initial = rto_initial
         self.rto_max = rto_max
         self.max_retries = max_retries
@@ -299,7 +354,18 @@ class Endpoint:
         #: Index over ``_recv_streams[...].ack_pending`` so the DATA
         #: fast path skips the piggyback scan when nothing is owed.
         self._acks_owed: dict[NodeAddress, int] = {}
+        #: UNRELIABLE sender half: next sequence stamp per
+        #: (destination node, channel key).
+        self._unreliable_seq: dict[tuple[NodeAddress, str], int] = {}
+        #: UNRELIABLE receiver half: latest stamp delivered per
+        #: (source node, channel key); older arrivals are stale-dropped.
+        self._unreliable_latest: dict[tuple[NodeAddress, str], int] = {}
         network.register(address, self._on_datagram)
+
+    @property
+    def reliable(self) -> bool:
+        """Deprecated read shim: does the *default* class acknowledge?"""
+        return self.delivery != UNRELIABLE
 
     def close(self) -> None:
         """Detach from the network (in-flight datagrams to us are lost).
@@ -378,42 +444,53 @@ class Endpoint:
     # -- sending ----------------------------------------------------------
 
     def send(self, dst: InboxAddress, payload: str, channel: str,
-             timeout: float | None = None) -> DeliveryReceipt | None:
+             timeout: float | None = None, *, delivery: str | None = None,
+             skip_timeout: float | None = None) -> DeliveryReceipt | None:
         """Send ``payload`` to ``dst`` on channel ``channel``.
 
-        Reliable endpoints return a :class:`DeliveryReceipt`; raw
-        endpoints return ``None`` (and reject ``timeout``, which cannot
-        be honoured without acknowledgements). A closed endpoint rejects
-        all sends.
+        ``delivery`` overrides the endpoint's default class for this one
+        message. Reliable-class sends (RELIABLE and RELIABLE_SKIP)
+        return a :class:`DeliveryReceipt`; UNRELIABLE sends return
+        ``None`` (and reject ``timeout``, which cannot be honoured
+        without acknowledgements). A closed endpoint rejects all sends.
 
-        With flow control enabled the packet may be *queued* rather than
-        transmitted when bytes-in-flight have reached ``min(cwnd,
-        rwnd)``; ``send`` itself never blocks. Cooperative senders gate
-        on :meth:`writable` (or use ``Outbox.send_flow``) to keep their
-        queue bounded.
+        With flow control enabled a reliable-class packet may be
+        *queued* rather than transmitted when bytes-in-flight have
+        reached ``min(cwnd, rwnd)``; ``send`` itself never blocks.
+        Cooperative senders gate on :meth:`writable` (or use
+        ``Outbox.send_flow``) to keep their queue bounded. UNRELIABLE
+        sends bypass the window entirely and always go straight out.
         """
         if self.closed:
             raise AddressError(f"endpoint {self.address} is closed")
+        cls = self.delivery if delivery is None else \
+            validate_delivery(delivery)
         # Frame-ceiling check, identical on every substrate: a payload
         # that cannot fit one frame even unbatched must fail *here*
         # (typed, at send time) rather than blow up in the UDP encoder
         # while sailing through the in-memory simulator.
         wire_len = utf8_len(payload)
         frame_size = (frame_base_size(self.address, dst.node, channel)
-                      + ref_wire_size(dst.ref) + wire_len)
-        if not self.reliable:
+                      + ref_wire_size(dst.ref) + wire_len
+                      + DATA_FIXED_SIZE)
+        if cls == UNRELIABLE:
             if timeout is not None:
                 raise ValueError("delivery timeout requires a reliable endpoint")
             if frame_size > MAX_FRAME_BYTES:
                 raise payload_too_large(frame_size)
-            self.stats.raw_sent += 1
+            ukey = (dst.node, channel)
+            seq = self._unreliable_seq.get(ukey, 0)
+            self._unreliable_seq[ukey] = seq + 1
+            self.stats.unreliable_sent += 1
             tr = self.kernel.tracer
             if tr is not None:
-                tr.emit("ep", "raw", node=self.address, ch=channel,
-                        dst=str(dst.node))
+                tr.emit("ep", "data", node=self.address, ch=channel,
+                        seq=seq, dst=str(dst.node), cls=UNRELIABLE)
             self.network.send(Datagram(
                 self.address, dst.node,
-                {"kind": KIND_RAW, "to": dst.ref, "ch": channel}, payload))
+                {"kind": KIND_DATA, "to": dst.ref, "ch": channel,
+                 "seq": seq, "ts": self.kernel.now, "cls": UNRELIABLE},
+                payload))
             return None
 
         key = (dst.node, channel)
@@ -424,14 +501,14 @@ class Endpoint:
             self._send_streams[key] = stream
 
         receipt = DeliveryReceipt(self.kernel, dst)
-        if frame_size + DATA_FIXED_SIZE > MAX_FRAME_BYTES:
+        if frame_size > MAX_FRAME_BYTES:
             # Failed before a sequence number is allocated, so the FIFO
             # stream is not holed by the rejected payload.
             tr = self.kernel.tracer
             if tr is not None:
                 tr.emit("ep", "too_large", node=self.address, ch=channel,
-                        size=frame_size + DATA_FIXED_SIZE)
-            receipt._fail(payload_too_large(frame_size + DATA_FIXED_SIZE))
+                        size=frame_size)
+            receipt._fail(payload_too_large(frame_size))
             return receipt
         if stream.broken:
             receipt._fail(DeliveryTimeout(
@@ -453,7 +530,20 @@ class Endpoint:
         stream.unacked[seq] = pending
         self.stats.data_sent += 1
         tr = self.kernel.tracer
-        if tr is not None:
+        if cls == RELIABLE_SKIP:
+            hold = self.skip_timeout if skip_timeout is None else skip_timeout
+            if hold <= 0:
+                raise ValueError("skip_timeout must be > 0")
+            pending.skip_at = self.kernel.now + hold
+            if tr is not None:
+                tr.emit("ep", "data", node=self.address, ch=channel, seq=seq,
+                        dst=str(dst.node), cls=RELIABLE_SKIP)
+            # The skip deadline has its own timer: it is typically
+            # shorter than the RTO, and abandoning must not wait for
+            # the retransmission machinery to wake up.
+            self.kernel.call_later(hold,
+                                   lambda: self._on_skip_timer(key, seq))
+        elif tr is not None:
             tr.emit("ep", "data", node=self.address, ch=channel, seq=seq,
                     dst=str(dst.node))
         if self.flow_control:
@@ -698,6 +788,8 @@ class Endpoint:
         # retransmission ambiguity.
         header = {"kind": KIND_DATA, "to": pending.to_ref, "ch": channel,
                   "seq": pending.seq, "ts": self.kernel.now}
+        if pending.skip_at is not None:
+            header["cls"] = RELIABLE_SKIP
         budget = (MAX_FRAME_BYTES
                   - frame_base_size(self.address, dst_node, channel)
                   - DATA_FIXED_SIZE - ref_wire_size(pending.to_ref)
@@ -862,6 +954,92 @@ class Endpoint:
         self._transmit(key[0], key[1], pending)
         self._arm_timer(key, pending)
 
+    # -- the RELIABLE_SKIP abandon path -------------------------------------
+
+    def _on_skip_timer(self, key: tuple[NodeAddress, str], seq: int) -> None:
+        """The skip deadline of one RELIABLE_SKIP packet expired: stop
+        retransmitting it, resolve its receipt ``skipped``, and tell the
+        receiver to advance past every abandoned hole."""
+        if self.closed:
+            return
+        stream = self._send_streams.get(key)
+        if stream is None or stream.broken:
+            return
+        pending = stream.unacked.get(seq)
+        if pending is None:
+            return  # acknowledged (or the channel broke) in the meantime
+        if pending.sacked:
+            # The receiver already has it (SACK proved so); the packet is
+            # only waiting for the cumulative ACK to catch up. Abandoning
+            # it would mislabel a delivered message as skipped.
+            return
+        del stream.unacked[seq]
+        if pending.transmitted:
+            stream.in_flight -= pending.size
+            if stream.in_flight < 0:
+                stream.in_flight = 0
+        else:
+            try:
+                stream.queue.remove(pending)
+            except ValueError:
+                pass
+        self.stats.skipped += 1
+        # Advance the announced bound to the first still-outstanding
+        # packet: everything below it is either acknowledged or
+        # abandoned, so the receiver may deliver past those holes.
+        upto = min(stream.unacked, default=stream.next_seq)
+        if upto > stream.skip_upto:
+            stream.skip_upto = upto
+        pending.receipt._skip()
+        tr = self.kernel.tracer
+        if tr is not None:
+            tr.emit("ep", "skip", node=self.address, ch=key[1], seq=seq,
+                    upto=stream.skip_upto,
+                    slat=self.kernel.now - pending.receipt.sent_at)
+        if stream.last_cum < stream.skip_upto - 1:
+            self._send_skip_frame(key, stream)
+            if not stream.skip_armed:
+                stream.skip_armed = True
+                stream.skip_attempts = 0
+                stream.skip_rto = (stream.current_rto()
+                                   if self.rto_mode == "adaptive"
+                                   else stream.rto_initial)
+                self.kernel.call_later(
+                    stream.skip_rto, lambda: self._on_skip_rtx_timer(key))
+        if self.flow_control:
+            self._pump(key, stream)
+
+    def _send_skip_frame(self, key: tuple[NodeAddress, str],
+                         stream: SendStream) -> None:
+        self.stats.skips_sent += 1
+        self.network.send(Datagram(
+            self.address, key[0],
+            {"kind": KIND_SKIP, "ch": key[1], "upto": stream.skip_upto}, ""))
+
+    def _on_skip_rtx_timer(self, key: tuple[NodeAddress, str]) -> None:
+        """SKIP frames are themselves retransmitted (with backoff) until
+        an ACK at or past ``skip_upto - 1`` proves the receiver moved."""
+        if self.closed:
+            return
+        stream = self._send_streams.get(key)
+        if stream is None or stream.broken:
+            return
+        if stream.last_cum >= stream.skip_upto - 1:
+            stream.skip_armed = False
+            stream.skip_attempts = 0
+            stream.skip_rto = 0.0
+            return
+        stream.skip_attempts += 1
+        if stream.skip_attempts > self.max_retries:
+            stream.skip_armed = False
+            self._break_channel(key, stream, seq=stream.skip_upto,
+                                attempts=stream.skip_attempts)
+            return
+        self._send_skip_frame(key, stream)
+        stream.skip_rto = min(stream.skip_rto * 2.0, self.rto_max)
+        self.kernel.call_later(stream.skip_rto,
+                               lambda: self._on_skip_rtx_timer(key))
+
     # -- receiving ----------------------------------------------------------
 
     def _on_datagram(self, datagram) -> None:
@@ -870,6 +1048,9 @@ class Endpoint:
             self._deliver(datagram.header["to"], datagram.payload,
                           datagram.src, raw=True)
         elif kind == KIND_DATA:
+            if datagram.header.get("cls") == UNRELIABLE:
+                self._on_unreliable_data(datagram)
+                return
             for pack in datagram.header.get("pack", ()):
                 self._handle_ack_info(datagram.src, pack)
             self._on_data(datagram)
@@ -877,6 +1058,91 @@ class Endpoint:
             self._handle_ack_info(datagram.src, datagram.header)
         elif kind == KIND_PROBE:
             self._on_probe(datagram)
+        elif kind == KIND_SKIP:
+            self._on_skip(datagram)
+
+    def _on_unreliable_data(self, datagram) -> None:
+        """One UNRELIABLE frame: no ACK, no reordering buffer, no rwnd.
+        The per-channel sequence stamp orders arrivals — anything at or
+        below the latest delivered stamp is dropped (duplicate or stale),
+        so the application only ever sees fresher-than-last updates."""
+        header = datagram.header
+        channel: str = header["ch"]
+        seq: int = header["seq"]
+        key = (datagram.src, channel)
+        latest = self._unreliable_latest.get(key)
+        tr = self.kernel.tracer
+        if latest is not None and seq <= latest:
+            self.stats.stale_dropped += 1
+            if tr is not None:
+                tr.emit("ep", "drop_stale", node=self.address, ch=channel,
+                        seq=seq, latest=latest)
+            return
+        to_ref = header["to"]
+        deliver = self._inboxes.get(to_ref)
+        if deliver is None:
+            self.stats.no_such_inbox += 1
+            if tr is not None:
+                tr.emit("ep", "no_inbox", node=self.address, to=to_ref)
+            return
+        self._unreliable_latest[key] = seq
+        self.stats.unreliable_delivered += 1
+        if tr is not None:
+            tr.emit("ep", "deliver", node=self.address, ch=channel, seq=seq,
+                    cls=UNRELIABLE, dlat=self.kernel.now - header["ts"])
+        deliver(datagram.payload, InboxAddress(self.address, to_ref))
+
+    def _on_skip(self, datagram) -> None:
+        """A SKIP signal: the sender abandoned every sequence number
+        below ``upto``. Deliver what the reordering buffer holds below
+        the mark (in order), advance the cumulative expectation past the
+        holes, then drain the in-order tail and ACK immediately — the
+        ACK is what stops the sender's SKIP retransmissions."""
+        channel: str = datagram.header["ch"]
+        upto: int = datagram.header["upto"]
+        key = (datagram.src, channel)
+        stream = self._recv_streams.get(key)
+        if stream is None:
+            stream = _RecvStream()
+            self._recv_streams[key] = stream
+        tr = self.kernel.tracer
+        if upto > stream.expected:
+            holes = 0
+            while stream.expected < upto:
+                entry = stream.buffer.pop(stream.expected, None)
+                if entry is None:
+                    holes += 1
+                else:
+                    deliver_to, deliver_payload = entry
+                    stream.buffered_bytes -= (HEADER_OVERHEAD
+                                              + len(deliver_payload))
+                    if tr is not None:
+                        tr.emit("ep", "deliver", node=self.address,
+                                ch=channel, seq=stream.expected)
+                    self._deliver(deliver_to, deliver_payload, datagram.src,
+                                  raw=False)
+                stream.expected += 1
+            # The skip may have closed the gap in front of buffered
+            # packets above the mark: drain the in-order tail too.
+            while stream.expected in stream.buffer:
+                deliver_to, deliver_payload = stream.buffer.pop(
+                    stream.expected)
+                stream.buffered_bytes -= (HEADER_OVERHEAD
+                                          + len(deliver_payload))
+                if tr is not None:
+                    tr.emit("ep", "deliver", node=self.address, ch=channel,
+                            seq=stream.expected)
+                stream.expected += 1
+                self._deliver(deliver_to, deliver_payload, datagram.src,
+                              raw=False)
+            self.stats.holes_skipped += holes
+            if tr is not None:
+                tr.emit("ep", "skip_advance", node=self.address, ch=channel,
+                        upto=upto, holes=holes)
+        if not stream.ack_pending:
+            stream.ack_pending = True
+            self._ack_owed_inc(key[0])
+        self._flush_ack(key, stream)
 
     def _on_probe(self, datagram) -> None:
         """A zero-window probe: answer with an immediate ACK whose

@@ -59,6 +59,10 @@ class PendingPacket:
     #: True once it has been put on the wire (and charged to
     #: ``in_flight``). Always True when flow control is off.
     transmitted: bool = False
+    #: RELIABLE_SKIP only: absolute time at which the sender abandons
+    #: this packet and signals the receiver to advance past it. ``None``
+    #: for plain RELIABLE packets.
+    skip_at: float | None = None
 
 
 class SendStream:
@@ -86,7 +90,8 @@ class SendStream:
                  "srtt", "rttvar", "last_cum", "dup_acks", "last_rtt",
                  "queue", "in_flight", "cwnd", "ssthresh", "rwnd",
                  "max_payload", "stalled", "probe_armed", "probe_attempts",
-                 "probe_rto", "waiters", "cwnd_band")
+                 "probe_rto", "waiters", "cwnd_band",
+                 "skip_upto", "skip_armed", "skip_attempts", "skip_rto")
 
     def __init__(self, rto_initial: float,
                  cwnd_initial: float = CWND_MAX) -> None:
@@ -130,6 +135,15 @@ class SendStream:
         self.waiters: list["Event"] = []
         #: log2 band of ``cwnd`` when last traced (growth trace dedup).
         self.cwnd_band = int(cwnd_initial).bit_length()
+        #: RELIABLE_SKIP: highest abandoned-seq bound announced to the
+        #: receiver (0 = nothing skipped yet); the SKIP frame carries it
+        #: and is retransmitted until an ACK at or past ``skip_upto - 1``
+        #: proves the receiver advanced.
+        self.skip_upto = 0
+        self.skip_armed = False
+        self.skip_attempts = 0
+        #: Current SKIP retransmission interval (exponential backoff).
+        self.skip_rto = 0.0
 
     def observe_rtt(self, sample: float) -> None:
         if self.srtt is None:

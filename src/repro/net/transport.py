@@ -1,4 +1,4 @@
-"""Compatibility facade for the ordering layer.
+"""Compatibility facade for the ordering layer (tests/benchmarks only).
 
 The 626-line transport monolith was split into cohesive modules so the
 protocol machinery can be tested against every substrate:
@@ -8,31 +8,31 @@ protocol machinery can be tested against every substrate:
 * :mod:`repro.net.rto` — per-stream sequence/window/RTT state
   (:class:`SendStream`, :class:`PendingPacket`);
 * :mod:`repro.net.endpoint` — the :class:`Endpoint` send/receive/SACK
-  machinery, delivery receipts and stats.
+  machinery, delivery receipts and stats;
+* :mod:`repro.net.delivery` — the per-channel delivery-class vocabulary.
 
-This module re-exports the public names (and the historical private
-aliases) so existing imports of ``repro.net.transport`` keep working.
+This module re-exports the public names so out-of-tree imports of
+``repro.net.transport`` keep working. Nothing under ``src/`` imports it
+anymore (enforced by ``tests/runtime/test_layering.py``) — in-repo code
+imports the real modules.
 """
 
 from __future__ import annotations
 
+from repro.net.delivery import (DELIVERY_CLASSES, RELIABLE, RELIABLE_SKIP,
+                                UNRELIABLE)
 from repro.net.endpoint import (
     DeliverFn,
     DeliveryReceipt,
     Endpoint,
     EndpointStats,
-    _RecvStream,
 )
 from repro.net.rto import PendingPacket, SendStream
 from repro.net.wire import (KIND_ACK, KIND_DATA, KIND_PROBE, KIND_RAW,
-                            SACK_MAX_RANGES)
-
-#: Historical aliases from before the split (kept for callers that poked
-#: at the internals).
-_Pending = PendingPacket
-_SendStream = SendStream
+                            KIND_SKIP, SACK_MAX_RANGES)
 
 __all__ = [
+    "DELIVERY_CLASSES",
     "DeliverFn",
     "DeliveryReceipt",
     "Endpoint",
@@ -41,7 +41,11 @@ __all__ = [
     "KIND_DATA",
     "KIND_PROBE",
     "KIND_RAW",
+    "KIND_SKIP",
     "PendingPacket",
+    "RELIABLE",
+    "RELIABLE_SKIP",
     "SACK_MAX_RANGES",
     "SendStream",
+    "UNRELIABLE",
 ]

@@ -25,7 +25,9 @@ Binary layout (all integers big-endian)::
     src       u8 host-len, host utf-8, u16 port
     dst       u8 host-len, host utf-8, u16 port
     ch        u16 len, utf-8
-    -- kind DATA (1), flags bit0 = pack, bit1 = parts --
+    -- kind DATA (1), flags bit0 = pack, bit1 = parts,
+       bits2-3 = delivery class (0 reliable, 1 unreliable,
+       2 reliable_skip; 3 invalid) --
     seq,ts    u32, f64
     to        ref
     parts?    u16 count, count x ref
@@ -39,6 +41,9 @@ Binary layout (all integers big-endian)::
     to        ref
     payload   rest of frame
     -- kind PROBE (4) --
+    payload   rest of frame (normally empty)
+    -- kind SKIP (5): sender abandoned seqs below ``upto`` --
+    upto      u32
     payload   rest of frame (normally empty)
 
     ref       u8 tag (0 int, 1 name), then u32 | (u16 len, utf-8)
@@ -57,6 +62,12 @@ import struct
 from repro.errors import AddressError, PayloadTooLarge, WireFormatError
 from repro.net.address import NodeAddress
 from repro.net.datagram import Datagram
+from repro.net.delivery import (  # noqa: F401  (re-exported wire vocabulary)
+    DELIVERY_CLASSES,
+    RELIABLE,
+    RELIABLE_SKIP,
+    UNRELIABLE,
+)
 
 #: Packet kinds used in datagram headers.
 KIND_DATA = "DATA"
@@ -66,6 +77,11 @@ KIND_RAW = "RAW"
 #: (which re-advertises ``rwnd``) so a closed receive window whose
 #: opening advertisement was lost can never deadlock a sender.
 KIND_PROBE = "PROBE"
+#: Skip/advance signal of the RELIABLE_SKIP class: the sender has
+#: abandoned every sequence number below ``upto`` on this channel; the
+#: receiver delivers what it buffered below the mark and moves its
+#: cumulative expectation forward instead of stalling on the hole.
+KIND_SKIP = "SKIP"
 
 #: Most SACK ranges one ACK may carry (mirrors TCP's option-space bound;
 #: ranges beyond the limit are simply re-advertised by later ACKs).
@@ -83,11 +99,19 @@ BATCH_MAX_PAYLOADS = 32
 WIRE_MAGIC = 0xC3
 WIRE_VERSION = 1
 
-_KIND_TO_WIRE = {KIND_DATA: 1, KIND_ACK: 2, KIND_RAW: 3, KIND_PROBE: 4}
-_WIRE_TO_KIND = {1: KIND_DATA, 2: KIND_ACK, 3: KIND_RAW, 4: KIND_PROBE}
+_KIND_TO_WIRE = {KIND_DATA: 1, KIND_ACK: 2, KIND_RAW: 3, KIND_PROBE: 4,
+                 KIND_SKIP: 5}
+_WIRE_TO_KIND = {1: KIND_DATA, 2: KIND_ACK, 3: KIND_RAW, 4: KIND_PROBE,
+                 5: KIND_SKIP}
 
 _FLAG_PACK = 0x01
 _FLAG_PARTS = 0x02
+#: Bits 2-3 of the DATA flags carry the delivery class; 0 (RELIABLE)
+#: keeps pre-class frames byte-identical.
+_FLAG_CLS_SHIFT = 2
+_FLAG_CLS_MASK = 0x0C
+_CLS_TO_BITS = {RELIABLE: 0, UNRELIABLE: 1, RELIABLE_SKIP: 2}
+_BITS_TO_CLS = {0: RELIABLE, 1: UNRELIABLE, 2: RELIABLE_SKIP}
 _AFLAG_ETS = 0x01
 _AFLAG_SACK = 0x02
 _AFLAG_RWND = 0x04
@@ -104,14 +128,14 @@ _RANGE = struct.Struct("!II")
 _CUM_AFLAGS = struct.Struct("!qB")
 
 
-class FrameError(WireFormatError, AddressError):
+class FrameError(WireFormatError):
     """A frame failed to encode or decode.
 
-    Primary base: :class:`repro.errors.WireFormatError` (transport
-    taxonomy). The :class:`repro.errors.AddressError` base is a
-    **deprecated alias** kept for one release so pre-existing ``except
-    AddressError`` call sites keep catching codec failures; catch
-    ``WireFormatError``/``TransportError`` in new code.
+    Part of the :class:`repro.errors.WireFormatError` /
+    :class:`repro.errors.TransportError` taxonomy. (The historical
+    ``AddressError`` base — a one-release deprecation alias from the
+    JSON-to-binary wire migration — is gone; catch ``WireFormatError``
+    or ``TransportError``.)
     """
 
 
@@ -248,6 +272,12 @@ def encode_frame(datagram: Datagram) -> bytes:
             flags |= _FLAG_PACK
         if parts is not None:
             flags |= _FLAG_PARTS
+        cls = header.get("cls")
+        if cls is not None:
+            bits = _CLS_TO_BITS.get(cls)
+            if bits is None:
+                raise FrameError(f"unknown delivery class {cls!r}")
+            flags |= bits << _FLAG_CLS_SHIFT
 
     out = bytearray()
     out += _PRELUDE.pack(WIRE_MAGIC, WIRE_VERSION, wire_kind, flags)
@@ -301,6 +331,13 @@ def encode_frame(datagram: Datagram) -> bytes:
             out += datagram.payload.encode("utf-8")
         elif kind == KIND_RAW:
             _put_ref(out, header["to"])
+            out += datagram.payload.encode("utf-8")
+        elif kind == KIND_SKIP:
+            try:
+                out += _U32.pack(header["upto"])
+            except (struct.error, TypeError) as exc:
+                raise FrameError(
+                    f"skip upto {header.get('upto')!r} must fit u32") from exc
             out += datagram.payload.encode("utf-8")
         else:  # PROBE
             out += datagram.payload.encode("utf-8")
@@ -397,8 +434,11 @@ def decode_frame(data: bytes) -> Datagram:
             raise FrameError(f"unknown wire kind {wire_kind}")
         if flags and kind != KIND_DATA:
             raise FrameError(f"flags 0x{flags:02x} invalid for {kind}")
-        if flags & ~(_FLAG_PACK | _FLAG_PARTS):
+        if flags & ~(_FLAG_PACK | _FLAG_PARTS | _FLAG_CLS_MASK):
             raise FrameError(f"unknown frame flags 0x{flags:02x}")
+        cls_bits = (flags & _FLAG_CLS_MASK) >> _FLAG_CLS_SHIFT
+        if cls_bits not in _BITS_TO_CLS:
+            raise FrameError(f"invalid delivery-class bits {cls_bits}")
         src, off = _get_address(data, 4)
         dst, off = _get_address(data, off)
         ch, off = _get_str16(data, off)
@@ -410,6 +450,10 @@ def decode_frame(data: bytes) -> Datagram:
             to, off = _get_ref(data, off)
             header: dict = {"kind": kind, "to": to, "ch": ch,
                             "seq": seq, "ts": ts}
+            if cls_bits:
+                # RELIABLE (0) stays implicit so pre-class frames and
+                # headers round-trip byte- and dict-identical.
+                header["cls"] = _BITS_TO_CLS[cls_bits]
             nparts = None
             if flags & _FLAG_PARTS:
                 (nparts,) = _U16.unpack_from(data, off)
@@ -454,6 +498,11 @@ def decode_frame(data: bytes) -> Datagram:
             to, off = _get_ref(data, off)
             header = {"kind": kind, "to": to, "ch": ch}
             payload = data[off:].decode("utf-8")
+        elif kind == KIND_SKIP:
+            (upto,) = _U32.unpack_from(data, off)
+            off += 4
+            header = {"kind": kind, "ch": ch, "upto": upto}
+            payload = data[off:].decode("utf-8")
         else:  # PROBE
             header = {"kind": kind, "ch": ch}
             payload = data[off:].decode("utf-8")
@@ -461,6 +510,8 @@ def decode_frame(data: bytes) -> Datagram:
                         parts_payloads=parts_payloads)
     except FrameError:
         raise
+    # AddressError here is a real decode failure — NodeAddress rejects
+    # malformed host/port sections — wrapped like any other parse error.
     except (struct.error, IndexError, UnicodeDecodeError, ValueError,
             TypeError, AddressError) as exc:
         raise FrameError(
@@ -519,5 +570,6 @@ def decode_frame_json(data: bytes) -> Datagram:
         )
     except FrameError:
         raise
+    # AddressError: NodeAddress.parse rejecting the "s"/"d" strings.
     except (ValueError, KeyError, TypeError, AddressError) as exc:
         raise FrameError(f"cannot decode {len(data)}-byte frame") from exc

@@ -16,6 +16,12 @@ layer the tracer instruments)::
                 "reorder_jitter": 0.05},
      "categories": ["net", "ep", "mbox", "session"]}
 
+``"mixed": true`` adds two extra caller->responder links with
+non-default delivery classes (UNRELIABLE telemetry and RELIABLE_SKIP
+updates with a short skip timeout), so the corpus covers the
+delivery-class frames — SKIP signals, class-stamped DATA, stale drops —
+in both plain and encoded mode.
+
 ``tests/obs/corpus/`` holds ~10 such cases with committed golden
 traces; ``python -m repro.obs.replay <corpus_dir>`` regenerates the
 goldens after an intentional behaviour change.
@@ -47,13 +53,20 @@ def run_case(case: dict[str, Any]) -> Tracer:
     # from any layer without dragging in the whole dapplet stack.
     from repro import Dapplet, Initiator, SessionSpec, World
     from repro.messages import Text
-    from repro.net import ConstantLatency, FaultPlan
+    from repro.net import (RELIABLE_SKIP, UNRELIABLE, ConstantLatency,
+                           FaultPlan)
 
+    mixed = case.get("mixed", False)
+    endpoint_options = dict(SCENARIO_ENDPOINT_OPTIONS)
+    if mixed:
+        # Shorter than the 0.1 RTO, so dropped RELIABLE_SKIP packets are
+        # abandoned (SKIP frames on the wire) instead of retransmitted.
+        endpoint_options["skip_timeout"] = 0.05
     tracer = Tracer(categories=case.get("categories"))
     world = World(seed=case["seed"],
                   latency=ConstantLatency(0.02),
                   faults=FaultPlan.from_dict(case.get("faults", {})),
-                  endpoint_options=dict(SCENARIO_ENDPOINT_OPTIONS),
+                  endpoint_options=endpoint_options,
                   encoded=case.get("encoded", False),
                   tracer=tracer)
 
@@ -78,15 +91,24 @@ def run_case(case: dict[str, Any]) -> Tracer:
 
     spec = SessionSpec("obs-replay")
     spec.add_member("caller", inboxes=("in",))
-    spec.add_member("responder", inboxes=("in",))
+    spec.add_member("responder", inboxes=(("in", "telemetry", "updates")
+                                          if mixed else ("in",)))
     spec.bind("caller", "out", "responder", "in")
     spec.bind("responder", "out", "caller", "in")
+    if mixed:
+        spec.bind("caller", "tele", "responder", "telemetry",
+                  delivery=UNRELIABLE)
+        spec.bind("caller", "upd", "responder", "updates",
+                  delivery=RELIABLE_SKIP)
 
     def director():
         session = yield from initiator.establish(spec, timeout=120.0)
         ctx = caller.ctx
         for i in range(case.get("messages", 5)):
             ctx.outbox("out").send(Text(f"ping {i}"))
+            if mixed:
+                ctx.outbox("tele").send(Text(f"tele {i}"))
+                ctx.outbox("upd").send(Text(f"upd {i}"))
             yield ctx.inbox("in").receive()
         yield from session.terminate()
 

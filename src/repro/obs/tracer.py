@@ -51,9 +51,13 @@ CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir")
 #: window events: cwnd/stall/resume) is a size distribution — its
 #: histogram shows which congestion-window bands a run lived in;
 #: ``rlat`` is the discovery resolver's lookup latency (cache misses;
-#: hits return without a round-trip and are counted, not timed).
+#: hits return without a round-trip and are counted, not timed);
+#: ``dlat`` is one-way delivery latency of UNRELIABLE frames (send
+#: timestamp to delivery); ``slat`` the send-to-abandon wait of a
+#: RELIABLE_SKIP packet that hit its skip timeout.
 _HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"),
-                     ("cwnd", "ep.cwnd"), ("rlat", "dir.resolve"))
+                     ("cwnd", "ep.cwnd"), ("rlat", "dir.resolve"),
+                     ("dlat", "ep.dlat"), ("slat", "ep.skip_wait"))
 
 
 class TraceEvent:

@@ -27,6 +27,7 @@ from repro.errors import (ReceiveTimeout, ReproError, SessionError,
 from repro.mailbox.inbox import Inbox
 from repro.mailbox.outbox import Outbox
 from repro.net.address import InboxAddress, NodeAddress
+from repro.net.delivery import RELIABLE
 from repro.session import messages as sm
 from repro.session.manager import CONTROL_INBOX
 from repro.session.session import Session
@@ -170,7 +171,8 @@ class Initiator(Dapplet):
             outbox_map = _resolve_outboxes(spec, member, ports)
             record.member_outboxes[member].send(sm.Commit(
                 session_id, member, outboxes=outbox_map,
-                params=dict(spec.params)))
+                params=dict(spec.params),
+                deliveries=_resolve_deliveries(spec, member)))
 
         awaiting = set(spec.members)
         while awaiting:
@@ -250,7 +252,10 @@ class Initiator(Dapplet):
                                            session.ports, only=bindings)
             outbox.send(sm.Commit(session.session_id, mspec.member,
                                   outboxes=outbox_map,
-                                  params=dict(session.spec.params)))
+                                  params=dict(session.spec.params),
+                                  deliveries=_resolve_deliveries(
+                                      session.spec, mspec.member,
+                                      only=bindings)))
 
             # Rewire existing members toward the new one (acknowledged).
             toward_new = [b for b in bindings
@@ -317,15 +322,19 @@ class Initiator(Dapplet):
                         bindings: list[Binding],
                         deadline: float) -> Generator:
         additions: dict[str, dict[str, list[InboxAddress]]] = {}
+        deliveries: dict[tuple[str, str], str] = {}
         for b in bindings:
             additions.setdefault(b.src_member, {}).setdefault(
                 b.outbox, []).append(session.ports[b.dst_member][b.inbox])
+            if b.delivery != RELIABLE:
+                deliveries[(b.src_member, b.outbox)] = b.delivery
         awaiting: set[tuple[str, str]] = set()
         for member, outbox_targets in additions.items():
             for outbox_name, targets in outbox_targets.items():
                 record.member_outboxes[member].send(sm.BindAdd(
                     session.session_id, member, outbox_name,
-                    targets=tuple(targets)))
+                    targets=tuple(targets),
+                    delivery=deliveries.get((member, outbox_name), "")))
                 awaiting.add((member, outbox_name))
         while awaiting:
             msg = yield from self._await_matching(
@@ -474,3 +483,18 @@ def _resolve_outboxes(spec: SessionSpec, member: str,
             continue
         result.setdefault(b.outbox, []).append(ports[b.dst_member][b.inbox])
     return {name: tuple(targets) for name, targets in result.items()}
+
+
+def _resolve_deliveries(spec: SessionSpec, member: str,
+                        only: list[Binding] | None = None) -> dict[str, str]:
+    """The member's non-default delivery classes, outbox name -> class.
+
+    Only non-RELIABLE entries travel in the Commit (absent names default
+    to RELIABLE), so pre-class sessions serialize byte-identically.
+    """
+    result: dict[str, str] = {}
+    bindings = only if only is not None else spec.bindings
+    for b in bindings:
+        if b.src_member == member and b.delivery != RELIABLE:
+            result[b.outbox] = b.delivery
+    return result

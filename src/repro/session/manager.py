@@ -227,7 +227,8 @@ class SessionManager:
             self.dapplet, msg.session_id, entry.app, entry.member,
             msg.params, dict(entry.inboxes), entry.regions)
         for name, targets in msg.outboxes.items():
-            outbox = self.dapplet.create_outbox()
+            outbox = self.dapplet.create_outbox(
+                delivery=msg.deliveries.get(name))
             for target in targets:
                 outbox.add(target)
             ctx._outboxes[name] = outbox
@@ -280,7 +281,8 @@ class SessionManager:
             return
         outbox = entry.ctx._outboxes.get(msg.outbox)
         if outbox is None:
-            outbox = self.dapplet.create_outbox()
+            outbox = self.dapplet.create_outbox(
+                delivery=msg.delivery or None)
             entry.ctx._outboxes[msg.outbox] = outbox
         for target in msg.targets:
             outbox.add(target)

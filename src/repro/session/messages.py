@@ -57,6 +57,9 @@ class Commit(Message):
     member: str
     outboxes: dict = field(default_factory=dict)  # name -> tuple[InboxAddress]
     params: dict = field(default_factory=dict)
+    #: Outbox name -> delivery class, for outboxes whose channels are
+    #: not plain RELIABLE (absent names default to RELIABLE).
+    deliveries: dict = field(default_factory=dict)
 
 
 @message_type("session.ready")
@@ -94,6 +97,8 @@ class BindAdd(Message):
     member: str
     outbox: str
     targets: tuple = ()  # tuple[InboxAddress]
+    #: Delivery class for a newly created outbox ("" = RELIABLE).
+    delivery: str = ""
 
 
 @message_type("session.bind_ack")

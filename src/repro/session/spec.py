@@ -13,16 +13,22 @@ from dataclasses import dataclass, field
 from repro.dapplet.state import MODES
 from repro.errors import SessionError
 from repro.net.address import NodeAddress
+from repro.net.delivery import DELIVERY_CLASSES, RELIABLE
 
 
 @dataclass(frozen=True, slots=True)
 class Binding:
-    """One channel of the session: ``src_member.outbox -> dst_member.inbox``."""
+    """One channel of the session: ``src_member.outbox -> dst_member.inbox``.
+
+    ``delivery`` is the channel's delivery class (see
+    :mod:`repro.net.delivery`); every binding on one outbox must agree.
+    """
 
     src_member: str
     outbox: str
     dst_member: str
     inbox: str
+    delivery: str = RELIABLE
 
 
 @dataclass
@@ -72,10 +78,12 @@ class SessionSpec:
         return spec
 
     def bind(self, src_member: str, outbox: str, dst_member: str,
-             inbox: str) -> None:
+             inbox: str, *, delivery: str = RELIABLE) -> None:
         """Add a channel from ``src_member``'s ``outbox`` to
-        ``dst_member``'s ``inbox``."""
-        self.bindings.append(Binding(src_member, outbox, dst_member, inbox))
+        ``dst_member``'s ``inbox``. ``delivery`` picks the channel's
+        delivery class (every binding on one outbox must agree)."""
+        self.bindings.append(
+            Binding(src_member, outbox, dst_member, inbox, delivery))
 
     # -- derived views ------------------------------------------------------
 
@@ -91,6 +99,7 @@ class SessionSpec:
         """Check internal consistency; raises :class:`SessionError`."""
         if not self.members:
             raise SessionError("session spec has no members")
+        outbox_delivery: dict[tuple[str, str], str] = {}
         for b in self.bindings:
             for side, m in (("source", b.src_member),
                             ("destination", b.dst_member)):
@@ -103,3 +112,14 @@ class SessionSpec:
                     f"{b.dst_member!r} does not declare")
             if b.src_member == b.dst_member:
                 raise SessionError(f"binding {b} is a self-loop")
+            if b.delivery not in DELIVERY_CLASSES:
+                raise SessionError(
+                    f"binding {b} has unknown delivery class "
+                    f"{b.delivery!r}; expected one of {DELIVERY_CLASSES}")
+            key = (b.src_member, b.outbox)
+            prior = outbox_delivery.setdefault(key, b.delivery)
+            if prior != b.delivery:
+                raise SessionError(
+                    f"outbox {b.outbox!r} of member {b.src_member!r} is "
+                    f"bound with conflicting delivery classes "
+                    f"{prior!r} and {b.delivery!r}")

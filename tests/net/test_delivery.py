@@ -1,0 +1,330 @@
+"""Delivery-class tests: RELIABLE / UNRELIABLE / RELIABLE_SKIP.
+
+The reliable path has its own battery in ``test_transport*.py``; this
+file covers the class machinery itself — the UNRELIABLE fast path (the
+legacy raw mode's new home, including its edge cases), the
+RELIABLE_SKIP abandon protocol, per-message overrides, and the
+constructor shim that maps ``reliable=False`` onto UNRELIABLE.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError, DeliveryTimeout, PayloadTooLarge
+from repro.net import (
+    RELIABLE,
+    RELIABLE_SKIP,
+    UNRELIABLE,
+    ConstantLatency,
+    DatagramNetwork,
+    Endpoint,
+    FaultPlan,
+    NodeAddress,
+)
+from repro.net.delivery import DELIVERY_CLASSES, validate_delivery
+from repro.net.wire import KIND_DATA, KIND_SKIP, MAX_FRAME_BYTES
+from repro.sim import Kernel
+
+A = NodeAddress("a.edu", 1000)
+B = NodeAddress("b.edu", 1000)
+
+
+def make_pair(seed=0, *, latency=None, faults=None, **epkw):
+    k = Kernel(seed=seed)
+    net = DatagramNetwork(k, latency=latency or ConstantLatency(0.02),
+                          faults=faults)
+    ea = Endpoint(k, net, A, **epkw)
+    eb = Endpoint(k, net, B, **epkw)
+    return k, net, ea, eb
+
+
+def collect_inbox(endpoint, ref=0):
+    got = []
+    endpoint.register_inbox(ref, lambda payload, addr: got.append(payload))
+    return got
+
+
+# -- the class vocabulary ---------------------------------------------------
+
+
+def test_validate_delivery():
+    for cls in DELIVERY_CLASSES:
+        assert validate_delivery(cls) == cls
+    with pytest.raises(ValueError, match="delivery class"):
+        validate_delivery("best_effort")
+
+
+def test_endpoint_rejects_unknown_class():
+    k = Kernel(seed=0)
+    net = DatagramNetwork(k, latency=ConstantLatency(0.01))
+    with pytest.raises(ValueError, match="delivery class"):
+        Endpoint(k, net, A, delivery="bogus")
+
+
+def test_send_rejects_unknown_class_override():
+    k, net, ea, eb = make_pair()
+    with pytest.raises(ValueError, match="delivery class"):
+        ea.send(B.inbox(0), "x", channel="c", delivery="bogus")
+
+
+def test_reliable_shim_maps_to_classes():
+    """``reliable=False`` is a deprecated alias for the UNRELIABLE class."""
+    k = Kernel(seed=0)
+    net = DatagramNetwork(k, latency=ConstantLatency(0.01))
+    raw = Endpoint(k, net, A, reliable=False)
+    assert raw.delivery == UNRELIABLE
+    assert not raw.reliable
+    rel = Endpoint(k, net, B)
+    assert rel.delivery == RELIABLE
+    assert rel.reliable
+    skip = Endpoint(k, net, NodeAddress("c.edu", 1000),
+                    delivery=RELIABLE_SKIP)
+    assert skip.reliable  # skip is a reliable-class endpoint
+
+
+# -- UNRELIABLE -------------------------------------------------------------
+
+
+def test_unreliable_send_returns_no_receipt():
+    k, net, ea, eb = make_pair(delivery=UNRELIABLE)
+    got = collect_inbox(eb)
+    assert ea.send(B.inbox(0), "hello", channel="c1") is None
+    k.run()
+    assert got == ["hello"]
+    assert ea.stats.unreliable_sent == 1
+    assert eb.stats.unreliable_delivered == 1
+
+
+def test_unreliable_never_retransmits_under_loss():
+    k, net, ea, eb = make_pair(seed=3, faults=FaultPlan(drop_prob=0.4),
+                               delivery=UNRELIABLE)
+    got = collect_inbox(eb)
+    n = 80
+    for i in range(n):
+        ea.send(B.inbox(0), str(i), channel="c1")
+    k.run()
+    assert 0 < len(got) < n  # the net lost some, nobody repaired them
+    assert ea.stats.data_retransmitted == 0
+    assert ea.stats.acks_sent == 0 and eb.stats.acks_sent == 0
+
+
+def test_unreliable_rejects_delivery_timeout():
+    """The legacy raw-mode edge case, verbatim error included: a
+    timeout needs acknowledgements, which UNRELIABLE never gets."""
+    k, net, ea, eb = make_pair(delivery=UNRELIABLE)
+    with pytest.raises(ValueError,
+                       match="delivery timeout requires a reliable endpoint"):
+        ea.send(B.inbox(0), "x", channel="c1", timeout=1.0)
+
+
+def test_unreliable_oversized_payload_raises_at_send():
+    k, net, ea, eb = make_pair(delivery=UNRELIABLE)
+    with pytest.raises(PayloadTooLarge):
+        ea.send(B.inbox(0), "x" * (MAX_FRAME_BYTES + 1), channel="c1")
+    assert ea.stats.unreliable_sent == 0
+
+
+def test_closed_endpoint_rejects_unreliable_sends():
+    k, net, ea, eb = make_pair(delivery=UNRELIABLE)
+    ea.send(B.inbox(0), "one", channel="c1")
+    ea.close()
+    with pytest.raises(AddressError, match="closed"):
+        ea.send(B.inbox(0), "two", channel="c1")
+
+
+def test_close_with_queued_reliable_sends_fails_receipts():
+    """The other legacy close edge case: reliable receipts queued behind
+    the window (or in flight) fail with DeliveryTimeout at close."""
+    k, net, ea, eb = make_pair(faults=FaultPlan(drop_prob=1.0))
+    collect_inbox(eb)
+    receipts = [ea.send(B.inbox(0), str(i), channel="c1") for i in range(5)]
+    k.run(until=0.01)
+    ea.close()
+    for r in receipts:
+        assert r.is_failed
+        assert isinstance(r.confirmed.value, DeliveryTimeout)
+
+
+def test_unreliable_drops_duplicates_and_stale():
+    """Duplicated frames arrive with an already-seen stamp and are
+    dropped; reordered older-than-latest frames are dropped as stale."""
+    k, net, ea, eb = make_pair(
+        seed=9, faults=FaultPlan(duplicate_prob=0.5, reorder_jitter=0.2),
+        delivery=UNRELIABLE)
+    got = collect_inbox(eb)
+    n = 60
+    for i in range(n):
+        ea.send(B.inbox(0), str(i), channel="c1")
+    k.run()
+    assert len(got) == len(set(got))  # no duplicates reach the app
+    seqs = [int(p) for p in got]
+    assert seqs == sorted(seqs)  # never older than the latest delivered
+    assert eb.stats.stale_dropped > 0
+
+
+def test_unreliable_channels_are_independent():
+    k, net, ea, eb = make_pair(delivery=UNRELIABLE)
+    got = collect_inbox(eb)
+    ea.send(B.inbox(0), "a0", channel="ca")
+    ea.send(B.inbox(0), "b0", channel="cb")
+    ea.send(B.inbox(0), "a1", channel="ca")
+    k.run()
+    assert sorted(got) == ["a0", "a1", "b0"]
+    assert ea._unreliable_seq[(B, "ca")] == 2
+    assert ea._unreliable_seq[(B, "cb")] == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       drop=st.floats(min_value=0.0, max_value=0.5),
+       dup=st.floats(min_value=0.0, max_value=0.5),
+       jitter=st.floats(min_value=0.0, max_value=0.3))
+def test_unreliable_no_dup_no_stale_property(seed, drop, dup, jitter):
+    """Under any fault schedule, each UNRELIABLE channel delivers a
+    strictly increasing subsequence of what was sent: no duplicate and
+    nothing older than the latest already delivered."""
+    k = Kernel(seed=seed)
+    net = DatagramNetwork(
+        k, latency=ConstantLatency(0.01),
+        faults=FaultPlan(drop_prob=drop, duplicate_prob=dup,
+                         reorder_jitter=jitter))
+    ea = Endpoint(k, net, A, delivery=UNRELIABLE)
+    eb = Endpoint(k, net, B, delivery=UNRELIABLE)
+    per_channel: dict[str, list[int]] = {"ca": [], "cb": []}
+    eb.register_inbox(0, lambda payload, addr: per_channel[
+        payload.split(":")[0]].append(int(payload.split(":")[1])))
+    n = 40
+    for i in range(n):
+        ea.send(B.inbox(0), f"ca:{i}", channel="ca")
+        ea.send(B.inbox(0), f"cb:{i}", channel="cb")
+    k.run()
+    for ch, seqs in per_channel.items():
+        assert seqs == sorted(set(seqs)), (
+            f"channel {ch} saw a duplicate or stale delivery: {seqs}")
+
+
+# -- RELIABLE_SKIP ----------------------------------------------------------
+
+
+def drop_first_data(seqs):
+    """A drop filter losing the first transmission of the given DATA seqs."""
+    seen = set()
+    def flt(datagram):
+        h = datagram.header
+        if h.get("kind") == KIND_DATA and h.get("seq") in seqs \
+                and h["seq"] not in seen:
+            seen.add(h["seq"])
+            return True
+        return False
+    return flt
+
+
+def test_skip_abandons_lost_packet_and_receiver_advances():
+    """Lose seq 1 forever (drop every copy): the sender abandons it at
+    the skip deadline and the receiver delivers around the hole."""
+    k, net, ea, eb = make_pair(
+        faults=FaultPlan(drop_filter=lambda d:
+                         d.header.get("kind") == KIND_DATA
+                         and d.header.get("seq") == 1),
+        delivery=RELIABLE_SKIP, skip_timeout=0.06, rto_initial=0.5)
+    got = collect_inbox(eb)
+    receipts = [ea.send(B.inbox(0), str(i), channel="c1") for i in range(4)]
+    k.run()
+    assert got == ["0", "2", "3"]
+    assert receipts[1].is_skipped
+    assert receipts[1].outcome == "skipped"
+    assert receipts[1].is_confirmed  # skipped resolves, not fails
+    for i in (0, 2, 3):
+        assert receipts[i].outcome == "delivered"
+        assert not receipts[i].is_skipped
+    assert ea.stats.skipped == 1
+    assert ea.stats.skips_sent >= 1
+    assert eb.stats.holes_skipped == 1
+
+
+def test_retransmit_beats_skip_deadline():
+    """With the RTO shorter than the skip timeout, a retransmission can
+    still repair the loss — the receipt then resolves delivered, not
+    skipped, and nothing is abandoned."""
+    k, net, ea, eb = make_pair(
+        faults=FaultPlan(drop_filter=drop_first_data({1})),
+        delivery=RELIABLE_SKIP, skip_timeout=1.0, rto_initial=0.05)
+    got = collect_inbox(eb)
+    receipts = [ea.send(B.inbox(0), str(i), channel="c1") for i in range(3)]
+    k.run()
+    assert got == ["0", "1", "2"]
+    assert all(r.outcome == "delivered" for r in receipts)
+    assert ea.stats.skipped == 0
+    assert ea.stats.data_retransmitted >= 1
+
+
+def test_skip_frame_loss_is_repaired_by_retransmission():
+    """SKIP frames are themselves best-effort: lose the first few and
+    the sender's skip-retransmit timer still converges the receiver."""
+    lost = [0]
+    def flt(d):
+        h = d.header
+        if h.get("kind") == KIND_DATA and h.get("seq") == 0:
+            return True  # seq 0 never arrives
+        if h.get("kind") == KIND_SKIP and lost[0] < 3:
+            lost[0] += 1
+            return True  # ...and neither do the first three SKIPs
+        return False
+    k, net, ea, eb = make_pair(
+        faults=FaultPlan(drop_filter=flt),
+        delivery=RELIABLE_SKIP, skip_timeout=0.05, rto_initial=0.08)
+    got = collect_inbox(eb)
+    ea.send(B.inbox(0), "zero", channel="c1")
+    ea.send(B.inbox(0), "one", channel="c1")
+    k.run()
+    assert got == ["one"]
+    assert lost[0] == 3
+    assert ea.stats.skips_sent >= 4
+    stream = ea._send_streams[(B, "c1")]
+    assert stream.last_cum >= stream.skip_upto - 1  # rtx timer disarmed
+
+
+def test_skip_never_abandons_a_live_reliable_packet():
+    """RELIABLE and RELIABLE_SKIP share one FIFO stream. Abandoning a
+    skip-class packet advances only to the next *outstanding* seq, so a
+    still-retransmitting RELIABLE packet behind it is never skipped."""
+    k, net, ea, eb = make_pair(
+        faults=FaultPlan(drop_filter=drop_first_data({0, 1})),
+        skip_timeout=0.05, rto_initial=0.2)
+    got = collect_inbox(eb)
+    r0 = ea.send(B.inbox(0), "skip-me", channel="c1", delivery=RELIABLE_SKIP)
+    r1 = ea.send(B.inbox(0), "keep-me", channel="c1")  # RELIABLE
+    k.run()
+    # seq 0 was abandoned at t=0.05; seq 1's retransmission at t=0.2
+    # must still be delivered, not skipped over.
+    assert got == ["keep-me"]
+    assert r0.is_skipped
+    assert r1.outcome == "delivered"
+    assert ea.stats.skipped == 1
+
+
+def test_per_message_delivery_overrides():
+    """One RELIABLE endpoint, three classes on three sends."""
+    k, net, ea, eb = make_pair(skip_timeout=0.1)
+    got = collect_inbox(eb)
+    r_rel = ea.send(B.inbox(0), "rel", channel="c1")
+    r_skip = ea.send(B.inbox(0), "skip", channel="c1",
+                     delivery=RELIABLE_SKIP)
+    r_unrel = ea.send(B.inbox(0), "unrel", channel="c-fast",
+                      delivery=UNRELIABLE)
+    assert r_unrel is None
+    k.run()
+    assert sorted(got) == ["rel", "skip", "unrel"]
+    assert r_rel.outcome == "delivered"
+    assert r_skip.outcome == "delivered"  # nothing was lost
+    assert ea.stats.unreliable_sent == 1
+
+
+def test_skip_timeout_validation():
+    k, net, ea, eb = make_pair()
+    with pytest.raises(ValueError, match="skip_timeout"):
+        Endpoint(Kernel(seed=0), DatagramNetwork(Kernel(seed=0)),
+                 NodeAddress("x.edu", 1), skip_timeout=0.0)
+    with pytest.raises(ValueError, match="skip_timeout"):
+        ea.send(B.inbox(0), "x", channel="c1", delivery=RELIABLE_SKIP,
+                skip_timeout=-1.0)

@@ -179,6 +179,7 @@ def test_unknown_inbox_counted_not_crashed():
 
 
 def test_raw_endpoint_loses_messages_under_loss():
+    """The legacy ``reliable=False`` shim rides the UNRELIABLE class."""
     k, net, ea, eb = make_pair(seed=3, reliable=False,
                                faults=FaultPlan(drop_prob=0.5))
     got = collect_inbox(eb)
@@ -186,7 +187,10 @@ def test_raw_endpoint_loses_messages_under_loss():
         ea.send(B.inbox(0), str(i), channel="c")
     k.run()
     assert 0 < len(got) < 100  # some lost, none retransmitted
-    assert ea.stats.raw_sent == 100
+    assert ea.stats.unreliable_sent == 100
+    assert ea.stats.data_retransmitted == 0
+    assert eb.stats.unreliable_delivered == len(got)
+    assert not ea.reliable
 
 
 def test_raw_endpoint_rejects_timeout():

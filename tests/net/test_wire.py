@@ -23,8 +23,9 @@ from repro.errors import (AddressError, PayloadTooLarge, TransportError,
 from repro.net import (ConstantLatency, DatagramNetwork, Endpoint,
                        FaultPlan, NodeAddress)
 from repro.net.datagram import Datagram
-from repro.net.wire import (BATCH_MAX_PAYLOADS, FrameError, KIND_ACK,
-                            KIND_DATA, KIND_PROBE, KIND_RAW,
+from repro.net.wire import (BATCH_MAX_PAYLOADS, RELIABLE, RELIABLE_SKIP,
+                            UNRELIABLE, FrameError, KIND_ACK, KIND_DATA,
+                            KIND_PROBE, KIND_RAW, KIND_SKIP,
                             MAX_FRAME_BYTES, decode_frame, encode_frame,
                             encode_frame_json)
 from repro.runtime import AsyncioSubstrate, SimSubstrate
@@ -90,6 +91,64 @@ def test_raw_and_probe_frames_round_trip():
     assert rt(probe) == probe
 
 
+def test_data_frame_delivery_class_round_trips():
+    for cls in (UNRELIABLE, RELIABLE_SKIP):
+        d = Datagram(A, B, {"kind": KIND_DATA, "to": 0, "ch": "c0",
+                            "seq": 2, "ts": 1.5, "cls": cls}, "payload")
+        assert rt(d) == d
+
+
+def test_reliable_class_is_implicit_on_the_wire():
+    """``cls: RELIABLE`` encodes to the same bytes as no ``cls`` at all,
+    and decodes back without the key — pre-class frames stay byte- and
+    dict-identical."""
+    base = {"kind": KIND_DATA, "to": 0, "ch": "c0", "seq": 2, "ts": 1.5}
+    plain = Datagram(A, B, dict(base), "p")
+    tagged = Datagram(A, B, {**base, "cls": RELIABLE}, "p")
+    assert encode_frame(tagged) == encode_frame(plain)
+    assert "cls" not in decode_frame(encode_frame(tagged)).header
+
+
+def test_skip_frame_round_trips():
+    d = Datagram(A, B, {"kind": KIND_SKIP, "ch": "c1", "upto": 7}, "")
+    assert rt(d) == d
+    big = Datagram(A, B, {"kind": KIND_SKIP, "ch": "c1",
+                          "upto": 2**32 - 1}, "")
+    assert rt(big) == big
+
+
+def test_encode_rejects_unknown_delivery_class():
+    d = Datagram(A, B, {"kind": KIND_DATA, "to": 0, "ch": "c", "seq": 0,
+                        "ts": 0.0, "cls": "best_effort"}, "p")
+    with pytest.raises(FrameError, match="delivery class"):
+        encode_frame(d)
+
+
+def test_encode_rejects_skip_upto_out_of_range():
+    d = Datagram(A, B, {"kind": KIND_SKIP, "ch": "c", "upto": 2**32}, "")
+    with pytest.raises(FrameError, match="upto"):
+        encode_frame(d)
+
+
+def test_decode_rejects_invalid_class_bits():
+    d = Datagram(A, B, {"kind": KIND_DATA, "to": 0, "ch": "c", "seq": 0,
+                        "ts": 0.0}, "p")
+    buf = bytearray(encode_frame(d))
+    buf[3] |= 0x0C  # delivery-class bits 3: reserved / invalid
+    with pytest.raises(FrameError, match="delivery-class bits"):
+        decode_frame(bytes(buf))
+
+
+def test_decode_rejects_malformed_skip_frames():
+    d = Datagram(A, B, {"kind": KIND_SKIP, "ch": "c1", "upto": 7}, "")
+    buf = bytearray(encode_frame(d))
+    buf[3] |= 0x01  # SKIP admits no flags
+    with pytest.raises(FrameError):
+        decode_frame(bytes(buf))
+    with pytest.raises(FrameError):
+        decode_frame(encode_frame(d)[:-2])  # truncated upto
+
+
 def test_binary_frames_are_smaller_than_json():
     frames = [
         Datagram(A, B, {"kind": KIND_DATA, "to": 3, "ch": "c0",
@@ -153,15 +212,11 @@ def test_frame_error_taxonomy():
     assert issubclass(FrameError, WireFormatError)
     assert issubclass(WireFormatError, TransportError)
     assert issubclass(PayloadTooLarge, WireFormatError)
-    # Deprecation alias: pre-existing `except AddressError` call sites
-    # must keep catching codec failures for one release.
-    assert issubclass(FrameError, AddressError)
-    try:
+    # The one-release AddressError deprecation alias has expired: codec
+    # failures are transport errors, not address errors.
+    assert not issubclass(FrameError, AddressError)
+    with pytest.raises(WireFormatError):
         decode_frame(b"junk")
-    except AddressError:
-        pass  # the alias path
-    else:  # pragma: no cover - failure path
-        pytest.fail("FrameError no longer caught as AddressError")
 
 
 # -- substrate scenarios -----------------------------------------------------

@@ -8,8 +8,13 @@ silently re-couple them to the simulator, so this test greps the import
 statements of every module in the restricted packages.
 
 (The substrate-agnostic event/process machinery in ``repro.sim.events``
-etc. and the transport in ``repro.net.transport`` remain fair game —
-they run on every scheduler.)
+etc. and the endpoint in ``repro.net.endpoint`` remain fair game — they
+run on every scheduler.)
+
+A second scan keeps ``repro.net.transport`` a pure facade: it exists
+only for external callers' backward compatibility, so nothing under
+``src/`` may import it — in-repo code goes straight to
+``repro.net.endpoint`` (or ``repro.net``).
 """
 
 import ast
@@ -54,3 +59,17 @@ def test_no_direct_simulator_imports(path):
 def test_restriction_covers_something():
     # Guard against the scan silently matching zero files.
     assert sum(1 for _ in _restricted_files()) >= 10
+
+
+def _all_src_files():
+    for path in sorted(SRC.rglob("*.py")):
+        yield pytest.param(path, id=str(path.relative_to(SRC)))
+
+
+@pytest.mark.parametrize("path", _all_src_files())
+def test_nothing_in_src_imports_the_transport_facade(path):
+    if path == SRC / "net" / "transport.py":
+        return
+    assert "repro.net.transport" not in _imported_modules(path), (
+        f"{path.relative_to(SRC)} imports the repro.net.transport facade; "
+        "in-repo code must import repro.net.endpoint (or repro.net) directly")
