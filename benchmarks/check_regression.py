@@ -44,6 +44,13 @@ GUARDED = {
     # seed-deterministic ratios well above their floors (2x resp. 1x).
     "e16_delivery": [("sim/tput.unreliable_speedup", 0.25),
                      ("sim/lat.skip_p99_advantage", 0.25)],
+    # Journal density and fold compaction are pure functions of the WAL
+    # framing + canonical-JSON codec (byte-deterministic); recovery
+    # equivalence is the crash matrix as a fraction — 1.0 or it's a
+    # recovery bug, so zero tolerance.
+    "e17_persistence": [("sim/wal.ops_per_kb", 0.05),
+                        ("sim/fold.compaction", 0.10),
+                        ("sim/recovery.equal", 0.0)],
 }
 
 

@@ -32,6 +32,7 @@ from repro.discovery import (
     Resolver,
 )
 from repro.errors import (
+    BackendCrash,
     DeadlockDetected,
     DeliveryTimeout,
     DiscoveryError,
@@ -42,6 +43,7 @@ from repro.errors import (
     RpcTimeout,
     SessionError,
     SessionRejected,
+    StoreError,
     TokenError,
 )
 from repro.mailbox.inbox import Inbox
@@ -53,6 +55,13 @@ from repro.runtime import AsyncioSubstrate, SimSubstrate, Substrate
 from repro.session.initiator import Initiator
 from repro.session.session import Session, SessionContext
 from repro.session.spec import Binding, MemberSpec, SessionSpec
+from repro.store import (
+    CrashPoint,
+    DurableState,
+    FileBackend,
+    MemoryBackend,
+    StorageBackend,
+)
 from repro.world import World
 
 __version__ = "1.0.0"
@@ -60,18 +69,23 @@ __version__ = "1.0.0"
 __all__ = [
     "AddressDirectory",
     "AsyncioSubstrate",
+    "BackendCrash",
     "Binding",
+    "CrashPoint",
     "Dapplet",
     "DeadlockDetected",
     "DeliveryTimeout",
     "DirectoryReplica",
     "DiscoveryError",
+    "DurableState",
+    "FileBackend",
     "Inbox",
     "InboxAddress",
     "Initiator",
     "LeaseConfig",
     "LeaseExpired",
     "MemberSpec",
+    "MemoryBackend",
     "Message",
     "NodeAddress",
     "Outbox",
@@ -88,6 +102,8 @@ __all__ = [
     "SessionRejected",
     "SessionSpec",
     "SimSubstrate",
+    "StorageBackend",
+    "StoreError",
     "Substrate",
     "TokenError",
     "Tracer",

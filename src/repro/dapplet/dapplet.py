@@ -51,7 +51,18 @@ class Dapplet:
         self.endpoint = Endpoint(world.substrate, world.substrate.datagrams,
                                  address, **world.endpoint_options)
         self.acl = AccessControlList()
-        self.state = PersistentState()
+        # Worlds with a storage backend give every dapplet a durable,
+        # journaled state namespaced by its (unique) name — so a
+        # restarted dapplet recovers exactly what its predecessor
+        # journaled (see World.restart_dapplet).
+        backend = world.backend_for(name)
+        if backend is not None:
+            from repro.store.durable import DurableState
+            self.state = PersistentState(DurableState(
+                backend, name=f"dapplet/{name}",
+                substrate=world.substrate, node=address))
+        else:
+            self.state = PersistentState()
         self._inbox_refs = itertools.count()
         self._outbox_refs = itertools.count()
         self.inboxes: dict[int, Inbox] = {}

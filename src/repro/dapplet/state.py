@@ -16,11 +16,27 @@ interference check (:mod:`repro.session.interference`) refuses to
 schedule conflicting sessions concurrently, and each session touches
 state only through :class:`RegionView` objects that enforce the declared
 access mode.
+
+Durability: constructed with a :class:`~repro.store.DurableState`, a
+``PersistentState`` first *recovers* whatever that store holds
+(snapshot + valid WAL prefix) and from then on journals every mutation
+— ``set``, ``delete``, ``restore`` — to the write-ahead log *before*
+applying it in memory. Mutations made through a :class:`RegionView`
+go through the same region methods, so session writes are journaled
+transparently. A value the codec cannot encode fails typed
+(:class:`~repro.errors.SerializationError`) with the region untouched.
+Worlds built with ``World(store=...)`` give every dapplet a durable
+state automatically; ``World.restart_dapplet`` rebuilds one from it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.errors import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.durable import DurableState
 
 #: Access modes a session may declare on a region.
 READ = "r"
@@ -37,16 +53,25 @@ class Region:
         #: Bumped on every mutation; lets checkpoints and tests detect
         #: writes cheaply.
         self.version = 0
+        #: Write-ahead hook installed by a durable PersistentState;
+        #: called with the op dict before the mutation applies, so a
+        #: journaling failure (unencodable value, crashed backend)
+        #: leaves the in-memory region exactly as it was.
+        self._journal: Callable[[dict[str, Any]], Any] | None = None
 
     def get(self, key: str, default: Any = None) -> Any:
         return self._data.get(key, default)
 
     def set(self, key: str, value: Any) -> None:
+        if self._journal is not None:
+            self._journal({"o": "s", "k": key, "v": value})
         self._data[key] = value
         self.version += 1
 
     def delete(self, key: str) -> None:
         if key in self._data:
+            if self._journal is not None:
+                self._journal({"o": "d", "k": key})
             del self._data[key]
             self.version += 1
 
@@ -68,6 +93,8 @@ class Region:
 
     def restore(self, data: dict[str, Any]) -> None:
         """Replace contents (used by checkpoint recovery)."""
+        if self._journal is not None:
+            self._journal({"o": "r", "v": dict(data)})
         self._data = dict(data)
         self.version += 1
 
@@ -120,16 +147,52 @@ class RegionView:
 
 
 class PersistentState:
-    """The collection of a dapplet's regions."""
+    """The collection of a dapplet's regions.
 
-    def __init__(self) -> None:
+    Pass ``durable`` (a :class:`~repro.store.DurableState`) to make the
+    state survive its owner: prior contents are recovered immediately
+    and every later mutation is journaled — see :meth:`attach`.
+    """
+
+    def __init__(self, durable: "DurableState | None" = None) -> None:
         self._regions: dict[str, Region] = {}
+        #: The attached :class:`~repro.store.DurableState`, or ``None``.
+        self.durable: "DurableState | None" = None
+        if durable is not None:
+            self.attach(durable)
+
+    def attach(self, durable: "DurableState") -> int:
+        """Attach a durable layer; returns the number of regions recovered.
+
+        Recovers the store's contents into this (empty) state *without*
+        journaling, wires the store's fold source to :meth:`snapshot`,
+        and installs write-ahead hooks so every subsequent mutation —
+        including ones made through a :class:`RegionView` — hits the
+        log before it hits memory.
+        """
+        if self.durable is not None:
+            raise StoreError("this state already has a durable layer")
+        if self._regions:
+            raise StoreError("attach a durable layer before the first "
+                             "region exists, not after")
+        recovered = durable.recover()
+        self.durable = durable
+        durable.state_fn = self.snapshot
+        for name, contents in recovered.items():
+            region = self.region(name)  # installs the journal hook too
+            region._data = dict(contents)
+            region.version += 1
+        return len(recovered)
 
     def region(self, name: str) -> Region:
         """The region called ``name``, created empty on first use."""
         region = self._regions.get(name)
         if region is None:
             region = Region(name)
+            if self.durable is not None:
+                durable = self.durable
+                region._journal = \
+                    lambda op, _name=name: durable.journal(_name, op)
             self._regions[name] = region
         return region
 
@@ -140,9 +203,27 @@ class PersistentState:
         return name in self._regions
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """Deep-enough copy of all regions (used by checkpointing)."""
-        return {name: r.snapshot() for name, r in self._regions.items()}
+        """Deep-enough copy of all non-empty regions (used by
+        checkpointing, and as the durable layer's fold source).
+
+        An empty region is indistinguishable from an absent one: both
+        are excluded, so a snapshot is exactly what a replay of the
+        journal rebuilds — the equivalence folds and crash recovery
+        depend on — and :meth:`restore` of a snapshot is a true
+        inverse. (Regions are created on first access anyway, so the
+        distinction has no behavioural footprint.)
+        """
+        return {name: r.snapshot() for name, r in self._regions.items()
+                if r._data}
 
     def restore(self, data: dict[str, dict[str, Any]]) -> None:
+        """Roll the whole state back to ``data`` (a prior
+        :meth:`snapshot`): listed regions are replaced, existing
+        regions not listed are cleared — so restoring a checkpoint
+        erases regions created after it. Every step is journaled.
+        """
+        for name, region in self._regions.items():
+            if name not in data and region._data:
+                region.restore({})
         for name, contents in data.items():
             self.region(name).restore(contents)

@@ -81,6 +81,33 @@ class SerializationError(ReproError):
     """A message could not be converted to or from its wire string."""
 
 
+class StoreError(ReproError):
+    """A durable-storage invariant was violated.
+
+    Torn WAL tails are *not* errors (recovery tolerates them by
+    construction); this covers genuine misuse or corruption — a snapshot
+    object that is not one clean checksummed record, attaching two
+    durable layers to one state, journaling through a crashed backend.
+    """
+
+
+class BackendCrash(StoreError):
+    """An injected crash point fired inside a storage backend.
+
+    Raised by :class:`repro.store.CrashPoint`-instrumented backends the
+    moment the configured byte or record budget is exhausted; the write
+    in flight is applied only up to the budget (a torn tail), and every
+    later operation raises again until the backend's
+    ``reset_crash()`` is called — modelling a host that died and was
+    then restarted against the same disk. ``at_byte`` is the total
+    durable byte count at which the crash fired.
+    """
+
+    def __init__(self, message: str, *, at_byte: int = 0) -> None:
+        super().__init__(message)
+        self.at_byte = at_byte
+
+
 class DeliveryTimeout(ReproError):
     """A message was not delivered within the specified time.
 

@@ -12,14 +12,16 @@ messages).
 """
 
 from repro.messages.message import Message, message_type, registered_types
-from repro.messages.serialize import dumps, loads
+from repro.messages.serialize import decode_value, dumps, encode_value, loads
 from repro.messages.system import Blob, Text
 
 __all__ = [
     "Blob",
     "Message",
     "Text",
+    "decode_value",
     "dumps",
+    "encode_value",
     "loads",
     "message_type",
     "registered_types",

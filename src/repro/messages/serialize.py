@@ -7,12 +7,21 @@ JSON, with tagged objects for the types that are not JSON-native:
 * ``{"$msg": [name, fields]}`` — a nested :class:`Message`
 * ``{"$tuple": [...]}`` — a tuple (distinguished from list so
   hashable payloads survive the round trip)
+* ``{"$bytes": "..."}`` — ``bytes`` (base64; ``bytearray`` and
+  ``memoryview`` are accepted and come back as ``bytes``)
 
-The top level is ``{"t": name, "f": fields}``.
+The top level is ``{"t": name, "f": fields}``. The value codec is also
+exposed as :func:`encode_value`/:func:`decode_value` for layers that
+persist application values rather than ship them — the durable state
+journal (:mod:`repro.store`) uses it so anything a region can hold on
+the wire can also be replayed from disk, and anything it cannot hold
+fails *typed* (:class:`~repro.errors.SerializationError`) instead of
+corrupting a log.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from typing import Any
 
@@ -33,6 +42,8 @@ def _encode(value: Any) -> Any:
                          {k: _encode(v) for k, v in value.to_fields().items()}]}
     if isinstance(value, tuple):
         return {"$tuple": [_encode(v) for v in value]}
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"$bytes": base64.b64encode(bytes(value)).decode("ascii")}
     if isinstance(value, list):
         return [_encode(v) for v in value]
     if isinstance(value, dict):
@@ -60,6 +71,8 @@ def _decode(value: Any) -> Any:
             return InboxAddress.parse(value["$inbox"])
         if "$tuple" in value:
             return tuple(_decode(v) for v in value["$tuple"])
+        if "$bytes" in value:
+            return base64.b64decode(value["$bytes"])
         if "$msg" in value:
             name, fields = value["$msg"]
             return _instantiate(name, fields)
@@ -75,6 +88,22 @@ def _instantiate(name: str, fields: dict[str, Any]) -> Message:
         raise SerializationError(
             f"cannot reconstruct {name!r} from fields {sorted(fields)}: {exc}"
         ) from exc
+
+
+def encode_value(value: Any) -> Any:
+    """``value`` as JSON-dumpable data, tagged forms for the rest.
+
+    Total over the wire-safe domain (None/bool/int/float/str, bytes,
+    tuples, lists, string-keyed dicts, addresses, Messages — nested
+    arbitrarily); anything else raises
+    :class:`~repro.errors.SerializationError` without partial effects.
+    """
+    return _encode(value)
+
+
+def decode_value(data: Any) -> Any:
+    """Invert :func:`encode_value` (after a ``json.loads`` round trip)."""
+    return _decode(data)
 
 
 def dumps(message: Message) -> str:

@@ -44,7 +44,8 @@ from repro.obs.metrics import MetricsRegistry
 
 #: Every event category the stack emits. A ``Tracer(categories=...)``
 #: restricted to a subset rejects other categories at the emit boundary.
-CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir")
+CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir",
+              "store")
 
 #: Numeric event fields folded into histograms, field -> metric. ``rtt``
 #: and ``wait`` are latencies; ``cwnd`` (carried by the endpoint's
@@ -54,10 +55,14 @@ CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir")
 #: hits return without a round-trip and are counted, not timed);
 #: ``dlat`` is one-way delivery latency of UNRELIABLE frames (send
 #: timestamp to delivery); ``slat`` the send-to-abandon wait of a
-#: RELIABLE_SKIP packet that hit its skip timeout.
+#: RELIABLE_SKIP packet that hit its skip timeout; ``fsync`` and
+#: ``replay`` are the durable store's sync and recovery durations
+#: (wall-clock on file backends, exactly 0.0 on the memory backend so
+#: simulated traces stay byte-deterministic).
 _HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"),
                      ("cwnd", "ep.cwnd"), ("rlat", "dir.resolve"),
-                     ("dlat", "ep.dlat"), ("slat", "ep.skip_wait"))
+                     ("dlat", "ep.dlat"), ("slat", "ep.skip_wait"),
+                     ("fsync", "store.fsync"), ("replay", "store.replay"))
 
 
 class TraceEvent:

@@ -12,6 +12,16 @@ after the receiver's clock passed T, i.e. after the receiver
 checkpointed, so no checkpointed state reflects a post-cut message.
 Messages stamped *before* T but delivered after the local checkpoint are
 exactly the channel state, and are logged here.
+
+Durability: when the dapplet's state has a durable layer (worlds built
+with ``store=``), the time-T cut is *flushed* as it forms — the local
+state into the named snapshot object ``ckpt@T`` the moment the clock
+crosses T, and each in-transit channel message appended to the
+``ckpt@T.chan`` log as it is delivered. The whole session then has a
+coordinated durable restore point: ``World.restart_dapplet(name,
+from_checkpoint=T)`` rolls a crashed member back to its cut, and
+:meth:`GlobalCheckpoint.load` rebuilds the collected checkpoint
+straight from a backend, even for dapplets that no longer exist.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from repro.messages.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dapplet.dapplet import Dapplet
+    from repro.store.backend import StorageBackend
 
 
 @dataclass
@@ -40,14 +51,28 @@ class Checkpoint:
     channel_messages: list[Message] = field(default_factory=list)
 
 
-class CheckpointService:
-    """Checkpoints one dapplet when its clock first reaches ``at_time``."""
+def checkpoint_key(at_time: int) -> str:
+    """The durable object key of the time-T cut (``ckpt@T``)."""
+    return f"ckpt@{at_time}"
 
-    def __init__(self, dapplet: "Dapplet", at_time: int) -> None:
+
+class CheckpointService:
+    """Checkpoints one dapplet when its clock first reaches ``at_time``.
+
+    Taking the checkpoint is idempotent: duplicate clock advances past
+    T, a late installation, or an explicit re-trigger all leave exactly
+    one cut (and exactly one durable snapshot of it). With ``persist``
+    (the default) and a durable state, the cut is flushed to the store
+    as it forms.
+    """
+
+    def __init__(self, dapplet: "Dapplet", at_time: int, *,
+                 persist: bool = True) -> None:
         if at_time <= 0:
             raise ValueError("checkpoint time must be positive")
         self.dapplet = dapplet
         self.at_time = at_time
+        self.persist = persist
         self.taken: Checkpoint | None = None
         dapplet.clock.observers.append(self._on_advance)
         dapplet.port_hooks.append(self._hook_port)
@@ -57,20 +82,38 @@ class CheckpointService:
         if dapplet.clock.time >= at_time:
             self._take()
 
+    @property
+    def _durable(self):
+        return self.dapplet.state.durable if self.persist else None
+
     def _hook_port(self, port: object) -> None:
         if isinstance(port, Inbox):
-            port.delivery_hooks.append(self._on_deliver)
+            # One delivery hook per inbox, however many times the port
+            # gets announced: a message must land in at most one log.
+            if self._on_deliver not in port.delivery_hooks:
+                port.delivery_hooks.append(self._on_deliver)
 
     def _on_advance(self, old: int, new: int) -> None:
         if self.taken is None and new >= self.at_time:
             self._take()
 
     def _take(self) -> None:
+        if self.taken is not None:
+            return  # duplicate trigger: the cut is already fixed
         self.taken = Checkpoint(
             dapplet=self.dapplet.name, at_time=self.at_time,
             clock_when_taken=self.dapplet.clock.time,
             sim_time=self.dapplet.kernel.now,
             state=self.dapplet.state.snapshot())
+        durable = self._durable
+        if durable is not None:
+            durable.save_object(checkpoint_key(self.at_time), {
+                "dapplet": self.taken.dapplet,
+                "at_time": self.taken.at_time,
+                "clock": self.taken.clock_when_taken,
+                "sim_time": self.taken.sim_time,
+                "state": self.taken.state,
+            })
 
     def _on_deliver(self, message: Message) -> Message:
         # Runs after the clock's unwrap hook; last_received_ts is the
@@ -78,6 +121,10 @@ class CheckpointService:
         ts = self.dapplet.clock.last_received_ts
         if self.taken is not None and ts is not None and ts < self.at_time:
             self.taken.channel_messages.append(message)
+            durable = self._durable
+            if durable is not None:
+                durable.append_log(
+                    checkpoint_key(self.at_time) + ".chan", message)
         return message
 
 
@@ -114,6 +161,37 @@ class GlobalCheckpoint:
             raise ClockError(f"mixed checkpoint times: {sorted(at_times)}")
         return cls(at_times.pop(),
                    {name: s.taken for name, s in services.items()})
+
+    @classmethod
+    def load(cls, backend: "StorageBackend",
+             at_time: int) -> "GlobalCheckpoint":
+        """Rebuild the global checkpoint at ``at_time`` from a backend.
+
+        Scans the backend for every ``dapplet/<name>.ckpt@T`` object a
+        :class:`CheckpointService` flushed — including ones written by
+        dapplets that have since crashed — and reads each cut's state
+        and channel-message log. Raises :class:`~repro.errors
+        .ClockError` when no dapplet checkpointed at ``at_time``.
+        """
+        from repro.store.durable import DurableState
+        suffix = f".{checkpoint_key(at_time)}"
+        checkpoints: dict[str, Checkpoint] = {}
+        for key in backend.keys("dapplet/"):
+            if not key.endswith(suffix):
+                continue
+            name = key[len("dapplet/"):-len(suffix)]
+            durable = DurableState(backend, name=f"dapplet/{name}")
+            cut = durable.load_object(checkpoint_key(at_time))
+            checkpoints[name] = Checkpoint(
+                dapplet=cut["dapplet"], at_time=cut["at_time"],
+                clock_when_taken=cut["clock"], sim_time=cut["sim_time"],
+                state=cut["state"],
+                channel_messages=durable.read_log(
+                    checkpoint_key(at_time) + ".chan"))
+        if not checkpoints:
+            raise ClockError(
+                f"no durable checkpoints at T={at_time} in this backend")
+        return cls(at_time, checkpoints)
 
     def restore(self, world) -> None:
         """Write every dapplet's checkpointed state back (by name)."""

@@ -1,0 +1,52 @@
+"""Durable dapplet state: WAL + snapshot persistence.
+
+The paper (§2.2) requires dapplet state that "must persist across
+multiple temporary sessions"; this package supplies the durability
+layer beneath :class:`~repro.dapplet.state.PersistentState`:
+
+* :mod:`repro.store.wal` — length-prefixed, crc32-checksummed record
+  framing with torn-tail-tolerant parsing,
+* :class:`StorageBackend` — the pluggable byte-stream contract, with
+  :class:`MemoryBackend` (deterministic, in-process) and
+  :class:`FileBackend` (real files, real fsync) implementations,
+* :class:`DurableState` — journals every region mutation, folds the
+  log into snapshots, and recovers ``snapshot + valid WAL prefix``,
+* :class:`CrashPoint` — deterministic crash injection (kill writes
+  after N bytes or N records) so recovery is *tested* at every
+  interesting boundary, not assumed.
+
+See ``docs/PERSISTENCE.md`` for formats, invariants, and the crash
+harness; ``World(store=...)`` and ``World.restart_dapplet`` wire it
+into the dapplet stack.
+"""
+
+from repro.errors import BackendCrash, StoreError
+from repro.store.backend import (
+    CrashPoint,
+    FileBackend,
+    MemoryBackend,
+    StorageBackend,
+)
+from repro.store.durable import (
+    FSYNC_ALWAYS,
+    FSYNC_FOLD,
+    FSYNC_NEVER,
+    DurableState,
+)
+from repro.store.wal import frame, interesting_offsets, iter_records
+
+__all__ = [
+    "BackendCrash",
+    "CrashPoint",
+    "DurableState",
+    "FSYNC_ALWAYS",
+    "FSYNC_FOLD",
+    "FSYNC_NEVER",
+    "FileBackend",
+    "MemoryBackend",
+    "StorageBackend",
+    "StoreError",
+    "frame",
+    "interesting_offsets",
+    "iter_records",
+]

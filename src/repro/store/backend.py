@@ -1,0 +1,328 @@
+"""Pluggable storage backends and deterministic crash injection.
+
+A :class:`StorageBackend` is a flat namespace of named byte streams with
+exactly the operations a WAL needs:
+
+* ``append(key, data)`` — extend a stream (the journal hot path),
+* ``write(key, data)`` — replace a stream *atomically* (snapshots),
+* ``read(key)`` / ``keys(prefix)`` / ``delete(key)``,
+* ``sync(key)`` — make appended bytes durable; returns seconds spent.
+
+:class:`MemoryBackend` keeps streams in dicts (the simulator's default:
+deterministic, instant, survives a *dapplet* restart because the world
+holds it). :class:`FileBackend` maps streams to files in one directory,
+appends through cached handles, fsyncs for real, and replaces via
+``os.replace`` so ``write`` is atomic on POSIX.
+
+Crash injection
+---------------
+
+Both backends inherit :class:`CrashInjectableBackend`: installing a
+:class:`CrashPoint` arms a byte/record budget. The append that would
+cross the byte budget durably applies only the prefix that fits — a
+*torn write*, exactly what a dying host leaves on disk — then raises
+:class:`~repro.errors.BackendCrash`; an atomic ``write`` either fits
+entirely or applies nothing (rename semantics). After the crash fires
+the backend plays dead (every call raises) until ``reset_crash()``,
+which models restarting the process against the surviving bytes. The
+budget is deterministic, so a test can re-run one workload with the
+crash point at every interesting offset and assert recovery at each.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+import urllib.parse
+from typing import Protocol, runtime_checkable
+
+from repro.errors import BackendCrash, StoreError
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """The minimal contract :class:`repro.store.DurableState` needs."""
+
+    def append(self, key: str, data: bytes) -> None: ...
+
+    def write(self, key: str, data: bytes) -> None: ...
+
+    def read(self, key: str) -> bytes: ...
+
+    def delete(self, key: str) -> None: ...
+
+    def keys(self, prefix: str = "") -> list[str]: ...
+
+    def sync(self, key: str) -> float: ...
+
+
+class CrashPoint:
+    """A deterministic kill switch for backend writes.
+
+    Parameters
+    ----------
+    after_bytes:
+        Crash once this many bytes (cumulative across all streams,
+        counted from when the point was installed) have been durably
+        applied; the append crossing the threshold is torn at it.
+    after_appends:
+        Let this many ``append`` calls complete, then crash the next
+        one *before* it applies anything (a clean record-boundary kill).
+
+    Either or both may be set; whichever trips first fires.
+    """
+
+    def __init__(self, after_bytes: int | None = None,
+                 after_appends: int | None = None) -> None:
+        if after_bytes is None and after_appends is None:
+            raise StoreError("CrashPoint needs after_bytes or after_appends")
+        if (after_bytes is not None and after_bytes < 0) or \
+                (after_appends is not None and after_appends < 0):
+            raise StoreError("crash budgets must be >= 0")
+        self.after_bytes = after_bytes
+        self.after_appends = after_appends
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CrashPoint bytes={self.after_bytes} "
+                f"appends={self.after_appends}>")
+
+
+class CrashInjectableBackend:
+    """Budget accounting + dead-after-crash behaviour, shared by backends."""
+
+    def __init__(self) -> None:
+        self._crash_point: CrashPoint | None = None
+        self.crashed = False
+        #: Bytes durably applied since the crash point was installed.
+        self._budget_bytes = 0
+        self._budget_appends = 0
+        #: Totals over the backend's whole life (for stats/benchmarks).
+        self.bytes_written = 0
+        self.append_calls = 0
+        self.sync_calls = 0
+
+    # -- crash-point management -------------------------------------------
+
+    def install_crash_point(self, point: CrashPoint) -> None:
+        """Arm ``point``; budgets count from this call."""
+        self._crash_point = point
+        self._budget_bytes = 0
+        self._budget_appends = 0
+
+    def reset_crash(self) -> None:
+        """Un-kill the backend (the host restarted; bytes survived)."""
+        self.crashed = False
+        self._crash_point = None
+
+    # -- guards used by subclasses ----------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise BackendCrash("backend is crashed (reset_crash() to "
+                               "restart it)", at_byte=self.bytes_written)
+
+    def _die(self) -> None:
+        self.crashed = True
+        raise BackendCrash(
+            f"injected crash after {self.bytes_written} durable bytes",
+            at_byte=self.bytes_written)
+
+    def _guard_append(self, size: int) -> int:
+        """How many of ``size`` bytes this append may apply.
+
+        Returns ``size`` when no budget trips. When a budget trips the
+        caller must durably apply exactly the returned prefix and then
+        call :meth:`_account` + :meth:`_die` — see :meth:`_apply_append`
+        for the canonical sequence.
+        """
+        self._check_alive()
+        point = self._crash_point
+        if point is None:
+            return size
+        if point.after_appends is not None \
+                and self._budget_appends >= point.after_appends:
+            return -1  # crash before applying anything
+        if point.after_bytes is not None:
+            room = point.after_bytes - self._budget_bytes
+            if room < size:
+                return max(room, 0)
+        return size
+
+    def _guard_write(self, size: int) -> bool:
+        """Whether an atomic replace of ``size`` bytes goes through.
+
+        Atomicity means a crashing ``write`` applies *nothing* (the
+        rename never happened); returns False to signal the caller to
+        skip the replace and then :meth:`_die`.
+        """
+        self._check_alive()
+        point = self._crash_point
+        if point is None:
+            return True
+        if point.after_bytes is not None \
+                and point.after_bytes - self._budget_bytes < size:
+            return False
+        return True
+
+    def _account(self, nbytes: int, *, append: bool = False) -> None:
+        self.bytes_written += nbytes
+        self._budget_bytes += nbytes
+        if append:
+            self.append_calls += 1
+            self._budget_appends += 1
+
+
+class MemoryBackend(CrashInjectableBackend):
+    """Streams held in process memory.
+
+    The default on the simulated substrate: byte-deterministic, no I/O,
+    and — because the :class:`~repro.world.World` owns it — it survives
+    any individual dapplet's crash/restart, which is the failure model
+    the crash tests exercise. ``sync`` is free and returns exactly 0.0,
+    and ``wall_timed`` is False, so traced fsync/replay durations stay
+    deterministic.
+    """
+
+    #: Durations reported for this backend are wall-clock measurements.
+    wall_timed = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._streams: dict[str, bytearray] = {}
+
+    def append(self, key: str, data: bytes) -> None:
+        allowed = self._guard_append(len(data))
+        if allowed < 0:
+            self._die()
+        stream = self._streams.setdefault(key, bytearray())
+        stream += data[:allowed]
+        self._account(allowed, append=True)
+        if allowed < len(data):
+            self._die()
+
+    def write(self, key: str, data: bytes) -> None:
+        if not self._guard_write(len(data)):
+            self._die()
+        self._streams[key] = bytearray(data)
+        self._account(len(data))
+
+    def read(self, key: str) -> bytes:
+        self._check_alive()
+        return bytes(self._streams.get(key, b""))
+
+    def delete(self, key: str) -> None:
+        self._check_alive()
+        self._streams.pop(key, None)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        self._check_alive()
+        return sorted(k for k in self._streams if k.startswith(prefix))
+
+    def sync(self, key: str) -> float:
+        self._check_alive()
+        self.sync_calls += 1
+        return 0.0
+
+    def clone(self) -> "MemoryBackend":
+        """An independent copy of the current bytes (for crash replays)."""
+        copy = MemoryBackend()
+        copy._streams = {k: bytearray(v) for k, v in self._streams.items()}
+        return copy
+
+
+class FileBackend(CrashInjectableBackend):
+    """Streams as files under one directory.
+
+    Keys are percent-encoded into flat file names (keys contain ``/``
+    and ``@``). Appends go through cached ``ab`` handles so ``sync`` can
+    ``os.fsync`` the same descriptor; ``write`` goes to a temp file,
+    fsyncs it, and ``os.replace``s it into place — atomic on POSIX.
+    """
+
+    wall_timed = True
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        super().__init__()
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, "object"] = {}
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / urllib.parse.quote(key, safe="")
+
+    def _handle(self, key: str):
+        handle = self._handles.get(key)
+        if handle is None or handle.closed:
+            handle = self._handles[key] = open(self._path(key), "ab")
+        return handle
+
+    def append(self, key: str, data: bytes) -> None:
+        allowed = self._guard_append(len(data))
+        if allowed < 0:
+            self._die()
+        handle = self._handle(key)
+        handle.write(data[:allowed])
+        handle.flush()
+        self._account(allowed, append=True)
+        if allowed < len(data):
+            self._die()
+
+    def write(self, key: str, data: bytes) -> None:
+        if not self._guard_write(len(data)):
+            self._die()
+        self._drop_handle(key)
+        tmp = self._path(key).with_name(self._path(key).name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._path(key))
+        self._account(len(data))
+
+    def read(self, key: str) -> bytes:
+        self._check_alive()
+        handle = self._handles.get(key)
+        if handle is not None and not handle.closed:
+            handle.flush()
+        try:
+            return self._path(key).read_bytes()
+        except FileNotFoundError:
+            return b""
+
+    def delete(self, key: str) -> None:
+        self._check_alive()
+        self._drop_handle(key)
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def keys(self, prefix: str = "") -> list[str]:
+        self._check_alive()
+        names = (urllib.parse.unquote(p.name) for p in self.root.iterdir()
+                 if p.is_file() and not p.name.endswith(".tmp"))
+        return sorted(k for k in names if k.startswith(prefix))
+
+    def sync(self, key: str) -> float:
+        self._check_alive()
+        self.sync_calls += 1
+        handle = self._handles.get(key)
+        if handle is None or handle.closed:
+            # Atomically-written keys are fsynced at replace time; there
+            # is nothing left to make durable.
+            return 0.0
+        start = time.perf_counter()
+        handle.flush()
+        os.fsync(handle.fileno())
+        return time.perf_counter() - start
+
+    def _drop_handle(self, key: str) -> None:
+        handle = self._handles.pop(key, None)
+        if handle is not None and not handle.closed:
+            handle.close()
+
+    def close(self) -> None:
+        """Close every cached append handle."""
+        for key in list(self._handles):
+            self._drop_handle(key)

@@ -1,0 +1,109 @@
+"""Write-ahead-log record framing: length-prefixed, checksummed.
+
+Every durable byte stream in :mod:`repro.store` — the per-dapplet WAL,
+snapshot objects, checkpoint channel logs — is a concatenation of
+*records*::
+
+    +----------------+----------------+===============+
+    | u32 length (N) | u32 crc32      | N payload ... |
+    +----------------+----------------+===============+
+
+both integers big-endian, the CRC taken over the payload only. The
+framing makes recovery *torn-tail tolerant*: a crash may leave the last
+record half-written (a truncated header, a truncated payload, or a
+payload whose CRC no longer matches), and :func:`iter_records` simply
+stops at the first such record — the valid prefix IS the durable state.
+
+Payloads are opaque here; :mod:`repro.store.durable` puts canonical JSON
+in them so identical mutation sequences produce byte-identical logs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StoreError
+
+#: Record header: payload length, then crc32 of the payload.
+HEADER = struct.Struct("!II")
+HEADER_BYTES = HEADER.size
+
+try:
+    from zlib import crc32
+except ImportError:  # pragma: no cover - zlib is effectively always there
+    from binascii import crc32
+
+
+def frame(payload: bytes) -> bytes:
+    """``payload`` wrapped in one WAL record."""
+    if not payload:
+        raise StoreError("empty WAL payloads are not framable: a torn "
+                         "tail of NUL bytes would masquerade as one")
+    return HEADER.pack(len(payload), crc32(payload)) + payload
+
+
+def iter_records(data: bytes) -> tuple[list[bytes], int, bool]:
+    """Parse ``data`` into ``(payloads, consumed, torn)``.
+
+    ``payloads`` are the payloads of the valid record prefix;
+    ``consumed`` is how many bytes that prefix spans; ``torn`` is True
+    when trailing bytes remain that do not form a complete, checksummed
+    record (the signature a crash leaves behind). Parsing never raises:
+    any malformed tail simply ends the prefix.
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while total - offset >= HEADER_BYTES:
+        length, crc = HEADER.unpack_from(data, offset)
+        start = offset + HEADER_BYTES
+        if length == 0 or total - start < length:
+            break  # torn header or truncated payload
+        payload = bytes(data[start:start + length])
+        if crc32(payload) != crc:
+            break  # payload bytes damaged mid-record
+        payloads.append(payload)
+        offset = start + length
+    return payloads, offset, offset != total
+
+
+def single_record(data: bytes, *, what: str = "object") -> bytes:
+    """The payload of a stream that must hold exactly one valid record.
+
+    Used for snapshot objects, which are written atomically: anything
+    other than one clean record means real corruption (not a torn
+    tail), so this raises :class:`~repro.errors.StoreError`.
+    """
+    payloads, _, torn = iter_records(data)
+    if torn or len(payloads) != 1:
+        raise StoreError(
+            f"corrupt {what}: expected exactly one checksummed record, "
+            f"got {len(payloads)} (torn={torn}, {len(data)} bytes)")
+    return payloads[0]
+
+
+def interesting_offsets(data: bytes, *, per_record: bool = True) -> list[int]:
+    """Crash offsets worth injecting for a log with these bytes.
+
+    For every record boundary the list includes: the boundary itself, a
+    cut inside the length prefix, a cut inside the CRC, the cut right
+    after the header, and a cut mid-payload — every distinct way a crash
+    can tear that record. The full length is included too (crash after
+    the final byte). Offsets are sorted and unique.
+    """
+    offsets = {0, len(data)}
+    boundary = 0
+    total = len(data)
+    while total - boundary >= HEADER_BYTES:
+        length, _ = HEADER.unpack_from(data, boundary)
+        if length == 0 or total - boundary - HEADER_BYTES < length:
+            break
+        if per_record:
+            offsets.add(boundary)                      # clean cut before
+            offsets.add(boundary + 2)                  # inside the length
+            offsets.add(boundary + HEADER_BYTES - 2)   # inside the crc
+            offsets.add(boundary + HEADER_BYTES)       # header, no payload
+            offsets.add(boundary + HEADER_BYTES + length // 2)  # mid-payload
+        boundary += HEADER_BYTES + length
+    offsets.add(boundary)
+    return sorted(offsets)

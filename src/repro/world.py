@@ -62,6 +62,16 @@ class World:
         An explicit runtime to deploy on; mutually exclusive with the
         simulator-configuration parameters above, which all configure
         the default :class:`~repro.runtime.SimSubstrate`.
+    store:
+        A :class:`~repro.store.StorageBackend` (shared by every
+        dapplet, each under its own ``dapplet/<name>`` namespace) or a
+        callable ``name -> backend`` factory (one backend per dapplet —
+        what the crash tests use so an injected crash kills exactly one
+        dapplet's store). With a store, every dapplet's
+        ``PersistentState`` journals mutations through a
+        :class:`~repro.store.DurableState`, and
+        :meth:`restart_dapplet` can rebuild a crashed dapplet from its
+        latest snapshot + WAL.
     tracer:
         An optional :class:`repro.obs.Tracer` recording structured
         events from every layer (see ``docs/OBSERVABILITY.md``). Works
@@ -77,6 +87,7 @@ class World:
                  realtime: bool = False,
                  realtime_factor: float = 1.0,
                  substrate: Substrate | None = None,
+                 store: Any = None,
                  tracer: "Any | None" = None) -> None:
         if substrate is not None:
             if (seed != 0 or latency is not None or faults is not None
@@ -96,8 +107,14 @@ class World:
         #: session managers report activations to it and the paper's
         #: exclusion requirement is asserted throughout the run.
         self.interference_monitor = None
+        self.store = store
+        self._backends: dict[str, Any] = {}
         self._next_port: dict[str, int] = {}
         self._dapplets: dict[str, Dapplet] = {}
+        #: How each dapplet was built — (cls, host, kwargs) — so
+        #: restart_dapplet can rebuild it after a crash.
+        self._dapplet_specs: dict[str, tuple[Type[Dapplet], str,
+                                             dict[str, Any]]] = {}
         self._directory_replicas: list[Dapplet] = []
         self._lease_config = None
         self._auto_enroll = False
@@ -159,9 +176,71 @@ class World:
         address = NodeAddress(host, self.allocate_port(host))
         instance = cls(self, address, name, **kwargs)
         self._dapplets[name] = instance
+        self._dapplet_specs[name] = (cls, host, dict(kwargs))
         self.directory.register(name, address, kind=cls.kind)
         if self._auto_enroll:
             self._enroll_new(instance)
+        return instance
+
+    # -- durable state (repro.store) ----------------------------------------
+
+    def backend_for(self, name: str) -> Any:
+        """The storage backend for dapplet ``name``, or ``None``.
+
+        With ``store=`` a backend instance, every dapplet shares it
+        (namespacing keeps them apart); with a factory, one backend is
+        created per dapplet name and *memoized*, so a restarted dapplet
+        finds its predecessor's bytes.
+        """
+        if self.store is None:
+            return None
+        if not callable(self.store):
+            return self.store
+        backend = self._backends.get(name)
+        if backend is None:
+            backend = self._backends[name] = self.store(name)
+        return backend
+
+    def restart_dapplet(self, name: str, *,
+                        from_checkpoint: int | None = None) -> Dapplet:
+        """Rebuild dapplet ``name`` from its durable state.
+
+        Stops the old instance if it is still around (crash semantics:
+        in-memory state is gone), re-creates it exactly as it was first
+        created — same class, host, and constructor arguments, a fresh
+        port — re-registers it in the directory (and, when a replicated
+        directory is hosted, re-enrolls it with a fresh lease), and
+        lets its ``PersistentState`` recover ``snapshot + valid WAL
+        prefix`` from the world's store. Sessions the crash interrupted
+        can then simply be re-established against the recovered state.
+
+        With ``from_checkpoint=T``, the state is additionally rolled to
+        the durable time-T checkpoint cut that a
+        :class:`~repro.services.clocks.CheckpointService` saved (the
+        paper's "restart from the global checkpoint at T"); the
+        rollback itself is journaled, so the recovery point is durable
+        too.
+        """
+        spec = self._dapplet_specs.get(name)
+        if spec is None:
+            raise DappletError(f"no dapplet named {name!r} was ever created")
+        old = self._dapplets.get(name)
+        if old is not None:
+            old.stop()
+        cls, host, kwargs = spec
+        instance = self.dapplet(cls, host, name, **kwargs)
+        if from_checkpoint is not None:
+            durable = instance.state.durable
+            if durable is None:
+                raise DappletError(
+                    f"dapplet {name!r} has no durable state to restart "
+                    "from a checkpoint (give the world a store=)")
+            cut = durable.load_object(f"ckpt@{from_checkpoint}")
+            if cut is None:
+                raise DappletError(
+                    f"dapplet {name!r} has no durable checkpoint at "
+                    f"T={from_checkpoint}")
+            instance.state.restore(cut["state"])
         return instance
 
     # -- replicated discovery (repro.discovery) ----------------------------

@@ -3,6 +3,10 @@
 import pytest
 
 from repro.dapplet import PersistentState, RegionView
+from repro.errors import SerializationError
+from repro.messages import Text
+from repro.net import NodeAddress
+from repro.store import DurableState, MemoryBackend
 
 
 def test_regions_created_on_demand():
@@ -52,6 +56,29 @@ def test_snapshot_and_restore():
     assert state.region("cal").get("k") == 1
 
 
+def test_snapshot_excludes_empty_regions():
+    """Empty and absent regions are indistinguishable: neither has a
+    journaled footprint, so the snapshot equals a journal replay."""
+    state = PersistentState()
+    state.region("accessed")                   # created by mere access
+    state.region("emptied").set("k", 1)
+    state.region("emptied").delete("k")
+    state.region("live").set("k", 2)
+    assert state.snapshot() == {"live": {"k": 2}}
+
+
+def test_restore_is_a_true_inverse():
+    """Restoring a snapshot erases regions created after it was taken —
+    rolling back to a checkpoint must not leak post-cut regions."""
+    state = PersistentState()
+    state.region("before").set("k", 1)
+    snap = state.snapshot()
+    state.region("after").set("x", 99)
+    state.region("before").set("k", 2)
+    state.restore(snap)
+    assert state.snapshot() == snap
+
+
 def test_region_view_modes():
     state = PersistentState()
     region = state.region("cal")
@@ -84,3 +111,81 @@ def test_region_view_invalid_mode():
 def test_view_name_passthrough():
     region = PersistentState().region("cal")
     assert RegionView(region, "r").name == "cal"
+
+
+class TestDurableSerialization:
+    """Every value a region can hold must either round-trip through the
+    journal *totally* or fail *typed* with the region untouched."""
+
+    def reborn(self, backend):
+        return PersistentState(DurableState(backend, name="d"))
+
+    @pytest.mark.parametrize("value", [
+        None, True, 0, -7, 3.25, "text", "",
+        b"\x00\xff\x80", bytearray(b"mut"),
+        (1, 2), ("nested", (3, b"deep")),
+        [1, [2, 3]], {"k": {"n": (1,)}},
+        NodeAddress("caltech.edu", 7),
+        Text("a message as a value"),
+    ])
+    def test_total_roundtrip(self, value):
+        backend = MemoryBackend()
+        state = PersistentState(DurableState(backend, name="d"))
+        state.region("r").set("k", value)
+        recovered = self.reborn(backend).region("r").get("k")
+        if isinstance(value, bytearray):
+            assert recovered == bytes(value)  # normalized, same bytes
+        elif isinstance(value, Text):
+            assert isinstance(recovered, Text)
+            assert recovered.text == value.text
+        else:
+            assert recovered == value
+            assert type(recovered) is type(value)
+
+    @pytest.mark.parametrize("value", [
+        object(),                  # not wire-encodable at all
+        {1: "non-string key"},     # dict keys must be strings
+        {"$tag": "reserved"},      # the codec's tag namespace
+        {"ok": {"$n": object()}},  # nested failure
+    ])
+    def test_unencodable_fails_typed_and_leaves_region_untouched(self, value):
+        state = PersistentState(DurableState(MemoryBackend(), name="d"))
+        region = state.region("r")
+        region.set("before", 1)
+        version = region.version
+        with pytest.raises(SerializationError):
+            region.set("bad", value)
+        # Write-ahead: the failed set changed nothing, in memory or on
+        # disk — no half-applied key, no version bump, no journal entry.
+        assert "bad" not in region
+        assert region.version == version
+        assert region.get("before") == 1
+
+    def test_failed_restore_leaves_region_untouched(self):
+        state = PersistentState(DurableState(MemoryBackend(), name="d"))
+        region = state.region("r")
+        region.set("keep", "me")
+        with pytest.raises(SerializationError):
+            region.restore({"poison": object()})
+        assert region.get("keep") == "me"
+
+    def test_restore_rollback_is_journaled(self):
+        """The clears that erase post-snapshot regions hit the WAL too:
+        recovery after a rollback equals the rolled-back snapshot."""
+        backend = MemoryBackend()
+        state = PersistentState(DurableState(backend, name="d"))
+        state.region("before").set("k", 1)
+        snap = state.snapshot()
+        state.region("after").set("x", 99)
+        state.restore(snap)
+        assert self.reborn(backend).snapshot() == snap
+
+    def test_region_view_writes_are_journaled(self):
+        backend = MemoryBackend()
+        state = PersistentState(DurableState(backend, name="d"))
+        view = RegionView(state.region("cal"), "rw")
+        view.set("k", (1, b"x"))
+        view.delete("k")
+        view.set("k2", "kept")
+        assert self.reborn(backend).region("cal").snapshot() == \
+            {"k2": "kept"}

@@ -147,7 +147,7 @@ class TestTracer:
 
     def test_all_categories_are_known(self):
         assert set(CATEGORIES) == {"kernel", "net", "ep", "mbox",
-                                   "session", "tokens", "dir"}
+                                   "session", "tokens", "dir", "store"}
 
 
 class TestHistogram:

@@ -163,6 +163,81 @@ def test_incoming_channels_helper():
     assert incoming_channels(spec, "a") == {}
 
 
+def test_member_with_no_incoming_channels_completes_immediately(world):
+    """A pure source records its state and is instantly done — the
+    degenerate case of step 4 (no incoming channel to wait on)."""
+    from repro.session import SessionSpec
+
+    class Quiet(Dapplet):
+        kind = "quiet"
+
+        def on_session_start(self, ctx):
+            self.snap = ChandyLamportSnapshot(
+                ctx, incoming=ctx.params["incoming"][ctx.member])
+            if "in" in ctx.inbox_names():
+                def drain():
+                    while ctx.active:
+                        yield ctx.inbox("in").receive()
+                self.spawn(drain(), name="drain")
+            return None
+
+    spec = SessionSpec("oneway")
+    spec.add_member("src")
+    spec.add_member("sink", inboxes=("in",))
+    spec.bind("src", "out", "sink", "in")
+    incoming = {name: incoming_channels(spec, name)
+                for name in ("src", "sink")}
+    spec.params = {"incoming": incoming}
+    hosts = {"src": "caltech.edu", "sink": "rice.edu"}
+    dapplets = {m: world.dapplet(Quiet, hosts[m], m)
+                for m in ("src", "sink")}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    results = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        done = dapplets["src"].snap.initiate("g0")
+        assert done.triggered  # no incoming channels: done on the spot
+        results.append((yield done))
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    assert results[0].member == "src"
+    assert results[0].channels == {}
+
+
+def test_stale_generation_marker_is_ignored(world):
+    """A marker from a different snap_id must not complete (or corrupt)
+    the current generation's recording."""
+    from repro.services.clocks.snapshot import Marker
+
+    dapplets = {f"m{i}": world.dapplet(CreditDapplet,
+                                       ["caltech.edu", "rice.edu"][i],
+                                       f"m{i}") for i in range(2)}
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    spec, names, total = build_ring(world, 2, rounds=2)
+    outcomes = []
+
+    def director():
+        session = yield from initiator.establish(spec)
+        snap = dapplets["m0"].snap
+        snap.initiate("current")
+        # A marker from a stale generation arrives on the recorded
+        # channel: it must not mark that channel complete.
+        recording_before = set(snap._recording)
+        snap._on_marker(Marker(snap_id="stale", channel="m1/out"))
+        assert set(snap._recording) == recording_before
+        while snap.done is None or not snap.done.triggered:
+            yield world.kernel.timeout(0.01)
+        outcomes.append((yield snap.done))
+        yield from session.terminate()
+
+    world.run(until=world.process(director()))
+    world.run()
+    assert outcomes[0].snap_id == "current"
+
+
 def test_double_initiate_rejected(world):
     from repro.errors import ClockError
 

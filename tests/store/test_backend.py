@@ -1,0 +1,183 @@
+"""Backend contract tests: both backends, same behaviour — including
+the deterministic crash-injection semantics the crash matrix relies on.
+"""
+
+import pytest
+
+from repro.errors import BackendCrash, StoreError
+from repro.store import CrashPoint, FileBackend, MemoryBackend
+
+
+@pytest.fixture(params=["memory", "file"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryBackend()
+    else:
+        fb = FileBackend(tmp_path / "store")
+        yield fb
+        fb.close()
+
+
+class TestContract:
+    def test_read_missing_key_is_empty(self, backend):
+        assert backend.read("nope") == b""
+
+    def test_append_accumulates(self, backend):
+        backend.append("k", b"ab")
+        backend.append("k", b"cd")
+        assert backend.read("k") == b"abcd"
+
+    def test_write_replaces(self, backend):
+        backend.append("k", b"old-old-old")
+        backend.write("k", b"new")
+        assert backend.read("k") == b"new"
+        backend.write("k", b"")  # truncation (the WAL reset after a fold)
+        assert backend.read("k") == b""
+
+    def test_delete_and_missing_delete(self, backend):
+        backend.write("k", b"x")
+        backend.delete("k")
+        assert backend.read("k") == b""
+        backend.delete("k")  # idempotent
+
+    def test_keys_prefix_sorted(self, backend):
+        for key in ("dapplet/b.wal", "dapplet/a.wal", "other"):
+            backend.append(key, b"x")
+        assert backend.keys("dapplet/") == ["dapplet/a.wal", "dapplet/b.wal"]
+        assert backend.keys() == ["dapplet/a.wal", "dapplet/b.wal", "other"]
+
+    def test_slash_and_at_in_keys(self, backend):
+        # Dapplet namespaces produce keys like dapplet/<name>.ckpt@7.
+        key = "dapplet/room-1.ckpt@7.chan"
+        backend.append(key, b"payload")
+        assert backend.read(key) == b"payload"
+        assert key in backend.keys("dapplet/")
+
+    def test_sync_returns_seconds(self, backend):
+        backend.append("k", b"x")
+        assert backend.sync("k") >= 0.0
+
+    def test_stats_accounting(self, backend):
+        backend.append("k", b"abc")
+        backend.append("k", b"de")
+        backend.write("j", b"fgh")
+        assert backend.bytes_written == 8
+        assert backend.append_calls == 2
+
+
+class TestCrashInjection:
+    def test_byte_budget_tears_the_crossing_append(self, backend):
+        backend.install_crash_point(CrashPoint(after_bytes=5))
+        backend.append("k", b"abc")  # 3 bytes: fits
+        with pytest.raises(BackendCrash) as exc:
+            backend.append("k", b"defgh")  # would cross: torn at 5
+        assert exc.value.at_byte == 5
+        backend.reset_crash()
+        assert backend.read("k") == b"abcde"  # the torn prefix survived
+
+    def test_append_budget_kills_before_applying(self, backend):
+        backend.install_crash_point(CrashPoint(after_appends=2))
+        backend.append("k", b"a")
+        backend.append("k", b"b")
+        with pytest.raises(BackendCrash):
+            backend.append("k", b"c")
+        backend.reset_crash()
+        assert backend.read("k") == b"ab"  # clean record-boundary kill
+
+    def test_crashed_backend_plays_dead_until_reset(self, backend):
+        backend.install_crash_point(CrashPoint(after_bytes=0))
+        with pytest.raises(BackendCrash):
+            backend.append("k", b"x")
+        for call in (lambda: backend.read("k"),
+                     lambda: backend.append("k", b"y"),
+                     lambda: backend.write("k", b"y"),
+                     lambda: backend.keys(),
+                     lambda: backend.delete("k"),
+                     lambda: backend.sync("k")):
+            with pytest.raises(BackendCrash, match="crashed"):
+                call()
+        backend.reset_crash()
+        assert backend.read("k") == b""  # nothing was ever applied
+
+    def test_atomic_write_applies_nothing_when_crashing(self, backend):
+        backend.write("k", b"before")
+        backend.install_crash_point(CrashPoint(after_bytes=3))
+        with pytest.raises(BackendCrash):
+            backend.write("k", b"huge-replacement")
+        backend.reset_crash()
+        assert backend.read("k") == b"before"  # rename never happened
+
+    def test_budget_counts_from_install(self, backend):
+        backend.append("k", b"x" * 100)  # before the point: free
+        backend.install_crash_point(CrashPoint(after_bytes=4))
+        backend.append("k", b"yy")
+        with pytest.raises(BackendCrash):
+            backend.append("k", b"zzz")
+        backend.reset_crash()
+        assert backend.read("k") == b"x" * 100 + b"yy" + b"zz"
+
+    def test_crash_point_validation(self):
+        with pytest.raises(StoreError):
+            CrashPoint()
+        with pytest.raises(StoreError):
+            CrashPoint(after_bytes=-1)
+        with pytest.raises(StoreError):
+            CrashPoint(after_appends=-2)
+
+
+class TestMemoryBackend:
+    def test_clone_is_independent(self):
+        b = MemoryBackend()
+        b.append("k", b"shared")
+        copy = b.clone()
+        b.append("k", b"-more")
+        assert copy.read("k") == b"shared"
+        assert b.read("k") == b"shared-more"
+
+    def test_sync_is_exactly_zero(self):
+        # The deterministic substrate traces fsync durations; on the
+        # memory backend they must be exactly 0.0, never wall-clock.
+        b = MemoryBackend()
+        b.append("k", b"x")
+        assert b.sync("k") == 0.0
+        assert b.wall_timed is False
+
+    def test_read_returns_a_copy(self):
+        b = MemoryBackend()
+        b.append("k", b"abc")
+        data = b.read("k")
+        b.append("k", b"def")
+        assert data == b"abc"
+
+
+class TestFileBackend:
+    def test_persists_across_instances(self, tmp_path):
+        root = tmp_path / "store"
+        one = FileBackend(root)
+        one.append("dapplet/a.wal", b"journal-bytes")
+        one.write("dapplet/a.snap", b"snap-bytes")
+        one.close()
+        two = FileBackend(root)  # "the host restarted"
+        assert two.read("dapplet/a.wal") == b"journal-bytes"
+        assert two.read("dapplet/a.snap") == b"snap-bytes"
+        assert two.keys() == ["dapplet/a.snap", "dapplet/a.wal"]
+        two.close()
+
+    def test_wall_timed(self, tmp_path):
+        fb = FileBackend(tmp_path)
+        assert fb.wall_timed is True
+        fb.close()
+
+    def test_write_leaves_no_tmp_files(self, tmp_path):
+        fb = FileBackend(tmp_path / "s")
+        fb.write("k", b"x")
+        fb.write("k", b"y")
+        assert [p.name for p in (tmp_path / "s").iterdir()] == ["k"]
+        fb.close()
+
+    def test_keys_hide_tmp_files(self, tmp_path):
+        fb = FileBackend(tmp_path / "s")
+        fb.append("real", b"x")
+        (tmp_path / "s" / "ghost.tmp").write_bytes(b"leftover")
+        assert fb.keys() == ["real"]
+        fb.close()

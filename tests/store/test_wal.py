@@ -1,0 +1,121 @@
+"""Unit tests for WAL record framing: the torn-tail contract."""
+
+import struct
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.wal import (
+    HEADER_BYTES,
+    frame,
+    interesting_offsets,
+    iter_records,
+    single_record,
+)
+
+
+def test_frame_roundtrip():
+    record = frame(b"hello")
+    payloads, consumed, torn = iter_records(record)
+    assert payloads == [b"hello"]
+    assert consumed == len(record)
+    assert not torn
+
+
+def test_frame_rejects_empty_payload():
+    # A zero-length record would be indistinguishable from a torn tail
+    # of NUL bytes, so the framing layer refuses to produce one.
+    with pytest.raises(StoreError, match="empty"):
+        frame(b"")
+
+
+def test_concatenated_records_all_parse():
+    payloads = [b"a", b"bb" * 100, b"\x00\xff\x7f", b"d"]
+    data = b"".join(frame(p) for p in payloads)
+    parsed, consumed, torn = iter_records(data)
+    assert parsed == payloads
+    assert consumed == len(data)
+    assert not torn
+
+
+def test_empty_stream_is_clean():
+    assert iter_records(b"") == ([], 0, False)
+
+
+@pytest.mark.parametrize("cut", [1, 3, HEADER_BYTES - 1, HEADER_BYTES,
+                                 HEADER_BYTES + 1])
+def test_truncation_yields_valid_prefix(cut):
+    """Cutting the second record anywhere keeps the first intact."""
+    first, second = frame(b"first-payload"), frame(b"second-payload")
+    data = first + second[:cut]
+    payloads, consumed, torn = iter_records(data)
+    assert payloads == [b"first-payload"]
+    assert consumed == len(first)
+    assert torn
+
+
+def test_corrupt_crc_ends_prefix():
+    first, second, third = frame(b"one"), frame(b"two"), frame(b"three")
+    # Flip a payload byte of the middle record: its CRC no longer holds,
+    # so parsing stops there — even though the third record is intact.
+    corrupted = bytearray(first + second + third)
+    corrupted[len(first) + HEADER_BYTES] ^= 0xFF
+    payloads, consumed, torn = iter_records(bytes(corrupted))
+    assert payloads == [b"one"]
+    assert consumed == len(first)
+    assert torn
+
+
+def test_nul_tail_is_torn_not_records():
+    data = frame(b"real") + b"\x00" * 64
+    payloads, _, torn = iter_records(data)
+    assert payloads == [b"real"]
+    assert torn
+
+
+def test_length_prefix_lying_beyond_stream_is_torn():
+    bogus = struct.pack("!II", 10_000, 0) + b"short"
+    assert iter_records(bogus) == ([], 0, True)
+
+
+def test_single_record_ok():
+    assert single_record(frame(b"snap")) == b"snap"
+
+
+@pytest.mark.parametrize("data", [
+    b"",                                  # nothing at all
+    frame(b"a") + frame(b"b"),            # two records
+    frame(b"a")[:-1],                     # torn
+    frame(b"a") + b"junk",                # record plus garbage
+])
+def test_single_record_rejects_anything_else(data):
+    with pytest.raises(StoreError, match="corrupt"):
+        single_record(data)
+
+
+def test_single_record_names_the_object():
+    with pytest.raises(StoreError, match="snapshot"):
+        single_record(b"xx", what="snapshot")
+
+
+class TestInterestingOffsets:
+    def test_covers_every_tear_shape(self):
+        data = frame(b"payload-one") + frame(b"payload-two")
+        offsets = interesting_offsets(data)
+        first_len = len(frame(b"payload-one"))
+        assert 0 in offsets                      # crash before anything
+        assert len(data) in offsets              # crash after everything
+        assert first_len in offsets              # clean record boundary
+        assert first_len + 2 in offsets          # inside the length
+        assert first_len + HEADER_BYTES in offsets   # header, no payload
+        assert offsets == sorted(set(offsets))   # sorted, unique
+
+    def test_every_offset_recovers_a_prefix(self):
+        payloads = [f"payload-{i}".encode() for i in range(5)]
+        data = b"".join(frame(p) for p in payloads)
+        for offset in interesting_offsets(data):
+            parsed, _, _ = iter_records(data[:offset])
+            assert parsed == payloads[:len(parsed)]  # always a prefix
+
+    def test_empty_log(self):
+        assert interesting_offsets(b"") == [0]

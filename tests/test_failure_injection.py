@@ -18,8 +18,11 @@ from repro.errors import (
 from repro.messages import Text
 from repro.net import ConstantLatency, FaultPlan
 from repro.rpc import RemoteProxy, export
+from repro.runtime import AsyncioSubstrate
+from repro.services.clocks import CheckpointService
 from repro.services.tokens import TokenAgent, TokenCoordinator
 from repro.session import Initiator, SessionSpec
+from repro.store import FileBackend, MemoryBackend
 from repro.world import World
 
 
@@ -207,6 +210,138 @@ def test_send_confirmed_to_crashed_peer_raises():
     world.run(until=world.process(sender()))
     world.run()
     assert caught == ["timeout"]
+
+
+class DurableCounter(Dapplet):
+    """Tallies received messages into durable state."""
+
+    kind = "durable-counter"
+
+    def on_session_start(self, ctx):
+        self.ctx = ctx
+
+        def count():
+            while ctx.active:
+                msg = yield ctx.inbox("in").receive()
+                tally = self.state.region("tally")
+                tally.set("count", tally.get("count", 0) + 1)
+                tally.set("last", msg.text)
+
+        self.spawn(count(), name="count")
+        return None
+
+
+def _crash_restart_scenario(world, *, checkpoint_delta=None):
+    """Kill the receiver mid-session, restart it from its durable
+    store (optionally rolled back to the time-T checkpoint cut), then
+    re-establish the session and prove traffic flows again. Returns
+    ``(state_at_restart, outcome_log)`` for the caller to assert on."""
+    sender = world.dapplet(Tracker, "caltech.edu", "a")
+    receiver = world.dapplet(DurableCounter, "rice.edu", "b")
+    initiator = world.dapplet(Initiator, "caltech.edu", "init")
+    log = []
+
+    def director():
+        session = yield from initiator.establish(pair_spec(), timeout=60.0)
+        # T is relative to the post-establishment clock (the session
+        # protocol itself advances Lamport time), so the cut lands a
+        # few data messages in.
+        service = at_time = None
+        if checkpoint_delta is not None:
+            at_time = receiver.clock.time + checkpoint_delta
+            service = CheckpointService(receiver, at_time)
+        for i in range(6):
+            sender.ctx.outbox("out").send(Text(f"m{i}"))
+            yield world.substrate.timeout(0.05)
+        # Wait until the receiver has tallied everything, then crash it.
+        while receiver.state.region("tally").get("count", 0) < 6:
+            yield world.substrate.timeout(0.05)
+        live_state = receiver.state.snapshot()
+        receiver.stop()  # in-memory state is gone; the journal is not
+        sender.ctx.outbox("out").send(Text("into the void"))
+        yield from session.terminate(timeout=5.0)
+
+        if service is not None:
+            log.append(("cut", service.taken.state))
+            reborn = world.restart_dapplet("b", from_checkpoint=at_time)
+        else:
+            reborn = world.restart_dapplet("b")
+        log.append(("recovered", reborn.state.snapshot(), live_state))
+
+        # The session re-establishes against the reborn member (fresh
+        # port, re-registered in the directory) and traffic flows.
+        session2 = yield from initiator.establish(pair_spec(), timeout=60.0)
+        before = reborn.state.region("tally").get("count", 0)
+        sender.ctx.outbox("out").send(Text("after the restart"))
+        while reborn.state.region("tally").get("count", 0) == before:
+            yield world.substrate.timeout(0.05)
+        log.append(("resumed",
+                    reborn.state.region("tally").get("last"),
+                    reborn.state.region("tally").get("count", 0), before))
+        yield from session2.terminate()
+
+    return director, log
+
+
+def _assert_crash_restart_outcome(log, *, checkpointed):
+    if checkpointed:
+        (tag0, cut), (tag1, recovered, live), (tag2, last, after, before) \
+            = log
+        # Rolled back to the time-T cut, not the state at the crash.
+        assert recovered == cut
+        assert cut["tally"]["count"] < live["tally"]["count"]
+    else:
+        (tag1, recovered, live), (tag2, last, after, before) = log
+        # Recovered exactly the state at the moment of the crash: the
+        # "into the void" message never reached the journal.
+        assert recovered == live
+        assert recovered["tally"]["count"] == 6
+    assert last == "after the restart"
+    assert after == before + 1
+
+
+def test_kill_mid_session_restart_reestablish_sim():
+    world = World(seed=71, latency=ConstantLatency(0.01),
+                  store=MemoryBackend())
+    director, log = _crash_restart_scenario(world)
+    world.run(until=world.process(director()))
+    world.run()
+    _assert_crash_restart_outcome(log, checkpointed=False)
+
+
+def test_kill_mid_session_restart_from_checkpoint_sim():
+    world = World(seed=72, latency=ConstantLatency(0.01),
+                  store=MemoryBackend())
+    director, log = _crash_restart_scenario(world, checkpoint_delta=3)
+    world.run(until=world.process(director()))
+    world.run()
+    _assert_crash_restart_outcome(log, checkpointed=True)
+
+
+def test_kill_mid_session_restart_reestablish_real_udp(tmp_path):
+    """The same crash/restart cycle over real loopback UDP sockets,
+    with the journal on a real filesystem."""
+    backend = FileBackend(tmp_path / "store")
+    world = World(substrate=AsyncioSubstrate(seed=73), store=backend)
+    try:
+        director, log = _crash_restart_scenario(world)
+        world.run(until=world.process(director()), wall_timeout=60)
+    finally:
+        backend.close()
+        world.close()
+    _assert_crash_restart_outcome(log, checkpointed=False)
+
+
+def test_kill_mid_session_restart_from_checkpoint_real_udp(tmp_path):
+    backend = FileBackend(tmp_path / "store")
+    world = World(substrate=AsyncioSubstrate(seed=74), store=backend)
+    try:
+        director, log = _crash_restart_scenario(world, checkpoint_delta=3)
+        world.run(until=world.process(director()), wall_timeout=60)
+    finally:
+        backend.close()
+        world.close()
+    _assert_crash_restart_outcome(log, checkpointed=True)
 
 
 def test_interference_state_released_after_crash_teardown():
