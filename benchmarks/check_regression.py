@@ -51,6 +51,14 @@ GUARDED = {
     "e17_persistence": [("sim/wal.ops_per_kb", 0.05),
                         ("sim/fold.compaction", 0.10),
                         ("sim/recovery.equal", 0.0)],
+    # Sharded token service: the overhead bound (multi-shard p50 within
+    # 2x of single-shard) and the soak's granted fraction are both
+    # boolean-like invariants — zero tolerance; the soak's virtual-time
+    # throughput is seed-deterministic with headroom for protocol
+    # tuning.
+    "e18_token_shards": [("sim/overhead.within_bound", 0.0),
+                         ("sim/soak.granted_frac", 0.0),
+                         ("sim/soak.requests_per_s", 0.25)],
 }
 
 

@@ -22,6 +22,13 @@ updates with a short skip timeout), so the corpus covers the
 delivery-class frames — SKIP signals, class-stamped DATA, stale drops —
 in both plain and encoded mode.
 
+``"scenario": "token_probe"`` selects the second canonical scenario: a
+ring of sharded token managers with one colour per shard and a ring of
+agents forming a cross-shard wait cycle, so the golden pins the whole
+manager-to-manager exchange — prepare forwarding, the edge-chasing
+probe messages, the single-victim deadlock abort, and the cascade of
+grants as the cycle unwinds.
+
 ``tests/obs/corpus/`` holds ~10 such cases with committed golden
 traces; ``python -m repro.obs.replay <corpus_dir>`` regenerates the
 goldens after an intentional behaviour change.
@@ -30,6 +37,7 @@ goldens after an intentional behaviour change.
 from __future__ import annotations
 
 import difflib
+import itertools
 import json
 import pathlib
 from typing import Any
@@ -44,11 +52,15 @@ SCENARIO_ENDPOINT_OPTIONS = {"rto_initial": 0.1, "max_retries": 80}
 def run_case(case: dict[str, Any]) -> Tracer:
     """Run the canonical scenario described by ``case``; return its tracer.
 
-    The scenario: two dapplets linked into a session by an initiator, a
-    ping-pong stream of ``case["messages"]`` round trips under the
-    recorded fault schedule, then clean termination — touching session
-    setup/teardown, reliable channels under loss, mailboxes and clocks.
+    The default scenario: two dapplets linked into a session by an
+    initiator, a ping-pong stream of ``case["messages"]`` round trips
+    under the recorded fault schedule, then clean termination — touching
+    session setup/teardown, reliable channels under loss, mailboxes and
+    clocks. ``"scenario": "token_probe"`` runs the sharded-token
+    deadlock scenario instead (see the module docstring).
     """
+    if case.get("scenario") == "token_probe":
+        return _run_token_probe_case(case)
     # Imported here, not at module top: the tracer must stay importable
     # from any layer without dragging in the whole dapplet stack.
     from repro import Dapplet, Initiator, SessionSpec, World
@@ -114,6 +126,70 @@ def run_case(case: dict[str, Any]) -> Tracer:
 
     world.run(until=world.process(director()))
     world.run()
+    return tracer
+
+
+def _run_token_probe_case(case: dict[str, Any]) -> Tracer:
+    """The sharded-token scenario: a wait cycle across every shard.
+
+    ``case["shards"]`` managers (default 3) each home one colour; agent
+    ``u<i>`` takes colour ``i`` then wants colour ``i+1`` (mod N), so the
+    requests form one cycle spanning the whole ring. The probe protocol
+    must pick exactly one victim; its abort releases the cycle and every
+    survivor's second request is granted, after which all agents release
+    everything and the world quiesces.
+    """
+    from repro import Dapplet, World
+    from repro.errors import DeadlockDetected
+    from repro.net import ConstantLatency
+    from repro.services.tokens import ShardRing
+
+    n = case.get("shards", 3)
+    tracer = Tracer(categories=case.get("categories"))
+    world = World(seed=case["seed"], latency=ConstantLatency(0.02),
+                  encoded=case.get("encoded", False), tracer=tracer)
+
+    # One colour homed on each shard, found by scanning candidates
+    # against the same ring world.host_token_shards will build.
+    ring = ShardRing([f"_tok{i}" for i in range(n)])
+    homed: dict[str, str] = {}
+    for i in itertools.count():
+        color = f"col{i}"
+        homed.setdefault(ring.home(color), color)
+        if len(homed) == n:
+            break
+    chain = [homed[f"_tok{i}"] for i in range(n)]
+    service = world.host_token_shards(n, {c: 1 for c in chain})
+
+    class _User(Dapplet):
+        kind = "obs-token-user"
+
+    agents = [service.attach(world.dapplet(_User, f"u{i}.edu", f"u{i}"))
+              for i in range(n)]
+    outcomes = []
+
+    def cycler(i):
+        agent = agents[i]
+        first, second = chain[i], chain[(i + 1) % n]
+        yield agent.request({first: 1})
+        # Staggered second requests give the cycle a stable youngest
+        # waiter, hence a deterministic victim.
+        yield world.kernel.timeout(0.5 + 0.1 * i)
+        try:
+            yield agent.request({second: 1})
+            agent.release({second: 1})
+            outcomes.append((i, "granted"))
+        except DeadlockDetected:
+            outcomes.append((i, "victim"))
+        agent.release({first: 1})
+
+    for i in range(n):
+        world.process(cycler(i))
+    world.run(until=60.0)
+    world.run()
+    if sum(1 for _, what in outcomes if what == "victim") != 1:
+        raise AssertionError(f"expected exactly one victim: {outcomes}")
+    service.check_conservation()
     return tracer
 
 

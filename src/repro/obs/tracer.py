@@ -58,11 +58,14 @@ CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir",
 #: RELIABLE_SKIP packet that hit its skip timeout; ``fsync`` and
 #: ``replay`` are the durable store's sync and recovery durations
 #: (wall-clock on file backends, exactly 0.0 on the memory backend so
-#: simulated traces stay byte-deterministic).
+#: simulated traces stay byte-deterministic); ``route`` is the sharded
+#: token service's request-to-grant latency at the coordinating shard,
+#: including every cross-shard prepare hop.
 _HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"),
                      ("cwnd", "ep.cwnd"), ("rlat", "dir.resolve"),
                      ("dlat", "ep.dlat"), ("slat", "ep.skip_wait"),
-                     ("fsync", "store.fsync"), ("replay", "store.replay"))
+                     ("fsync", "store.fsync"), ("replay", "store.replay"),
+                     ("route", "tok.route"))
 
 
 class TraceEvent:

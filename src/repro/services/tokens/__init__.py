@@ -13,6 +13,12 @@ deadlock), ``release(tokenList)`` (raises on releasing tokens not held),
 and ``totalTokens()``. :mod:`repro.services.tokens.protocols` builds the
 paper's two worked examples on top: single-token mutual exclusion and
 the all-tokens-to-write readers/writer protocol.
+
+At scale the pool is sharded instead: :mod:`repro.services.tokens.shard`
+deploys the paper's actual "network of token managers" — a
+consistent-hash ring of :class:`TokenShard` managers with atomic
+cross-shard grants and probe-based distributed deadlock detection,
+behind the exact same agent protocol (see ``docs/TOKENS.md``).
 """
 
 from repro.services.tokens.manager import (
@@ -21,11 +27,25 @@ from repro.services.tokens.manager import (
     TokenCoordinator,
 )
 from repro.services.tokens.protocols import ReadersWriterLock, TokenMutex
+from repro.services.tokens.shard import (
+    SHARD_INBOX,
+    ShardedTokenService,
+    ShardRing,
+    TokenShard,
+    TokenShardHost,
+    resolve_shard,
+)
 
 __all__ = [
     "ALL",
     "ReadersWriterLock",
+    "SHARD_INBOX",
+    "ShardRing",
+    "ShardedTokenService",
     "TokenAgent",
     "TokenCoordinator",
     "TokenMutex",
+    "TokenShard",
+    "TokenShardHost",
+    "resolve_shard",
 ]

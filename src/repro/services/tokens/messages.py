@@ -75,3 +75,124 @@ class TotalsQuery(Message):
 class Totals(Message):
     req_id: int
     totals: dict = field(default_factory=dict)
+
+
+# -- manager-to-manager messages (the sharded token network) ----------------
+#
+# A ring of :class:`~repro.services.tokens.shard.TokenShard` managers
+# speaks the messages below among themselves; the agent-facing protocol
+# above is unchanged, so a :class:`TokenAgent` cannot tell a shard from
+# the single coordinator. ``gid`` is a globally unique grant id minted
+# by the shard coordinating a request (``"<shard>/<n>"``).
+
+
+@message_type("tok.prepare")
+@dataclass(frozen=True)
+class Prepare(Message):
+    """Reserve ``colors`` at their home shard for grant ``gid``.
+
+    Queued at the home shard until satisfiable; answered with
+    :class:`Prepared`. ``origin`` is the coordinating shard's ring name.
+    ``timestamp``/``agent`` order queued prepares and pick deadlock
+    victims.
+    """
+
+    gid: str
+    agent: str
+    colors: dict  # color -> int | "all"
+    origin: str = ""
+    timestamp: int = 0
+
+
+@message_type("tok.prepared")
+@dataclass(frozen=True)
+class Prepared(Message):
+    """Home shard reserved ``colors`` (``"all"`` resolved) for ``gid``."""
+
+    gid: str
+    colors: dict
+
+
+@message_type("tok.commit")
+@dataclass(frozen=True)
+class Commit(Message):
+    """Turn ``gid``'s reservation into holdings of ``agent``."""
+
+    gid: str
+    agent: str
+
+
+@message_type("tok.abort")
+@dataclass(frozen=True)
+class Abort(Message):
+    """Cancel ``gid``: drop its queued prepare or refund its reservation."""
+
+    gid: str
+
+
+@message_type("tok.release_apply")
+@dataclass(frozen=True)
+class ReleaseApply(Message):
+    """Forwarded release: return ``agent``'s ``tokens`` to this home pool."""
+
+    agent: str
+    tokens: dict
+
+
+@message_type("tok.transfer_apply")
+@dataclass(frozen=True)
+class TransferApply(Message):
+    """Forwarded transfer of home colours from ``agent`` to ``to_agent``."""
+
+    agent: str
+    to_agent: str
+    tokens: dict
+
+
+@message_type("tok.agent_register")
+@dataclass(frozen=True)
+class AgentRegister(Message):
+    """Record ``agent``'s reply inbox at the agent's home shard."""
+
+    agent: str
+    inbox: InboxAddress = None
+
+
+@message_type("tok.forward_notice")
+@dataclass(frozen=True)
+class ForwardNotice(Message):
+    """Route a :class:`TransferNotice` via ``to_agent``'s home shard."""
+
+    to_agent: str
+    from_agent: str
+    tokens: dict
+
+
+@message_type("tok.probe")
+@dataclass(frozen=True)
+class Probe(Message):
+    """One edge-chasing deadlock probe (Chandy-Misra-Haas, AND model).
+
+    The probe asks: is ``holder`` — who holds tokens the origin's
+    blocked request needs — itself blocked, and does the wait chain lead
+    back to ``origin_agent``? ``origin_key`` is the victim-priority
+    tuple ``(timestamp, agent, gid)``; only the probe of the youngest
+    waiter on a cycle survives, so exactly one victim is chosen.
+    ``path`` is the agent chain walked so far.
+    """
+
+    origin_agent: str
+    origin_gid: str
+    origin_key: tuple = ()
+    origin_coord: str = ""
+    holder: str = ""
+    path: tuple = ()
+
+
+@message_type("tok.deadlock_found")
+@dataclass(frozen=True)
+class DeadlockFound(Message):
+    """A probe closed a cycle; ``gid``'s coordinator must abort it."""
+
+    gid: str
+    cycle: tuple = ()

@@ -19,6 +19,13 @@ a process with ``yield``::
     yield mutex.acquire()
     ...critical section...
     mutex.release()
+
+The wrappers never look past the agent, so they run unchanged against
+the single :class:`~repro.services.tokens.manager.TokenCoordinator` or
+a sharded ring (attach the agent via
+:meth:`~repro.services.tokens.shard.ShardedTokenService.attach`); the
+``ALL`` write request is resolved against the colour's totals at its
+home shard either way.
 """
 
 from __future__ import annotations

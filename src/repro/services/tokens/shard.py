@@ -1,0 +1,687 @@
+"""The sharded token service: a real *network* of token managers.
+
+The paper: "A network of token-manager objects manages tokens shared by
+all the dapplets in a session." The single :class:`TokenCoordinator` is
+that network collapsed to a star; this module is the full shape — a
+consistent-hash ring of :class:`TokenShard` managers, each the *home*
+of the colours (and agents) that hash onto its arc.
+
+Routing
+    Any shard accepts any agent request (agents attach to the shard
+    their own name hashes to) and routes each colour to its home
+    manager, so adding shards spreads both request load and pool state.
+
+Atomic multi-colour grants
+    A request naming colours homed on several shards is split into one
+    *group* per home shard and granted all-or-nothing: the coordinating
+    shard sends :class:`~repro.services.tokens.messages.Prepare` to each
+    home **sequentially in ring-name order** (a global acquisition order,
+    so the protocol itself can never deadlock on its own reservations),
+    each home reserves its group when its pool allows (queueing behind
+    its grant policy otherwise), and once every group is reserved a
+    :class:`~repro.services.tokens.messages.Commit` turns the
+    reservations into holdings and the agent sees one
+    :class:`~repro.services.tokens.messages.Grant`. A deadlock aborts
+    the exchange instead (:class:`~repro.services.tokens.messages.Abort`
+    refunds every reservation), so a grant is never half-made.
+
+Distributed deadlock detection
+    Waits that span shards are invisible to any single manager, so
+    detection is edge-chasing (Chandy-Misra-Haas, AND model):
+    a shard with a blocked prepare launches
+    :class:`~repro.services.tokens.messages.Probe` messages at the
+    holders of the colours the waiter is missing; a shard finding the
+    probed holder blocked in *its* queue extends the probe along that
+    waiter's missing colours. A probe arriving back at its origin agent
+    closed a wait cycle. Exactly one victim per cycle: a probe is only
+    forwarded past waiters *older* than its origin (priority =
+    ``(timestamp, agent, gid)``), and meeting a younger waiter kills the
+    probe and launches that waiter's own — so only the youngest waiter
+    on the cycle self-detects, and its coordinator aborts it with
+    :class:`~repro.errors.DeadlockDetected`.
+
+Conservation is *instantaneous*, not just quiescent: tokens move
+between ``pool``, ``reserved`` and ``holders`` ledgers inside exactly
+one home shard — no message ever carries a token in flight — so
+:meth:`ShardedTokenService.check_conservation` may be called at any
+point of any schedule.
+
+Agents are oblivious: :class:`~repro.services.tokens.manager.TokenAgent`
+(and therefore :class:`~repro.services.tokens.protocols.TokenMutex` and
+:class:`~repro.services.tokens.protocols.ReadersWriterLock`) speak the
+exact same wire protocol to a shard as to the single coordinator.
+
+Deploy via :meth:`repro.world.World.host_token_shards`, or resolve a
+shard through the replicated directory with :func:`resolve_shard` when
+the world hosts one (shard hosts are ordinary dapplets and enroll like
+any other).
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterable, Mapping
+from zlib import crc32
+
+from repro.dapplet.dapplet import Dapplet
+from repro.errors import TokenError
+from repro.mailbox.outbox import Outbox
+from repro.net.address import InboxAddress, NodeAddress
+from repro.services.tokens import messages as tm
+from repro.services.tokens.manager import ALL, POLICIES, TokenAgent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.discovery.resolver import Resolver
+
+#: Well-known inbox name of every token shard.
+SHARD_INBOX = "_tokshard"
+
+#: Virtual nodes per shard on the ring — enough to spread a handful of
+#: shards evenly without making the ring big.
+VNODES = 16
+
+
+class TokenShardHost(Dapplet):
+    """The dapplet a :class:`TokenShard` servlet runs on."""
+
+    kind = "token-shard"
+
+
+class ShardRing:
+    """A consistent-hash ring over shard names.
+
+    Both colours and agent names are placed with crc32 (the same spread
+    function the discovery subsystem uses), each shard contributing
+    :data:`VNODES` points. ``home(key)`` is the owner of the first ring
+    point at or after the key's hash — stable under shard addition or
+    removal for all keys not on the moved arcs.
+    """
+
+    def __init__(self, names: Iterable[str], *, vnodes: int = VNODES) -> None:
+        self.names = tuple(sorted(set(names)))
+        if not self.names:
+            raise TokenError("a shard ring needs at least one shard")
+        self.vnodes = vnodes
+        points = []
+        for name in self.names:
+            for v in range(vnodes):
+                points.append((crc32(f"{name}#{v}".encode()), name))
+        points.sort()
+        self._points = points
+
+    def home(self, key: str) -> str:
+        """The shard name owning ``key`` (a colour or an agent name)."""
+        h = crc32(str(key).encode())
+        i = bisect_left(self._points, (h, ""))
+        return self._points[i % len(self._points)][1]
+
+    def split(self, tokens: Mapping[str, object]) -> list[tuple[str, dict]]:
+        """Group a token list by home shard, in ring-name order.
+
+        The order is the protocol's global acquisition order: every
+        coordinator prepares groups in this sequence, so reservations
+        alone can never form a wait cycle.
+        """
+        groups: dict[str, dict] = {}
+        for color in sorted(tokens):
+            groups.setdefault(self.home(color), {})[color] = tokens[color]
+        return sorted(groups.items())
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+class _Queued:
+    """Home-shard record of one blocked (un-reservable) prepare."""
+
+    __slots__ = ("gid", "agent", "colors", "origin", "timestamp", "seq")
+
+    def __init__(self, msg: tm.Prepare, seq: int) -> None:
+        self.gid = msg.gid
+        self.agent = msg.agent
+        self.colors = dict(msg.colors)
+        self.origin = msg.origin
+        self.timestamp = msg.timestamp
+        self.seq = seq
+
+    @property
+    def key(self) -> tuple:
+        """Deadlock-victim priority: youngest (largest) loses."""
+        return (self.timestamp, self.agent, self.gid)
+
+
+class _Coordinated:
+    """Coordinator-side record of one in-flight multi-shard grant."""
+
+    __slots__ = ("gid", "req_id", "agent", "reply_to", "timestamp",
+                 "groups", "idx", "prepared", "t0")
+
+    def __init__(self, gid: str, msg: tm.Request,
+                 groups: list[tuple[str, dict]], t0: float) -> None:
+        self.gid = gid
+        self.req_id = msg.req_id
+        self.agent = msg.agent
+        self.reply_to = msg.reply_to
+        self.timestamp = msg.timestamp
+        self.groups = groups
+        self.idx = 0                       # next group to prepare
+        self.prepared: dict[str, dict] = {}  # shard -> resolved counts
+        self.t0 = t0
+
+
+class TokenShard:
+    """One manager of the sharded token network.
+
+    Speaks the agent-facing protocol of
+    :class:`~repro.services.tokens.manager.TokenCoordinator` on the same
+    wire messages, plus the manager-to-manager protocol (prepare /
+    commit / abort, forwarded release and transfer, probes). ``peers``
+    maps every ring name — including this shard's own — to the node its
+    host dapplet runs on.
+    """
+
+    def __init__(self, dapplet: Dapplet, ring: ShardRing, shard_name: str,
+                 peers: Mapping[str, NodeAddress],
+                 initial: Mapping[str, int], *, policy: str = "fifo",
+                 name: str = SHARD_INBOX) -> None:
+        if policy not in POLICIES:
+            raise TokenError(f"policy must be one of {POLICIES}")
+        for color, n in initial.items():
+            if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+                raise TokenError(
+                    f"initial count for colour {color!r} must be an int >= 0")
+        if set(peers) != set(ring.names):
+            raise TokenError("peers must name every shard on the ring")
+        self.dapplet = dapplet
+        self.ring = ring
+        self.name = shard_name
+        self.policy = policy
+        self.peers = {n: InboxAddress(a, name) if isinstance(a, NodeAddress)
+                      else a for n, a in peers.items()}
+        #: The fixed world-wide totals (static: tokens are conserved).
+        self.global_totals = dict(initial)
+        #: This shard's ledgers, home colours only. pool + reserved +
+        #: held == totals for every colour, at every instant.
+        self.totals = {c: n for c, n in initial.items()
+                       if ring.home(c) == shard_name}
+        self.pool = dict(self.totals)
+        self.holders: dict[str, dict[str, int]] = {}
+        self._reserved: dict[str, tuple[str, dict[str, int]]] = {}
+        self._queue: list[_Queued] = []
+        self._coordinating: dict[str, _Coordinated] = {}
+        #: Reply inboxes of agents homed on this shard.
+        self._agent_inboxes: dict[str, InboxAddress] = {}
+        #: (agent, inbox) pairs this shard already pushed to their home.
+        self._registered: set[tuple[str, InboxAddress]] = set()
+        self._outboxes: dict[InboxAddress, Outbox] = {}
+        self._gids = itertools.count(1)
+        self._seq = itertools.count()
+        self.grants = 0
+        self.deadlocks = 0
+        self.forwards = 0
+        self.probes_sent = 0
+        self.probes_received = 0
+        self.inbox = dapplet.create_inbox(name=name)
+        tr = dapplet.kernel.tracer
+        if tr is not None:
+            tr.emit("tokens", "shard", node=dapplet.address, shard=shard_name,
+                    colors=len(self.totals), ring=len(ring))
+        self.server = dapplet.spawn(self._serve(), name=f"tokshard-{shard_name}")
+
+    @property
+    def pointer(self) -> InboxAddress:
+        """Where agents (and peer shards) connect."""
+        return self.inbox.named_address
+
+    # -- invariants --------------------------------------------------------
+
+    def local_totals(self) -> dict[str, int]:
+        """Live per-colour accounting: pool + reserved + held."""
+        live = dict(self.pool)
+        for _, colors in self._reserved.values():
+            for color, n in colors.items():
+                live[color] = live.get(color, 0) + n
+        for held in self.holders.values():
+            for color, n in held.items():
+                live[color] = live.get(color, 0) + n
+        return live
+
+    def check_conservation(self) -> None:
+        """Assert pool + reserved + held == totals for every home colour."""
+        live = self.local_totals()
+        for color, total in self.totals.items():
+            if live.get(color, 0) != total:
+                raise TokenError(
+                    f"shard {self.name!r}: conservation violated for colour "
+                    f"{color!r}: live={live.get(color, 0)} total={total}")
+        for color in live:
+            if color not in self.totals:
+                raise TokenError(
+                    f"shard {self.name!r} holds foreign colour {color!r}")
+
+    @property
+    def quiescent(self) -> bool:
+        return not (self._queue or self._reserved or self._coordinating)
+
+    # -- server ------------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            msg = yield self.inbox.receive()
+            self._handle(msg)
+
+    def _handle(self, msg) -> None:
+        if isinstance(msg, tm.Request):
+            self._on_request(msg)
+        elif isinstance(msg, tm.Release):
+            self._on_release(msg)
+        elif isinstance(msg, tm.Transfer):
+            self._on_transfer(msg)
+        elif isinstance(msg, tm.TotalsQuery):
+            self._learn_agent(msg.agent, msg.reply_to)
+            self._send(msg.reply_to,
+                       tm.Totals(msg.req_id, dict(self.global_totals)))
+        elif isinstance(msg, tm.Prepare):
+            self._on_prepare(msg)
+        elif isinstance(msg, tm.Prepared):
+            self._on_prepared(msg)
+        elif isinstance(msg, tm.Commit):
+            self._on_commit(msg)
+        elif isinstance(msg, tm.Abort):
+            self._on_abort(msg)
+        elif isinstance(msg, tm.ReleaseApply):
+            self._on_release_apply(msg)
+        elif isinstance(msg, tm.TransferApply):
+            self._on_transfer_apply(msg)
+        elif isinstance(msg, tm.AgentRegister):
+            self._agent_inboxes[msg.agent] = msg.inbox
+        elif isinstance(msg, tm.ForwardNotice):
+            self._on_forward_notice(msg)
+        elif isinstance(msg, tm.Probe):
+            self._on_probe(msg)
+        elif isinstance(msg, tm.DeadlockFound):
+            self._on_deadlock_found(msg)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, to: InboxAddress, message) -> None:
+        outbox = self._outboxes.get(to)
+        if outbox is None:
+            outbox = self.dapplet.create_outbox()
+            outbox.add(to)
+            self._outboxes[to] = outbox
+        outbox.send(message)
+
+    def _send_shard(self, shard_name: str, message) -> None:
+        """Route a manager-to-manager message by ring name.
+
+        A message to this shard itself is dispatched directly — the
+        shard is single-threaded over its inbox, and every handler is
+        synchronous, so inline dispatch preserves the exact semantics of
+        a loopback hop without the latency.
+        """
+        if shard_name == self.name:
+            self._handle(message)
+            return
+        self.forwards += 1
+        tr = self.dapplet.kernel.tracer
+        if tr is not None:
+            tr.emit("tokens", "forward", node=self.dapplet.address,
+                    to=shard_name, kind=message.wire_name)
+        self._send(self.peers[shard_name], message)
+
+    def _learn_agent(self, agent: str, reply_to: InboxAddress | None) -> None:
+        """Push (agent, inbox) to the agent's home shard, once."""
+        if not agent or reply_to is None:
+            return
+        if (agent, reply_to) in self._registered:
+            return
+        self._registered.add((agent, reply_to))
+        self._send_shard(self.ring.home(agent),
+                         tm.AgentRegister(agent, reply_to))
+
+    def _trace(self, event: str, **fields) -> None:
+        tr = self.dapplet.kernel.tracer
+        if tr is not None:
+            tr.emit("tokens", event, node=self.dapplet.address, **fields)
+
+    # -- the coordinator role (any shard, for requests it accepted) --------
+
+    def _on_request(self, msg: tm.Request) -> None:
+        self._learn_agent(msg.agent, msg.reply_to)
+        for color in msg.tokens:
+            if color not in self.global_totals:
+                self._send(msg.reply_to, tm.DeadlockNotice(msg.req_id, ()))
+                return
+        gid = f"{self.name}/{next(self._gids)}"
+        groups = self.ring.split(msg.tokens)
+        multi = _Coordinated(gid, msg, groups, self.dapplet.kernel.now)
+        self._coordinating[gid] = multi
+        self._prepare_next(multi)
+
+    def _prepare_next(self, multi: _Coordinated) -> None:
+        shard, colors = multi.groups[multi.idx]
+        self._send_shard(shard, tm.Prepare(
+            gid=multi.gid, agent=multi.agent, colors=colors,
+            origin=self.name, timestamp=multi.timestamp))
+
+    def _on_prepared(self, msg: tm.Prepared) -> None:
+        multi = self._coordinating.get(msg.gid)
+        if multi is None:
+            # Raced an abort: the reservation was made for a grant that
+            # no longer exists — refund it at its home shard.
+            self._send_shard(msg.gid.split("/", 1)[0], tm.Abort(msg.gid))
+            return
+        shard, _ = multi.groups[multi.idx]
+        multi.prepared[shard] = dict(msg.colors)
+        multi.idx += 1
+        if multi.idx < len(multi.groups):
+            self._prepare_next(multi)
+            return
+        del self._coordinating[multi.gid]
+        need: dict[str, int] = {}
+        for shard, _ in multi.groups:
+            self._send_shard(shard, tm.Commit(multi.gid, multi.agent))
+            need.update(multi.prepared[shard])
+        self.grants += 1
+        self._trace("grant", agent=multi.agent,
+                    tokens=dict(sorted(need.items())),
+                    route=self.dapplet.kernel.now - multi.t0,
+                    hops=len(multi.groups))
+        self._send(multi.reply_to, tm.Grant(multi.req_id, need))
+
+    def _on_deadlock_found(self, msg: tm.DeadlockFound) -> None:
+        multi = self._coordinating.pop(msg.gid, None)
+        if multi is None:
+            return  # stale probe result: already granted or aborted
+        self.deadlocks += 1
+        for shard, _ in multi.groups[:multi.idx + 1]:
+            self._send_shard(shard, tm.Abort(multi.gid))
+        self._trace("deadlock", agent=multi.agent, cycle=list(msg.cycle))
+        self._send(multi.reply_to,
+                   tm.DeadlockNotice(multi.req_id, tuple(msg.cycle)))
+
+    def _on_release(self, msg: tm.Release) -> None:
+        self._trace("release", agent=msg.agent,
+                    tokens=dict(sorted(msg.tokens.items())))
+        for shard, colors in self.ring.split(msg.tokens):
+            self._send_shard(shard, tm.ReleaseApply(msg.agent, colors))
+
+    def _on_transfer(self, msg: tm.Transfer) -> None:
+        for shard, colors in self.ring.split(msg.tokens):
+            self._send_shard(shard, tm.TransferApply(
+                msg.agent, msg.to_agent, colors))
+
+    # -- the home-manager role (this shard's own colours) ------------------
+
+    def _resolve(self, colors: Mapping[str, object]) -> dict[str, int]:
+        """Concrete counts for a home group (resolving ``"all"``)."""
+        return {c: (self.totals.get(c, 0) if n == ALL else n)
+                for c, n in colors.items()}
+
+    def _satisfiable(self, entry: _Queued) -> bool:
+        need = self._resolve(entry.colors)
+        return all(self.pool.get(c, 0) >= n for c, n in need.items())
+
+    def _on_prepare(self, msg: tm.Prepare) -> None:
+        entry = _Queued(msg, next(self._seq))
+        self._queue.append(entry)
+        if not self._drain():
+            # Still queued: the wait-for graph grew an edge.
+            self._probe_sweep()
+
+    def _reserve(self, entry: _Queued) -> None:
+        need = self._resolve(entry.colors)
+        for color, n in need.items():
+            self.pool[color] = self.pool.get(color, 0) - n
+        self._reserved[entry.gid] = (entry.agent, need)
+        self._send_shard(entry.origin, tm.Prepared(entry.gid, need))
+
+    def _drain(self) -> bool:
+        """Reserve queued prepares per the grant policy.
+
+        Returns True if every queued entry was reserved (queue empty).
+        """
+        reserved_any = False
+        if self.policy == "timestamp":
+            # Strict (timestamp, agent, gid) order: only the head may go.
+            while self._queue:
+                head = min(self._queue, key=lambda e: (e.key, e.seq))
+                if not self._satisfiable(head):
+                    break
+                self._queue.remove(head)
+                self._reserve(head)
+                reserved_any = True
+        else:
+            progressed = True
+            while progressed:
+                progressed = False
+                for entry in list(self._queue):
+                    if self._satisfiable(entry):
+                        self._queue.remove(entry)
+                        self._reserve(entry)
+                        reserved_any = progressed = True
+        if reserved_any and self._queue:
+            # New reservations are new "holdings" in the wait-for graph.
+            self._probe_sweep()
+        return not self._queue
+
+    def _on_commit(self, msg: tm.Commit) -> None:
+        reservation = self._reserved.pop(msg.gid, None)
+        if reservation is None:
+            return  # already aborted; the refund Abort is in flight
+        agent, colors = reservation
+        held = self.holders.setdefault(agent, {})
+        for color, n in colors.items():
+            held[color] = held.get(color, 0) + n
+        # A committed holding can close a wait cycle the reservation
+        # already opened under a different gid ordering — re-probe.
+        self._probe_sweep()
+
+    def _on_abort(self, msg: tm.Abort) -> None:
+        reservation = self._reserved.pop(msg.gid, None)
+        if reservation is not None:
+            _, colors = reservation
+            for color, n in colors.items():
+                self.pool[color] = self.pool.get(color, 0) + n
+            self._drain()
+            return
+        self._queue = [e for e in self._queue if e.gid != msg.gid]
+
+    def _on_release_apply(self, msg: tm.ReleaseApply) -> None:
+        held = self.holders.get(msg.agent, {})
+        for color, n in msg.tokens.items():
+            count = held.get(color, 0) if n == ALL else n
+            have = held.get(color, 0)
+            if count > have:
+                # Agents validate locally; a mismatch is a protocol bug.
+                raise TokenError(
+                    f"agent {msg.agent!r} released {count} {color!r} tokens "
+                    f"at shard {self.name!r} but holds {have}")
+            held[color] = have - count
+            if held[color] == 0:
+                del held[color]
+            self.pool[color] = self.pool.get(color, 0) + count
+        self._drain()
+
+    def _on_transfer_apply(self, msg: tm.TransferApply) -> None:
+        src = self.holders.get(msg.agent, {})
+        moved: dict[str, int] = {}
+        for color, n in msg.tokens.items():
+            count = src.get(color, 0) if n == ALL else n
+            if count > src.get(color, 0):
+                raise TokenError(
+                    f"agent {msg.agent!r} transferred {count} {color!r} "
+                    f"tokens at shard {self.name!r} but holds "
+                    f"{src.get(color, 0)}")
+            if count == 0:
+                continue  # 'all of nothing' moves nothing
+            src[color] -= count
+            if src[color] == 0:
+                del src[color]
+            moved[color] = count
+        if not moved:
+            return
+        dst = self.holders.setdefault(msg.to_agent, {})
+        for color, count in moved.items():
+            dst[color] = dst.get(color, 0) + count
+        self._send_shard(self.ring.home(msg.to_agent), tm.ForwardNotice(
+            msg.to_agent, msg.agent, moved))
+        # Moved holdings can close a wait-for cycle.
+        self._probe_sweep()
+
+    def _on_forward_notice(self, msg: tm.ForwardNotice) -> None:
+        target = self._agent_inboxes.get(msg.to_agent)
+        if target is not None:
+            self._send(target, tm.TransferNotice(msg.from_agent,
+                                                 dict(msg.tokens)))
+
+    # -- edge-chasing deadlock detection -----------------------------------
+
+    def _scarce_holders(self, entry: _Queued) -> list[str]:
+        """Agents holding (or reserving) colours ``entry`` is short of."""
+        need = self._resolve(entry.colors)
+        scarce = [c for c, n in need.items() if self.pool.get(c, 0) < n]
+        holders: set[str] = set()
+        for color in scarce:
+            for agent, held in self.holders.items():
+                if held.get(color, 0) > 0:
+                    holders.add(agent)
+            for agent, colors in self._reserved.values():
+                if colors.get(color, 0) > 0:
+                    holders.add(agent)
+        holders.discard(entry.agent)
+        return sorted(holders)
+
+    def _probe_sweep(self) -> None:
+        for entry in list(self._queue):
+            self._initiate_probes(entry)
+
+    def _initiate_probes(self, entry: _Queued) -> None:
+        for holder in self._scarce_holders(entry):
+            self._broadcast_probe(tm.Probe(
+                origin_agent=entry.agent, origin_gid=entry.gid,
+                origin_key=entry.key, origin_coord=entry.origin,
+                holder=holder, path=(entry.agent,)))
+
+    def _broadcast_probe(self, probe: tm.Probe) -> None:
+        # Every shard sees the probe: the holder's own blocked prepare
+        # can be queued anywhere on the ring.
+        self.probes_sent += len(self.ring.names)
+        for shard in self.ring.names:
+            self._send_shard(shard, probe)
+
+    def _on_probe(self, msg: tm.Probe) -> None:
+        self.probes_received += 1
+        matched = [e for e in self._queue if e.agent == msg.holder]
+        if matched:
+            self._trace("probe", origin=msg.origin_agent, holder=msg.holder,
+                        hop=len(msg.path))
+        for entry in matched:
+            if entry.key > tuple(msg.origin_key):
+                # The origin is not the youngest waiter on this chain:
+                # kill its probe, launch the younger waiter's own.
+                self._initiate_probes(entry)
+                continue
+            for holder in self._scarce_holders(entry):
+                if holder == msg.origin_agent:
+                    self._send_shard(msg.origin_coord, tm.DeadlockFound(
+                        msg.origin_gid, tuple(msg.path) + (msg.holder,)))
+                elif holder not in msg.path:
+                    self._broadcast_probe(tm.Probe(
+                        origin_agent=msg.origin_agent,
+                        origin_gid=msg.origin_gid,
+                        origin_key=msg.origin_key,
+                        origin_coord=msg.origin_coord,
+                        holder=holder,
+                        path=tuple(msg.path) + (msg.holder,)))
+
+
+class ShardedTokenService:
+    """Facade over one deployed ring of :class:`TokenShard` managers.
+
+    Build it with :meth:`repro.world.World.host_token_shards`; the
+    service owns nothing — it is a view over the shard servlets with
+    the cross-shard invariant checks the tests and benchmarks use.
+    """
+
+    def __init__(self, shards: list[TokenShard],
+                 initial: Mapping[str, int]) -> None:
+        if not shards:
+            raise TokenError("a sharded token service needs >= 1 shard")
+        self.shards = list(shards)
+        self.ring = shards[0].ring
+        self.by_name = {shard.name: shard for shard in shards}
+        self.initial = dict(initial)
+
+    def shard_for(self, key: str) -> TokenShard:
+        """The home shard of ``key`` (a colour or an agent name)."""
+        return self.by_name[self.ring.home(key)]
+
+    def pointer_for(self, key: str) -> InboxAddress:
+        """Where an agent named ``key`` should attach."""
+        return self.shard_for(key).pointer
+
+    def attach(self, dapplet: Dapplet) -> TokenAgent:
+        """A :class:`TokenAgent` for ``dapplet``, attached to its home
+        shard — the plain agent class, unchanged."""
+        return TokenAgent(dapplet, self.pointer_for(dapplet.name))
+
+    # -- cross-shard invariants -------------------------------------------
+
+    def total_tokens(self) -> dict[str, int]:
+        """Live accounting summed over every shard."""
+        live: dict[str, int] = {}
+        for shard in self.shards:
+            for color, n in shard.local_totals().items():
+                live[color] = live.get(color, 0) + n
+        return live
+
+    def check_conservation(self) -> None:
+        """The paper's invariant, network-wide and instantaneous:
+        summed over shards, pool + reserved + held equals the initial
+        grant for every colour."""
+        for shard in self.shards:
+            shard.check_conservation()
+        live = self.total_tokens()
+        for color, total in self.initial.items():
+            if live.get(color, 0) != total:
+                raise TokenError(
+                    f"global conservation violated for colour {color!r}: "
+                    f"live={live.get(color, 0)} initial={total}")
+
+    @property
+    def quiescent(self) -> bool:
+        """No queued, reserved, or coordinating grant anywhere."""
+        return all(shard.quiescent for shard in self.shards)
+
+    # -- aggregated counters ----------------------------------------------
+
+    @property
+    def grants(self) -> int:
+        return sum(shard.grants for shard in self.shards)
+
+    @property
+    def deadlocks(self) -> int:
+        return sum(shard.deadlocks for shard in self.shards)
+
+    @property
+    def forwards(self) -> int:
+        return sum(shard.forwards for shard in self.shards)
+
+    @property
+    def probes_sent(self) -> int:
+        return sum(shard.probes_sent for shard in self.shards)
+
+
+def resolve_shard(resolver: "Resolver", ring: ShardRing, key: str):
+    """Resolve the home shard of ``key`` through the directory.
+
+    A generator (``yield from`` it): looks up the shard's *ring name*
+    in the replicated directory — shard hosts enroll like any dapplet —
+    and returns the :class:`InboxAddress` a
+    :class:`~repro.services.tokens.manager.TokenAgent` can attach to.
+    """
+    node = yield from resolver.resolve(ring.home(key))
+    return InboxAddress(node, SHARD_INBOX)

@@ -243,6 +243,44 @@ class World:
             instance.state.restore(cut["state"])
         return instance
 
+    # -- sharded tokens (repro.services.tokens.shard) ----------------------
+
+    def host_token_shards(self, hosts: "int | list[str]",
+                          initial: dict[str, int], *,
+                          policy: str = "fifo",
+                          vnodes: int | None = None) -> Any:
+        """Deploy the paper's network of token managers, sharded.
+
+        ``hosts`` is either a shard count (each on its own synthetic
+        ``tokN.example.org`` host) or an explicit list of host names;
+        one :class:`~repro.services.tokens.TokenShard` manager is
+        installed per host, named ``_tokN``, and the colours of
+        ``initial`` are spread over them by consistent hashing. Returns
+        a :class:`~repro.services.tokens.ShardedTokenService`: call its
+        ``attach(dapplet)`` for a plain
+        :class:`~repro.services.tokens.TokenAgent` connected to the
+        dapplet's home shard. With a hosted directory, shard hosts
+        enroll like any dapplet, so agents may instead resolve a
+        manager by ring position via
+        :func:`~repro.services.tokens.resolve_shard`.
+        """
+        from repro.services.tokens.shard import (ShardedTokenService,
+                                                 ShardRing, TokenShard,
+                                                 TokenShardHost, VNODES)
+        if isinstance(hosts, int):
+            hosts = [f"tok{i}.example.org" for i in range(hosts)]
+        if not hosts:
+            raise DappletError("host_token_shards needs >= 1 host")
+        names = [f"_tok{i}" for i in range(len(hosts))]
+        ring = ShardRing(names, vnodes=vnodes or VNODES)
+        dapplets = {name: self.dapplet(TokenShardHost, host, name)
+                    for name, host in zip(names, hosts)}
+        peers = {name: d.address for name, d in dapplets.items()}
+        shards = [TokenShard(dapplets[name], ring, name, peers, initial,
+                             policy=policy)
+                  for name in names]
+        return ShardedTokenService(shards, initial)
+
     # -- replicated discovery (repro.discovery) ----------------------------
 
     def host_directory(self, hosts: "int | list[str]" = 3, *,

@@ -234,6 +234,68 @@ def test_transfer_moves_tokens_between_agents():
     coord.check_conservation()
 
 
+def test_transfer_to_unenrolled_agent_parks_tokens():
+    """A transfer to a dead or never-enrolled agent still moves the
+    holding at the coordinator — the tokens are parked under the target
+    name (conservation intact), there is just nobody to notify."""
+    world, coord, (a, b, c) = make_world({"red": 3})
+
+    def giver():
+        yield a.request({"red": 3})
+        a.transfer("ghost", {"red": 2})
+        assert a.holds == {"red": 1}
+
+    p = world.process(giver())
+    world.run(until=p)
+    world.run()
+    assert coord.holders["ghost"] == {"red": 2}
+    coord.check_conservation()
+
+
+def test_transfer_exceeding_held_raises_locally():
+    world, coord, (a, b, c) = make_world({"red": 3})
+
+    def user():
+        yield a.request({"red": 2})
+        with pytest.raises(TokenError):
+            a.transfer("d1", {"red": 3})      # more than held
+        with pytest.raises(TokenError):
+            a.transfer("d1", {"blue": 1})     # colour not held at all
+        # 'all of nothing' moves nothing and is not an error.
+        a.transfer("d1", {"blue": ALL})
+        assert a.holds == {"red": 2}
+
+    p = world.process(user())
+    world.run(until=p)
+    world.run()
+    assert "d1" not in coord.holders
+    coord.check_conservation()
+
+
+def test_transfer_racing_a_release():
+    """A transfer landing while the receiver is concurrently releasing
+    its own holding: both apply in coordinator order, the receiver ends
+    up with exactly the transferred tokens."""
+    world, coord, (a, b, c) = make_world({"red": 2})
+
+    def setup_and_race():
+        yield a.request({"red": 1})
+        yield b.request({"red": 1})
+        # Same instant: b gives its token back while a hands b another.
+        b.release({"red": 1})
+        a.transfer("d1", {"red": 1})
+
+    p = world.process(setup_and_race())
+    world.run(until=p)
+    world.run()
+    assert a.holds == {}
+    assert b.holds == {"red": 1}
+    assert b.transfers_received == [("d0", {"red": 1})]
+    assert coord.holders.get("d1") == {"red": 1}
+    assert coord.pool["red"] == 1
+    coord.check_conservation()
+
+
 def test_transfer_can_unblock_deadlock_free_waiter():
     world, coord, (a, b, c) = make_world({"red": 1})
     order = []

@@ -1,0 +1,221 @@
+"""Property tests for the sharded token service.
+
+Three properties, each on both substrates where it makes sense:
+
+* **Conservation** — under arbitrary request/release/transfer schedules
+  with agents joining mid-run (churn), the per-colour sum of pool +
+  reserved + held over every shard equals the initial grant. The
+  sharded design makes this *instantaneous* (no message carries a
+  token), so the check runs at the end of a random schedule regardless
+  of whether the world quiesced.
+* **Liveness** — two-phase workloads (request all-at-once, hold, release
+  all) always complete on every agent: every satisfiable blocked
+  request is eventually granted and the probe protocol never falsely
+  kills one (zero deadlocks).
+* **Determinism** — on the simulator the whole sharded exchange is a
+  pure function of the seed: two runs of one schedule produce
+  byte-identical token traces.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import AsyncioSubstrate, World
+from repro.errors import DeadlockDetected, TokenError
+from repro.net import ConstantLatency
+from repro.obs import Tracer
+from repro.services.tokens import ALL
+
+from tests.services.test_tokens_sharded import Plain, colors_per_shard
+
+ROSTER = 6  # agent names d0..d5; agents join lazily (churn)
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=ROSTER - 1),   # agent index
+        st.sampled_from(["request", "request2", "release", "release_all",
+                         "transfer", "totals"]),
+        st.integers(min_value=0, max_value=3),            # colour index
+        st.one_of(st.integers(min_value=1, max_value=3),
+                  st.just(ALL)),
+        st.integers(min_value=0, max_value=ROSTER - 1),   # transfer target
+        st.floats(min_value=0.0, max_value=0.3),          # think time
+    ),
+    min_size=1, max_size=25)
+
+
+def run_schedule(world, service, colors, initial, script, *, done=None):
+    """Drive ``script`` against ``service``; agents join on first use."""
+    agents = {}
+
+    def get_agent(idx):
+        # Lazy creation is the churn: the roster joins the world
+        # mid-schedule, in script order, with requests already in flight.
+        if idx not in agents:
+            d = world.dapplet(Plain, f"s{idx}.edu", f"d{idx}")
+            agents[idx] = service.attach(d)
+        return agents[idx]
+
+    def driver():
+        for idx, op, color_i, count, target, think in script:
+            agent = get_agent(idx)
+            color = colors[color_i % len(colors)]
+            yield world.kernel.timeout(think)
+            try:
+                if op == "request":
+                    # Bounded wait so adversarial scripts cannot hang
+                    # the property; a timeout leaves a queued prepare,
+                    # which conservation must still survive.
+                    ev = agent.request({color: count})
+                    yield ev | world.kernel.timeout(1.0)
+                elif op == "request2":
+                    other = colors[(color_i + 1) % len(colors)]
+                    ev = agent.request({color: count, other: 1})
+                    yield ev | world.kernel.timeout(1.0)
+                elif op == "release":
+                    agent.release({color: count})
+                elif op == "release_all":
+                    if agent.holds:
+                        agent.release({c: ALL for c in agent.holds})
+                elif op == "transfer":
+                    agent.transfer(f"d{target}", {color: count})
+                elif op == "totals":
+                    totals = yield agent.total_tokens()
+                    assert totals == initial
+            except (TokenError, DeadlockDetected):
+                pass  # invalid ops and deadlocks are legitimate outcomes
+        if done is not None:
+            done.succeed(None)
+
+    world.process(driver())
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       n_shards=st.integers(min_value=1, max_value=4), script=ops)
+def test_conservation_under_churn_on_sim(seed, n_shards, script):
+    by_home = colors_per_shard(n_shards)
+    colors = sorted(c for cs in by_home.values() for c in cs)
+    initial = {c: 3 for c in colors}
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    service = world.host_token_shards(n_shards, initial)
+    run_schedule(world, service, colors, initial, script)
+    world.run(until=20.0)
+    # Mid-flight is fine: the invariant is instantaneous by design.
+    service.check_conservation()
+    world.run()
+    service.check_conservation()
+    assert service.total_tokens() == initial
+    for shard in service.shards:
+        for held in shard.holders.values():
+            assert all(v > 0 for v in held.values())
+        for color, n in shard.pool.items():
+            assert 0 <= n <= shard.totals[color]
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       script=ops.filter(lambda s: len(s) <= 10))
+def test_conservation_under_churn_on_asyncio(seed, script):
+    # Real loopback UDP: few examples, short scripts, wall timeout.
+    by_home = colors_per_shard(2)
+    colors = sorted(c for cs in by_home.values() for c in cs)
+    initial = {c: 3 for c in colors}
+    world = World(substrate=AsyncioSubstrate(seed=seed))
+    try:
+        service = world.host_token_shards(2, initial)
+        done = world.kernel.event()
+        run_schedule(world, service, colors, initial, script, done=done)
+        world.run(until=done, wall_timeout=60)
+        world.run(until=world.now + 1.0, wall_timeout=30)
+        service.check_conservation()
+        assert service.total_tokens() == initial
+    finally:
+        world.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       n_shards=st.integers(min_value=1, max_value=4),
+       n_agents=st.integers(min_value=2, max_value=5),
+       rounds=st.integers(min_value=1, max_value=4))
+def test_two_phase_workloads_always_complete_on_sim(seed, n_shards,
+                                                    n_agents, rounds):
+    """Liveness: all-at-once multi-shard requests always finish — no
+    lost grants, no false deadlock victims, for every ring size."""
+    by_home = colors_per_shard(n_shards)
+    initial = {cs[0]: 1 for cs in by_home.values()}
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    service = world.host_token_shards(n_shards, initial)
+    completed = []
+
+    def worker(agent, tag):
+        for _ in range(rounds):
+            yield agent.request(dict.fromkeys(initial, 1))
+            yield world.kernel.timeout(0.05)
+            agent.release(dict.fromkeys(initial, 1))
+        completed.append(tag)
+
+    for i in range(n_agents):
+        agent = service.attach(world.dapplet(Plain, f"s{i}.edu", f"d{i}"))
+        world.process(worker(agent, i))
+    world.run()
+    assert sorted(completed) == list(range(n_agents))
+    assert service.deadlocks == 0
+    service.check_conservation()
+    assert service.quiescent
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_two_phase_workloads_always_complete_on_asyncio(seed):
+    by_home = colors_per_shard(2)
+    initial = {cs[0]: 1 for cs in by_home.values()}
+    world = World(substrate=AsyncioSubstrate(seed=seed))
+    try:
+        service = world.host_token_shards(2, initial)
+        completed = []
+        done = world.kernel.event()
+
+        def worker(agent, tag):
+            for _ in range(2):
+                yield agent.request(dict.fromkeys(initial, 1))
+                yield world.kernel.timeout(0.02)
+                agent.release(dict.fromkeys(initial, 1))
+            completed.append(tag)
+            if len(completed) == 3:
+                done.succeed(None)
+
+        for i in range(3):
+            agent = service.attach(world.dapplet(Plain, f"s{i}.edu", f"d{i}"))
+            world.process(worker(agent, i))
+        world.run(until=done, wall_timeout=60)
+        assert sorted(completed) == [0, 1, 2]
+        assert service.deadlocks == 0
+        service.check_conservation()
+    finally:
+        world.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       n_shards=st.integers(min_value=1, max_value=4), script=ops)
+def test_sim_repeats_are_byte_identical(seed, n_shards, script):
+    """The whole sharded exchange — forwards, probes, grants, aborts —
+    is a deterministic function of the seed on the simulator."""
+    def one_run():
+        by_home = colors_per_shard(n_shards)
+        colors = sorted(c for cs in by_home.values() for c in cs)
+        initial = {c: 3 for c in colors}
+        tracer = Tracer(categories=["tokens"])
+        world = World(seed=seed, latency=ConstantLatency(0.01),
+                      tracer=tracer)
+        service = world.host_token_shards(n_shards, initial)
+        run_schedule(world, service, colors, initial, script)
+        world.run(until=20.0)
+        world.run()
+        service.check_conservation()
+        return tracer.to_jsonl()
+
+    assert one_run() == one_run()
