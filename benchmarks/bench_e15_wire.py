@@ -2,7 +2,7 @@
 
 Scenario: a fixed set of representative frames — small and large
 singleton DATA, a full 32-payload batched DATA, ACKs bare and fully
-optioned (ets + SACK + rwnd), RAW and PROBE — each encoded and decoded
+optioned (ets + SACK + rwnd), and PROBE — each encoded and decoded
 by the binary codec (:func:`repro.net.wire.encode_frame`) and by the
 retained JSON reference codec the package shipped before
 (:func:`repro.net.wire.encode_frame_json`).
@@ -29,8 +29,8 @@ import pytest
 from benchmarks._util import print_table, write_results
 from repro.net import NodeAddress
 from repro.net.datagram import Datagram
-from repro.net.wire import (KIND_ACK, KIND_DATA, KIND_PROBE, KIND_RAW,
-                            decode_frame, decode_frame_json, encode_frame,
+from repro.net.wire import (KIND_ACK, KIND_DATA, KIND_PROBE, decode_frame,
+                            decode_frame_json, encode_frame,
                             encode_frame_json)
 
 A = NodeAddress("caltech.edu", 2000)
@@ -63,9 +63,6 @@ FRAMES = {
                "ets": 17.640625, "sack": [[1290, 1293], [1295, 1295],
                                           [1299, 1304]],
                "rwnd": 123456}, ""),
-    "raw": Datagram(
-        A, B, {"kind": KIND_RAW, "to": "beacon", "ch": "gossip"},
-        "g" * 256),
     "probe": Datagram(A, B, {"kind": KIND_PROBE, "ch": "cal/updates"}, ""),
 }
 

@@ -26,7 +26,7 @@ import pytest
 from benchmarks._util import print_table, write_results
 from repro import Dapplet, World
 from repro.messages import Text
-from repro.net import ConstantLatency, FaultPlan
+from repro.net import RELIABLE, UNRELIABLE, ConstantLatency, FaultPlan
 
 
 class Node(Dapplet):
@@ -38,7 +38,7 @@ N = 200
 
 def run_stream(drop: float, reliable: bool, seed: int = 9, *,
                sack: bool = True, tracer=None):
-    options = {"reliable": reliable}
+    options = {"delivery": RELIABLE if reliable else UNRELIABLE}
     if reliable:
         options.update(rto_initial=0.1, max_retries=60, sack=sack,
                        ack_delay=0.01 if sack else 0.0)

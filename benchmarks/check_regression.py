@@ -59,6 +59,14 @@ GUARDED = {
     "e18_token_shards": [("sim/overhead.within_bound", 0.0),
                          ("sim/soak.granted_frac", 0.0),
                          ("sim/soak.requests_per_s", 0.25)],
+    # Capability registry: the cached grant-check overhead bound on the
+    # session-establish path and the churn soak's exact-enforcement
+    # fractions are boolean-like invariants — zero tolerance; the
+    # soak's virtual-time throughput is seed-deterministic.
+    "e19_registry": [("sim/establish.within_bound", 0.0),
+                     ("sim/churn.granted_frac", 0.0),
+                     ("sim/churn.denied_ok", 0.0),
+                     ("sim/churn.establishes_per_s", 0.25)],
 }
 
 

@@ -15,18 +15,18 @@ Run:  python examples/lossy_wan.py
 
 from repro import Dapplet, DeliveryTimeout, World
 from repro.messages import Text
-from repro.net import FaultPlan, GeoLatency
+from repro.net import RELIABLE, UNRELIABLE, FaultPlan, GeoLatency
 
 
 class Node(Dapplet):
     kind = "node"
 
 
-def run_transfer(drop: float, reliable: bool, n: int = 200):
-    world = World(seed=int(drop * 100) + (1 if reliable else 0),
+def run_transfer(drop: float, delivery, n: int = 200):
+    world = World(seed=int(drop * 100) + (1 if delivery is RELIABLE else 0),
                   latency=GeoLatency(),
                   faults=FaultPlan(drop_prob=drop, reorder_jitter=0.05),
-                  endpoint_options={"reliable": reliable})
+                  endpoint_options={"delivery": delivery})
     src = world.dapplet(Node, "caltech.edu", "src")
     dst = world.dapplet(Node, "sydney.edu.au", "dst")
     inbox = dst.create_inbox(name="data")
@@ -56,8 +56,8 @@ def main() -> None:
     print(f"{'drop':>5} | {'raw recv':>9} {'raw FIFO?':>10} | "
           f"{'rel recv':>9} {'rel FIFO?':>10} {'retransmits':>12}")
     for drop in (0.0, 0.1, 0.3, 0.5):
-        raw_n, raw_ok, _ = run_transfer(drop, reliable=False, n=n)
-        rel_n, rel_ok, rtx = run_transfer(drop, reliable=True, n=n)
+        raw_n, raw_ok, _ = run_transfer(drop, UNRELIABLE, n=n)
+        rel_n, rel_ok, rtx = run_transfer(drop, RELIABLE, n=n)
         print(f"{drop:>5.0%} | {raw_n:>9} {str(raw_ok):>10} | "
               f"{rel_n:>9} {str(rel_ok):>10} {rtx:>12}")
 

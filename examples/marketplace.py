@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""A capability-gated marketplace: three principals, one revoked mid-run.
+
+``acme`` (alice) publishes a storefront dapplet into a replicated
+DAppStore catalog. Two consumers — bob and carol, each their own
+principal — hold capability grants to establish sessions with it, call
+its ``price`` RPC and draw ``credit`` tokens under a quota. Mid-run
+carol is revoked: her next establish, her next RPC and her next token
+request are all denied (each with a ``reg`` audit event), while bob's
+already-open session keeps working and token conservation holds
+throughout. Unowned worlds never pay for any of this — the gates only
+fire when the target dapplet has an owner.
+
+Run:  python examples/marketplace.py            (see docs/REGISTRY.md)
+"""
+
+from repro import Dapplet, Initiator, SessionSpec, Tracer, World
+from repro.errors import CapabilityDenied, RpcError, SessionRejected
+from repro.messages import Text
+from repro.net import ConstantLatency
+from repro.registry import TOKEN_RESOURCE
+from repro.rpc import RemoteProxy, export
+from repro.services.tokens import TokenAgent, TokenCoordinator
+
+
+class Storefront(Dapplet):
+    """Alice's service: answers pings in sessions, prices over RPC."""
+
+    kind = "shop"
+
+    def on_session_start(self, ctx):
+        def serve():
+            while ctx.active:
+                msg = yield ctx.inbox("in").receive()
+                ctx.outbox("out").send(Text(f"receipt:{msg.text}"))
+        return serve()
+
+
+class Shopper(Dapplet):
+    kind = "app"
+
+    def on_session_start(self, ctx):
+        self.ctx = ctx
+        return None
+
+
+class PriceList:
+    def price(self, item: str) -> int:
+        return {"widget": 3, "gadget": 7}.get(item, 1)
+
+
+def shop_spec(member: str) -> SessionSpec:
+    spec = SessionSpec("shopping")
+    spec.add_member("storefront", inboxes=("in",))
+    spec.add_member(member, inboxes=("in",))
+    spec.bind(member, "out", "storefront", "in")
+    spec.bind("storefront", "out", member, "in")
+    return spec
+
+
+def main() -> World:
+    world = World(seed=21, latency=ConstantLatency(0.01), tracer=Tracer())
+    registry = world.registry
+    alice = registry.principal("alice", org="acme")
+    bob = registry.principal("bob", org="bobco")
+    carol = registry.principal("carol", org="carolco")
+    for consumer in (bob, carol):
+        registry.grant(consumer, "acme/**",
+                       ("session.establish", "rpc.call:price"))
+        registry.grant(consumer, TOKEN_RESOURCE,
+                       ("token.request:credit",), quota=2)
+
+    world.host_dappstore(2)
+    shop = world.dapplet(Storefront, "shop.acme.com", "storefront",
+                         owner=alice, exports=("price",),
+                         schema="storefront/v1")
+    bob_app = world.dapplet(Shopper, "bob.example.org", "bob-app",
+                            owner=bob)
+    carol_app = world.dapplet(Shopper, "carol.example.org", "carol-app",
+                              owner=carol)
+    bob_init = world.dapplet(Initiator, "bob.example.org", "bob-init",
+                             owner=bob)
+    carol_init = world.dapplet(Initiator, "carol.example.org", "carol-init",
+                               owner=carol)
+    bank = world.dapplet(Shopper, "bank.example.org", "bank")
+    prices = export(shop, PriceList(), name="prices")
+    coordinator = TokenCoordinator(bank, {"credit": 4})
+
+    def director():
+        # The storefront's manifest lands in the replicated catalog.
+        yield shop.manifest_agent.published
+        catalog = world.store_client_for(bank)
+        manifest = yield from catalog.lookup(shop.manifest_name)
+        print(f"[{world.now:5.2f} s] catalog: {manifest.name} "
+              f"(owner {manifest.owner}, methods {list(manifest.methods)})")
+
+        # Both consumers shop while their grants stand.
+        session = yield from carol_init.establish(shop_spec("carol-app"),
+                                                  timeout=30.0)
+        carol_app.ctx.outbox("out").send(Text("carol:widget"))
+        reply = yield carol_app.ctx.inbox("in").receive()
+        print(f"[{world.now:5.2f} s] carol shopped: {reply.text}")
+        yield from session.terminate()
+
+        bob_session = yield from bob_init.establish(shop_spec("bob-app"),
+                                                    timeout=30.0)
+        bob_proxy = RemoteProxy(bob_app, prices.pointer)
+        carol_proxy = RemoteProxy(carol_app, prices.pointer)
+        price = yield carol_proxy.call("price", "gadget", timeout=30.0)
+        print(f"[{world.now:5.2f} s] carol's RPC quote: gadget={price}")
+        carol_agent = TokenAgent(carol_app, coordinator.pointer)
+        granted = yield carol_agent.request({"credit": 2})
+        carol_agent.release(dict(granted))
+
+        # Mid-run, acme drops carol. Every gate closes on her *next*
+        # attempt -- the decision cache is cleared by the revocation.
+        dropped = registry.revoke(carol)
+        print(f"[{world.now:5.2f} s] revoked carol ({dropped} grants)")
+        try:
+            yield from carol_init.establish(shop_spec("carol-app"),
+                                            timeout=30.0)
+            print("carol established after revocation -- NO!")
+        except SessionRejected as exc:
+            print(f"[{world.now:5.2f} s] carol's establish denied: "
+                  f"{exc.reason}")
+        try:
+            yield carol_proxy.call("price", "widget", timeout=30.0)
+            print("carol's RPC passed after revocation -- NO!")
+        except RpcError as exc:
+            print(f"[{world.now:5.2f} s] carol's RPC denied: "
+                  f"{exc.remote_type}")
+        try:
+            yield carol_agent.request({"credit": 1})
+            print("carol drew tokens after revocation -- NO!")
+        except CapabilityDenied as exc:
+            print(f"[{world.now:5.2f} s] carol's tokens denied: {exc.verb}")
+
+        # Bob never notices: his open session and his grants still work.
+        bob_app.ctx.outbox("out").send(Text("bob:widget"))
+        reply = yield bob_app.ctx.inbox("in").receive()
+        price = yield bob_proxy.call("price", "widget", timeout=30.0)
+        bob_agent = TokenAgent(bob_app, coordinator.pointer)
+        granted = yield bob_agent.request({"credit": 2})
+        bob_agent.release(dict(granted))
+        print(f"[{world.now:5.2f} s] bob's session survived the "
+              f"revocation: {reply.text}, widget={price}, tokens ok")
+        yield from bob_session.terminate()
+
+    world.run(until=world.process(director()))
+    coordinator.check_conservation()
+    print("token conservation invariant holds")
+    counters = world.tracer.summary()["counters"]
+    print(f"audit trail: {counters.get('reg.allow', 0)} allows, "
+          f"{counters.get('reg.deny', 0)} denies, "
+          f"{counters.get('reg.revoke', 0)} revocation")
+    # Store replicas gossip forever; stop everything to drain the world.
+    for dapplet in list(world.dapplets()):
+        dapplet.stop()
+    world.run()
+    return world
+
+
+if __name__ == "__main__":
+    main()

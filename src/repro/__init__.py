@@ -19,7 +19,7 @@ Quick start::
 The subpackages are importable directly for the full API:
 ``repro.sim``, ``repro.runtime``, ``repro.net``, ``repro.messages``, ``repro.mailbox``,
 ``repro.dapplet``, ``repro.session``, ``repro.rpc``, ``repro.services``,
-``repro.patterns``, ``repro.apps``, ``repro.obs``.
+``repro.patterns``, ``repro.apps``, ``repro.obs``, ``repro.registry``.
 """
 
 from repro.dapplet.dapplet import Dapplet
@@ -33,11 +33,13 @@ from repro.discovery import (
 )
 from repro.errors import (
     BackendCrash,
+    CapabilityDenied,
     DeadlockDetected,
     DeliveryTimeout,
     DiscoveryError,
     LeaseExpired,
     ReceiveTimeout,
+    RegistryError,
     ReproError,
     RpcError,
     RpcTimeout,
@@ -51,6 +53,15 @@ from repro.mailbox.outbox import Outbox
 from repro.messages.message import Message, message_type
 from repro.net.address import InboxAddress, NodeAddress
 from repro.obs import Tracer
+from repro.registry import (
+    Capability,
+    DAppStoreReplica,
+    Manifest,
+    Principal,
+    PublishAgent,
+    Registry,
+    StoreClient,
+)
 from repro.runtime import AsyncioSubstrate, SimSubstrate, Substrate
 from repro.session.initiator import Initiator
 from repro.session.session import Session, SessionContext
@@ -71,7 +82,10 @@ __all__ = [
     "AsyncioSubstrate",
     "BackendCrash",
     "Binding",
+    "Capability",
+    "CapabilityDenied",
     "CrashPoint",
+    "DAppStoreReplica",
     "Dapplet",
     "DeadlockDetected",
     "DeliveryTimeout",
@@ -84,14 +98,19 @@ __all__ = [
     "Initiator",
     "LeaseConfig",
     "LeaseExpired",
+    "Manifest",
     "MemberSpec",
     "MemoryBackend",
     "Message",
     "NodeAddress",
     "Outbox",
     "PersistentState",
+    "Principal",
+    "PublishAgent",
     "ReceiveTimeout",
     "RegistrationAgent",
+    "Registry",
+    "RegistryError",
     "ReproError",
     "Resolver",
     "RpcError",
@@ -103,6 +122,7 @@ __all__ = [
     "SessionSpec",
     "SimSubstrate",
     "StorageBackend",
+    "StoreClient",
     "StoreError",
     "Substrate",
     "TokenError",

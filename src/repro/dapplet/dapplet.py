@@ -39,6 +39,19 @@ class Dapplet:
 
     #: Directory kind tag; subclasses set this ("calendar", "secretary"...).
     kind: str = ""
+    #: Owning :class:`~repro.registry.Principal`, stamped by
+    #: ``World.dapplet(..., owner=...)``. ``None`` means unowned — no
+    #: capability enforcement applies (the pre-registry behaviour).
+    owner = None
+    #: Manifest metadata for the DAppStore (see ``docs/REGISTRY.md``):
+    #: a free-form schema tag, the RPC methods the dapplet exports, and
+    #: the capability verbs a peer must hold to link a session (checked
+    #: in addition to ``session.establish``). Subclasses override as
+    #: class attributes; ``World.dapplet`` accepts per-instance
+    #: ``requires=`` / ``schema=`` / ``exports=`` overrides.
+    schema: str = ""
+    exports: tuple = ()
+    requires: tuple = ()
 
     def __init__(self, world: "World", address: NodeAddress,
                  name: str) -> None:
@@ -89,6 +102,17 @@ class Dapplet:
         # sessions arrive later).
         from repro.session.manager import SessionManager
         self._session_manager = SessionManager(self)
+
+    @property
+    def manifest_name(self) -> str:
+        """This dapplet's hierarchical DAppStore name.
+
+        ``org/app/instance``: the owner's namespace, the dapplet's
+        ``kind`` (``"app"`` when unset), and its world-unique name.
+        Unowned dapplets use the ``"_"`` namespace.
+        """
+        namespace = self.owner.namespace if self.owner is not None else "_"
+        return f"{namespace}/{self.kind or 'app'}/{self.name}"
 
     # -- subclass hooks ---------------------------------------------------
 

@@ -150,10 +150,12 @@ class SessionError(ReproError):
 class SessionRejected(SessionError):
     """A participant rejected a link request.
 
-    Carries the participant and the machine-readable reason
-    (``"acl"`` — requester not on the access-control list, or
-    ``"interference"`` — a concurrent session would interfere), matching
-    the two rejection causes the paper enumerates.
+    Carries the participant and the machine-readable reason:
+    ``"acl"`` — requester not on the access-control list, or
+    ``"interference"`` — a concurrent session would interfere (the two
+    rejection causes the paper enumerates), or
+    ``"capability:<verb>"`` — the initiating principal lacks a registry
+    grant for ``<verb>`` on an owned member (see :mod:`repro.registry`).
     """
 
     def __init__(self, message: str, *, participant: object = None,
@@ -212,6 +214,30 @@ class LeaseExpired(DiscoveryError):
     def __init__(self, message: str, *, name: str = "") -> None:
         super().__init__(message)
         self.name = name
+
+
+class RegistryError(ReproError):
+    """A registry-subsystem configuration or protocol error."""
+
+
+class CapabilityDenied(RegistryError):
+    """A capability check refused the requested action.
+
+    ``principal`` is the requester, ``verb`` the denied verb (e.g.
+    ``"rpc.call:read"`` or ``"token.request:gold"``), ``target`` the
+    dapplet or resource the verb was checked against. The same denial
+    surfaces as ``SessionRejected(reason="capability:<verb>")`` on the
+    session path and as a ``PermissionError``-typed
+    :class:`RpcError` on the RPC path; token requests raise this
+    directly.
+    """
+
+    def __init__(self, message: str, *, principal: str = "",
+                 verb: str = "", target: str = "") -> None:
+        super().__init__(message)
+        self.principal = principal
+        self.verb = verb
+        self.target = target
 
 
 class ClockError(ReproError):

@@ -30,9 +30,8 @@ class Datagram:
     """One datagram on the wire.
 
     ``header`` carries the ordering layer's framing — ``DATA {kind, to,
-    ch, seq, ts, pack?, parts?}``, ``ACK {kind, ch, cum, ets, sack?,
-    rwnd?}`` or ``RAW {kind, to}``; see ``docs/PROTOCOLS.md`` for the
-    field glossary. ``payload`` is the serialized message string.
+    ch, seq, ts, pack?, parts?}`` or ``ACK {kind, ch, cum, ets, sack?,
+    rwnd?}``; see ``docs/PROTOCOLS.md`` for the field glossary. ``payload`` is the serialized message string.
     ``size`` in bytes drives transmission delay in size-aware latency
     models.
 

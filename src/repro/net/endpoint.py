@@ -86,7 +86,7 @@ from repro.net.delivery import (RELIABLE, RELIABLE_SKIP, UNRELIABLE,
 from repro.net.rto import PendingPacket, SendStream
 from repro.net.wire import (BATCH_COUNT_SIZE, BATCH_MAX_PAYLOADS,
                             DATA_FIXED_SIZE, KIND_ACK, KIND_DATA, KIND_PROBE,
-                            KIND_RAW, KIND_SKIP, MAX_FRAME_BYTES,
+                            KIND_SKIP, MAX_FRAME_BYTES,
                             PART_LEN_SIZE, SACK_MAX_RANGES, frame_base_size,
                             pack_entry_wire_size, payload_too_large,
                             ref_wire_size, utf8_len)
@@ -108,8 +108,6 @@ class EndpointStats:
     duplicates_discarded: int = 0
     buffered_out_of_order: int = 0
     gave_up: int = 0
-    raw_sent: int = 0
-    raw_delivered: int = 0
     no_such_inbox: int = 0
     fast_retransmits: int = 0
     sacked_suppressed: int = 0
@@ -251,10 +249,8 @@ class Endpoint:
         receiver) or :data:`~repro.net.delivery.RELIABLE_SKIP`
         (retransmit until ``skip_timeout``, then abandon and advance the
         receiver past the hole). Every :meth:`send` may override it.
-    reliable:
-        Deprecated boolean shim for ``delivery``: ``reliable=False``
-        maps to the UNRELIABLE class (the "bare UDP" baseline used by
-        experiment E4). Ignored when ``delivery`` is given.
+        (The pre-class ``reliable=`` boolean shim is gone; the "bare
+        UDP" baseline of experiment E4 is ``delivery=UNRELIABLE``.)
     skip_timeout:
         RELIABLE_SKIP only: seconds a packet is retransmitted before
         the sender abandons it and signals the receiver to skip.
@@ -299,7 +295,7 @@ class Endpoint:
 
     def __init__(self, kernel: Scheduler, network: DatagramService,
                  address: NodeAddress, *, delivery: str | None = None,
-                 reliable: bool = True, skip_timeout: float = 0.25,
+                 skip_timeout: float = 0.25,
                  rto_initial: float | None = None, rto_max: float = 5.0,
                  max_retries: int = 30, rto_mode: str = "static",
                  sack: bool = True, dup_ack_threshold: int = 3,
@@ -322,9 +318,7 @@ class Endpoint:
         if skip_timeout <= 0:
             raise ValueError("skip_timeout must be > 0")
         if delivery is None:
-            # Deprecated shim: the old endpoint-wide boolean maps onto
-            # the delivery-class vocabulary.
-            delivery = RELIABLE if reliable else UNRELIABLE
+            delivery = RELIABLE
         else:
             validate_delivery(delivery)
         self.kernel = kernel
@@ -361,11 +355,6 @@ class Endpoint:
         #: (source node, channel key); older arrivals are stale-dropped.
         self._unreliable_latest: dict[tuple[NodeAddress, str], int] = {}
         network.register(address, self._on_datagram)
-
-    @property
-    def reliable(self) -> bool:
-        """Deprecated read shim: does the *default* class acknowledge?"""
-        return self.delivery != UNRELIABLE
 
     def close(self) -> None:
         """Detach from the network (in-flight datagrams to us are lost).
@@ -1044,10 +1033,7 @@ class Endpoint:
 
     def _on_datagram(self, datagram) -> None:
         kind = datagram.header.get("kind")
-        if kind == KIND_RAW:
-            self._deliver(datagram.header["to"], datagram.payload,
-                          datagram.src, raw=True)
-        elif kind == KIND_DATA:
+        if kind == KIND_DATA:
             if datagram.header.get("cls") == UNRELIABLE:
                 self._on_unreliable_data(datagram)
                 return
@@ -1119,8 +1105,7 @@ class Endpoint:
                     if tr is not None:
                         tr.emit("ep", "deliver", node=self.address,
                                 ch=channel, seq=stream.expected)
-                    self._deliver(deliver_to, deliver_payload, datagram.src,
-                                  raw=False)
+                    self._deliver(deliver_to, deliver_payload, datagram.src)
                 stream.expected += 1
             # The skip may have closed the gap in front of buffered
             # packets above the mark: drain the in-order tail too.
@@ -1133,8 +1118,7 @@ class Endpoint:
                     tr.emit("ep", "deliver", node=self.address, ch=channel,
                             seq=stream.expected)
                 stream.expected += 1
-                self._deliver(deliver_to, deliver_payload, datagram.src,
-                              raw=False)
+                self._deliver(deliver_to, deliver_payload, datagram.src)
             self.stats.holes_skipped += holes
             if tr is not None:
                 tr.emit("ep", "skip_advance", node=self.address, ch=channel,
@@ -1205,8 +1189,7 @@ class Endpoint:
                     tr.emit("ep", "deliver", node=self.address, ch=channel,
                             seq=stream.expected)
                 stream.expected += 1
-                self._deliver(deliver_to, deliver_payload, datagram.src,
-                              raw=False)
+                self._deliver(deliver_to, deliver_payload, datagram.src)
         # Acknowledge. Duplicates re-ack immediately (the previous ack
         # may have been lost), gaps and hole-fills ack immediately (the
         # sender is recovering and needs the feedback now); only clean
@@ -1388,7 +1371,7 @@ class Endpoint:
         self._transmit(key[0], key[1], hole)
 
     def _deliver(self, to_ref: "int | str", payload: str,
-                 src: NodeAddress, *, raw: bool) -> None:
+                 src: NodeAddress) -> None:
         deliver = self._inboxes.get(to_ref)
         tr = self.kernel.tracer
         if deliver is None:
@@ -1396,10 +1379,5 @@ class Endpoint:
             if tr is not None:
                 tr.emit("ep", "no_inbox", node=self.address, to=to_ref)
             return
-        if raw:
-            self.stats.raw_delivered += 1
-            if tr is not None:
-                tr.emit("ep", "raw_deliver", node=self.address, to=to_ref)
-        else:
-            self.stats.delivered += 1
+        self.stats.delivered += 1
         deliver(payload, InboxAddress(self.address, to_ref))

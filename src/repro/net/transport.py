@@ -28,7 +28,7 @@ from repro.net.endpoint import (
     EndpointStats,
 )
 from repro.net.rto import PendingPacket, SendStream
-from repro.net.wire import (KIND_ACK, KIND_DATA, KIND_PROBE, KIND_RAW,
+from repro.net.wire import (KIND_ACK, KIND_DATA, KIND_PROBE,
                             KIND_SKIP, SACK_MAX_RANGES)
 
 __all__ = [
@@ -40,7 +40,6 @@ __all__ = [
     "KIND_ACK",
     "KIND_DATA",
     "KIND_PROBE",
-    "KIND_RAW",
     "KIND_SKIP",
     "PendingPacket",
     "RELIABLE",

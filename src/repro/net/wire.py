@@ -37,9 +37,9 @@ Binary layout (all integers big-endian)::
     ackbody   i64 cum, u8 aflags (1 ets, 2 sack, 4 rwnd),
               f64 ets?, (u8 n, n x (u32 lo, u32 hi))?, u64 rwnd?
     payload   rest of frame (normally empty)
-    -- kind RAW (3) --
-    to        ref
-    payload   rest of frame
+    -- kind 3: reserved --
+    (the retired RAW kind; encoders never emit it and decoders
+    strict-reject it with :class:`FrameError`)
     -- kind PROBE (4) --
     payload   rest of frame (normally empty)
     -- kind SKIP (5): sender abandoned seqs below ``upto`` --
@@ -72,7 +72,6 @@ from repro.net.delivery import (  # noqa: F401  (re-exported wire vocabulary)
 #: Packet kinds used in datagram headers.
 KIND_DATA = "DATA"
 KIND_ACK = "ACK"
-KIND_RAW = "RAW"
 #: Zero-window persist probe: payload-less, solicits an immediate ACK
 #: (which re-advertises ``rwnd``) so a closed receive window whose
 #: opening advertisement was lost can never deadlock a sender.
@@ -99,10 +98,13 @@ BATCH_MAX_PAYLOADS = 32
 WIRE_MAGIC = 0xC3
 WIRE_VERSION = 1
 
-_KIND_TO_WIRE = {KIND_DATA: 1, KIND_ACK: 2, KIND_RAW: 3, KIND_PROBE: 4,
-                 KIND_SKIP: 5}
-_WIRE_TO_KIND = {1: KIND_DATA, 2: KIND_ACK, 3: KIND_RAW, 4: KIND_PROBE,
-                 5: KIND_SKIP}
+#: Wire id 3 is reserved: it carried the retired RAW kind (the old
+#: ``reliable=False`` endpoint shim). It is never reassigned, so a
+#: frame from a pre-retirement build fails loudly instead of being
+#: misparsed as something else.
+_KIND_TO_WIRE = {KIND_DATA: 1, KIND_ACK: 2, KIND_PROBE: 4, KIND_SKIP: 5}
+_WIRE_TO_KIND = {1: KIND_DATA, 2: KIND_ACK, 4: KIND_PROBE, 5: KIND_SKIP}
+_WIRE_KIND_RESERVED = 3
 
 _FLAG_PACK = 0x01
 _FLAG_PARTS = 0x02
@@ -329,9 +331,6 @@ def encode_frame(datagram: Datagram) -> bytes:
         elif kind == KIND_ACK:
             _put_ackbody(out, header)
             out += datagram.payload.encode("utf-8")
-        elif kind == KIND_RAW:
-            _put_ref(out, header["to"])
-            out += datagram.payload.encode("utf-8")
         elif kind == KIND_SKIP:
             try:
                 out += _U32.pack(header["upto"])
@@ -431,6 +430,9 @@ def decode_frame(data: bytes) -> Datagram:
             raise FrameError(f"unsupported wire version {version}")
         kind = _WIRE_TO_KIND.get(wire_kind)
         if kind is None:
+            if wire_kind == _WIRE_KIND_RESERVED:
+                raise FrameError(
+                    "wire kind 3 (retired RAW) is reserved and rejected")
             raise FrameError(f"unknown wire kind {wire_kind}")
         if flags and kind != KIND_DATA:
             raise FrameError(f"flags 0x{flags:02x} invalid for {kind}")
@@ -493,10 +495,6 @@ def decode_frame(data: bytes) -> Datagram:
         elif kind == KIND_ACK:
             header = {"kind": kind, "ch": ch}
             off = _get_ackbody(data, off, header)
-            payload = data[off:].decode("utf-8")
-        elif kind == KIND_RAW:
-            to, off = _get_ref(data, off)
-            header = {"kind": kind, "to": to, "ch": ch}
             payload = data[off:].decode("utf-8")
         elif kind == KIND_SKIP:
             (upto,) = _U32.unpack_from(data, off)

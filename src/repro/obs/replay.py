@@ -29,6 +29,13 @@ manager-to-manager exchange — prepare forwarding, the edge-chasing
 probe messages, the single-victim deadlock abort, and the cascade of
 grants as the cycle unwinds.
 
+``"scenario": "registry_audit"`` runs the multi-tenant scenario: owned
+dapplets under :mod:`repro.registry` capability enforcement, producing
+the ``reg`` audit stream — allow and deny events from the RPC
+per-method gate, the session-establish gate, and the token
+capability/quota gate — alongside the session and token traces of the
+same run (see :func:`_run_registry_audit_case`).
+
 ``tests/obs/corpus/`` holds ~10 such cases with committed golden
 traces; ``python -m repro.obs.replay <corpus_dir>`` regenerates the
 goldens after an intentional behaviour change.
@@ -61,6 +68,8 @@ def run_case(case: dict[str, Any]) -> Tracer:
     """
     if case.get("scenario") == "token_probe":
         return _run_token_probe_case(case)
+    if case.get("scenario") == "registry_audit":
+        return _run_registry_audit_case(case)
     # Imported here, not at module top: the tracer must stay importable
     # from any layer without dragging in the whole dapplet stack.
     from repro import Dapplet, Initiator, SessionSpec, World
@@ -190,6 +199,121 @@ def _run_token_probe_case(case: dict[str, Any]) -> Tracer:
     if sum(1 for _, what in outcomes if what == "victim") != 1:
         raise AssertionError(f"expected exactly one victim: {outcomes}")
     service.check_conservation()
+    return tracer
+
+
+def _run_registry_audit_case(case: dict[str, Any]) -> Tracer:
+    """The multi-tenant scenario: every registry gate allows and denies.
+
+    Three principals: ``alice`` owns a counter service, ``bob`` (same
+    org) holds grants for reads, session establishment and a 2-token
+    ``gold`` quota, ``mallory`` (another org) holds nothing. The run
+    walks each enforcement point both ways — bob's RPC read succeeds
+    while his ungrunted ``bump`` and all of mallory's calls bounce; a
+    bob session establishes and terminates while mallory's is rejected;
+    bob's in-quota token request is granted while his over-quota request
+    and mallory's ungranted one are refused — so the golden pins the
+    full ``reg`` audit stream (allow/deny, cache hits, zero ``clat`` on
+    the simulator) plus the session rejects and token denials it rides
+    with, in plain and encoded mode alike.
+    """
+    from repro import Dapplet, Initiator, SessionSpec, World
+    from repro.errors import CapabilityDenied, RpcError, SessionRejected
+    from repro.net import ConstantLatency
+    from repro.rpc import RemoteProxy, export
+    from repro.services.tokens import TokenAgent, TokenCoordinator
+
+    tracer = Tracer(categories=case.get("categories"))
+    world = World(seed=case["seed"], latency=ConstantLatency(0.02),
+                  endpoint_options=dict(SCENARIO_ENDPOINT_OPTIONS),
+                  encoded=case.get("encoded", False), tracer=tracer)
+    registry = world.registry
+    alice = registry.principal("alice", "acme")
+    bob = registry.principal("bob", "acme")
+    mallory = registry.principal("mallory", "evil")
+    registry.grant(bob, "acme/**", ("session.establish", "rpc.call:read"))
+    registry.grant(bob, "tokens", ("token.request:gold",), quota=2)
+
+    class _Counter:
+        def __init__(self) -> None:
+            self.value = 0
+
+        def read(self) -> int:
+            return self.value
+
+        def bump(self) -> int:
+            self.value += 1
+            return self.value
+
+    class _App(Dapplet):
+        kind = "reg-app"
+
+    svc = world.dapplet(_App, "svc.acme.com", "svc", owner=alice)
+    bobapp = world.dapplet(_App, "bob.acme.com", "bobapp", owner=bob)
+    mallapp = world.dapplet(_App, "mallory.evil.net", "mallapp",
+                            owner=mallory)
+    tokhost = world.dapplet(_App, "tok.acme.com", "tokhost")
+    counter = export(svc, _Counter(), name="counter")
+    coordinator = TokenCoordinator(tokhost, {"gold": 3})
+    bob_init = world.dapplet(Initiator, "bob.acme.com", "bob-init",
+                             owner=bob)
+    mall_init = world.dapplet(Initiator, "mallory.evil.net", "mall-init",
+                              owner=mallory)
+    outcomes: list[str] = []
+
+    def session_spec(member: str) -> SessionSpec:
+        spec = SessionSpec(f"audit-{member}")
+        spec.add_member("svc", inboxes=("in",))
+        spec.add_member(member, inboxes=("in",))
+        spec.bind(member, "out", "svc", "in")
+        return spec
+
+    def driver():
+        bob_proxy = RemoteProxy(bobapp, counter.pointer)
+        mall_proxy = RemoteProxy(mallapp, counter.pointer)
+        value = yield bob_proxy.call("read", timeout=30.0)
+        outcomes.append(f"bob.read={value}")
+        for proxy, method, tag in ((bob_proxy, "bump", "bob.bump"),
+                                   (mall_proxy, "read", "mallory.read")):
+            try:
+                yield proxy.call(method, timeout=30.0)
+                outcomes.append(f"{tag}=granted")
+            except RpcError as exc:
+                outcomes.append(f"{tag}={exc.remote_type}")
+        session = yield from bob_init.establish(session_spec("bobapp"),
+                                                timeout=120.0)
+        outcomes.append("bob.session=up")
+        yield from session.terminate()
+        try:
+            yield from mall_init.establish(session_spec("mallapp"),
+                                           timeout=120.0)
+            outcomes.append("mallory.session=up")
+        except SessionRejected as exc:
+            outcomes.append(f"mallory.session={exc.reason}")
+        bob_agent = TokenAgent(bobapp, coordinator.pointer)
+        mall_agent = TokenAgent(mallapp, coordinator.pointer)
+        granted = yield bob_agent.request({"gold": 2})
+        bob_agent.release(dict(granted))
+        outcomes.append("bob.tokens=granted")
+        for agent, tokens, tag in ((bob_agent, {"gold": 3}, "bob.quota"),
+                                   (mall_agent, {"gold": 1},
+                                    "mallory.tokens")):
+            try:
+                yield agent.request(tokens)
+                outcomes.append(f"{tag}=granted")
+            except CapabilityDenied as exc:
+                outcomes.append(f"{tag}={exc.verb}")
+
+    world.run(until=world.process(driver()))
+    world.run()
+    expected = ["bob.read=0", "bob.bump=PermissionError",
+                "mallory.read=PermissionError", "bob.session=up",
+                "mallory.session=capability:session.establish",
+                "bob.tokens=granted", "bob.quota=quota:gold",
+                "mallory.tokens=token.request:gold"]
+    if outcomes != expected:
+        raise AssertionError(f"registry audit diverged: {outcomes}")
+    coordinator.check_conservation()
     return tracer
 
 

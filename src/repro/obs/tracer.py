@@ -45,7 +45,7 @@ from repro.obs.metrics import MetricsRegistry
 #: Every event category the stack emits. A ``Tracer(categories=...)``
 #: restricted to a subset rejects other categories at the emit boundary.
 CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir",
-              "store")
+              "store", "reg")
 
 #: Numeric event fields folded into histograms, field -> metric. ``rtt``
 #: and ``wait`` are latencies; ``cwnd`` (carried by the endpoint's
@@ -60,12 +60,15 @@ CATEGORIES = ("kernel", "net", "ep", "mbox", "session", "tokens", "dir",
 #: (wall-clock on file backends, exactly 0.0 on the memory backend so
 #: simulated traces stay byte-deterministic); ``route`` is the sharded
 #: token service's request-to-grant latency at the coordinating shard,
-#: including every cross-shard prepare hop.
+#: including every cross-shard prepare hop; ``clat`` is the registry's
+#: capability-check latency (exactly 0.0 on the simulated substrate —
+#: virtual time does not advance inside a synchronous check — so
+#: audited sim traces stay byte-deterministic).
 _HISTOGRAM_FIELDS = (("rtt", "ep.rtt"), ("wait", "mbox.wait"),
                      ("cwnd", "ep.cwnd"), ("rlat", "dir.resolve"),
                      ("dlat", "ep.dlat"), ("slat", "ep.skip_wait"),
                      ("fsync", "store.fsync"), ("replay", "store.replay"),
-                     ("route", "tok.route"))
+                     ("route", "tok.route"), ("clat", "reg.check"))
 
 
 class TraceEvent:

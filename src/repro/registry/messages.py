@@ -1,0 +1,135 @@
+"""Wire messages of the DAppStore protocol.
+
+Mirrors the discovery protocol's three conversations on the replicas'
+well-known ``_dappstore`` inbox, with manifests riding along:
+
+* **manifest leases** — a publishing agent sends :class:`Publish` /
+  :class:`RenewManifest` / :class:`Unpublish`; the replica answers
+  :class:`ManifestGrant` or :class:`ManifestDenied`;
+* **catalog queries** — :class:`StoreLookup` resolves one hierarchical
+  name to its manifest; :class:`StoreList` enumerates a namespace
+  prefix;
+* **anti-entropy** — replicas exchange :class:`StoreGossip` carrying
+  wire-encoded :class:`~repro.registry.manifest.ManifestRecord` rows.
+
+Requests carry a ``req_id`` echoed by the reply so clients that failed
+over mid-request can discard answers from a slow earlier replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.messages.message import Message, message_type
+from repro.net.address import InboxAddress, NodeAddress
+
+
+@message_type("reg.publish")
+@dataclass(frozen=True)
+class Publish(Message):
+    """Claim (or re-claim) a store name for a manifest."""
+
+    req_id: int
+    name: str
+    address: NodeAddress
+    manifest: dict
+    reply_to: InboxAddress
+    epoch_hint: int = 0
+
+
+@message_type("reg.renew")
+@dataclass(frozen=True)
+class RenewManifest(Message):
+    """Heartbeat extending the manifest lease of ``name``."""
+
+    req_id: int
+    name: str
+    epoch: int
+    reply_to: InboxAddress
+
+
+@message_type("reg.unpublish")
+@dataclass(frozen=True)
+class Unpublish(Message):
+    """Graceful withdrawal: tombstone the manifest now (no reply)."""
+
+    name: str
+    epoch: int
+
+
+@message_type("reg.manifest_grant")
+@dataclass(frozen=True)
+class ManifestGrant(Message):
+    """The manifest lease is (still) held: valid for ``ttl`` from receipt."""
+
+    req_id: int
+    name: str
+    epoch: int
+    version: int
+    ttl: float
+
+
+@message_type("reg.manifest_denied")
+@dataclass(frozen=True)
+class ManifestDenied(Message):
+    """Publication/renewal refused (``"name-taken"``, ``"stale-epoch"``,
+    or ``"unknown"`` — same taxonomy as the directory's lease denials)."""
+
+    req_id: int
+    name: str
+    reason: str
+
+
+@message_type("reg.lookup")
+@dataclass(frozen=True)
+class StoreLookup(Message):
+    """Resolve one hierarchical store name to its manifest."""
+
+    req_id: int
+    name: str
+    reply_to: InboxAddress
+
+
+@message_type("reg.lookup_reply")
+@dataclass(frozen=True)
+class StoreReply(Message):
+    """Answer to a :class:`StoreLookup`; ``manifest`` is empty when not
+    found. ``ttl_left`` bounds how long the caller may cache it."""
+
+    req_id: int
+    name: str
+    found: bool
+    manifest: dict = field(default_factory=dict)
+    ttl_left: float = 0.0
+    epoch: int = 0
+
+
+@message_type("reg.list")
+@dataclass(frozen=True)
+class StoreList(Message):
+    """Enumerate live store names under a namespace ``prefix``
+    (``""`` lists everything)."""
+
+    req_id: int
+    prefix: str
+    reply_to: InboxAddress
+
+
+@message_type("reg.list_reply")
+@dataclass(frozen=True)
+class StoreListReply(Message):
+    """Sorted live names matching the requested prefix."""
+
+    req_id: int
+    prefix: str
+    names: tuple = ()
+
+
+@message_type("reg.gossip")
+@dataclass(frozen=True)
+class StoreGossip(Message):
+    """One anti-entropy exchange between store replicas (push-pull)."""
+
+    origin: NodeAddress
+    entries: tuple
+    want_reply: bool

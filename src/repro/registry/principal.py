@@ -1,0 +1,105 @@
+"""Principals and capability grants: the multi-tenant identity model.
+
+The paper's protection story stops at per-link session ACLs and token
+capabilities. This module supplies the identities those checks were
+missing: a :class:`Principal` owns dapplets, and a
+:class:`Capability` grants a principal the right to perform *verbs*
+against dapplets matching a hierarchical name pattern.
+
+Verbs are dotted action names, optionally qualified after a colon:
+
+* ``session.establish`` — link a session to the target dapplet;
+* ``rpc.call:<method>`` — invoke one exported method (``rpc.call:*``
+  grants every method);
+* ``token.request:<color>`` — request tokens of one colour, optionally
+  bounded by the capability's ``quota``.
+
+Dapplet patterns address the DAppStore's ``org/app/instance``
+namespace: each ``/``-separated segment is matched literally, ``*``
+matches exactly one segment, a trailing ``**`` matches the rest, and
+the bare pattern ``"*"`` matches everything.
+
+Grants are *signed-nonce-free*: within one world the transport already
+authenticates the sender's node address, so a capability is a plain
+fact in the :class:`~repro.registry.registry.Registry` rather than a
+bearer token — revocation is deleting the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Principal:
+    """An identity that can own dapplets and hold capability grants.
+
+    ``org`` names the principal's namespace segment in the DAppStore
+    (``org/app/instance``); it defaults to the principal's own name, so
+    solo principals get a personal namespace for free.
+    """
+
+    name: str
+    org: str = ""
+
+    @property
+    def namespace(self) -> str:
+        """The top-level DAppStore segment this principal publishes under."""
+        return self.org or self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def pattern_matches(pattern: str, name: str) -> bool:
+    """Whether ``pattern`` covers the hierarchical dapplet ``name``."""
+    if pattern == "*" or pattern == name:
+        return True
+    want = pattern.split("/")
+    have = name.split("/")
+    for i, seg in enumerate(want):
+        if seg == "**":
+            return i < len(have) or i == len(have) == len(want) - 1
+        if i >= len(have):
+            return False
+        if seg != "*" and seg != have[i]:
+            return False
+    return len(want) == len(have)
+
+
+def verb_matches(granted: str, verb: str) -> bool:
+    """Whether the granted verb covers ``verb``.
+
+    ``"*"`` covers every verb; a grant ending in ``:*`` covers every
+    qualifier of its action (``rpc.call:*`` covers ``rpc.call:read``).
+    """
+    if granted == verb or granted == "*":
+        return True
+    return granted.endswith(":*") and verb.startswith(granted[:-1])
+
+
+@dataclass(frozen=True, slots=True)
+class Capability:
+    """One grant: ``principal`` may perform ``verbs`` on dapplets
+    matching ``dapplet_pattern``.
+
+    ``quota``, when set, bounds how many tokens of a matching colour
+    the principal may hold at once (enforced by the sharded token
+    service for ``token.request:<color>`` verbs; ignored elsewhere).
+    """
+
+    principal: str
+    dapplet_pattern: str
+    verbs: tuple[str, ...] = field(default=())
+    quota: int | None = None
+
+    def __post_init__(self) -> None:
+        # Accept a Principal (or anything str-able) and any iterable of
+        # verbs; normalize so equality and wire forms are canonical.
+        object.__setattr__(self, "principal", str(self.principal))
+        object.__setattr__(self, "verbs", tuple(self.verbs))
+
+    def matches(self, target: str, verb: str) -> bool:
+        """Whether this grant allows ``verb`` against dapplet ``target``."""
+        return (pattern_matches(self.dapplet_pattern, target)
+                and any(verb_matches(g, verb) for g in self.verbs))

@@ -18,6 +18,10 @@ class Invoke(Message):
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
     reply_to: "InboxAddress | None" = None
+    #: Calling dapplet's owning principal ("" when unowned). Owned
+    #: callees check ``rpc.call:<method>`` against it; the default
+    #: keeps pre-registry frames serializing byte-identically.
+    principal: str = ""
 
 
 @message_type("rpc.reply")

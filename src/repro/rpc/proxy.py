@@ -36,11 +36,19 @@ class RemoteProxy:
         self._dispatcher = dapplet.spawn(self._dispatch(),
                                          name=f"rpc-proxy:{pointer}")
 
+    @property
+    def _principal(self) -> str:
+        """The owning principal every Invoke is stamped with ("" when
+        the calling dapplet is unowned)."""
+        owner = self.dapplet.owner
+        return owner.name if owner is not None else ""
+
     def invoke(self, method: str, *args: Any, **kwargs: Any) -> None:
         """Asynchronous RPC: send and forget."""
         self.calls_sent += 1
         self._outbox.send(Invoke(call_id=next(self._call_ids), method=method,
-                                 args=args, kwargs=kwargs, reply_to=None))
+                                 args=args, kwargs=kwargs, reply_to=None,
+                                 principal=self._principal))
 
     def call(self, method: str, *args: Any, timeout: float | None = None,
              **kwargs: Any) -> Event:
@@ -56,7 +64,8 @@ class RemoteProxy:
         self._pending[call_id] = result
         self._outbox.send(Invoke(call_id=call_id, method=method, args=args,
                                  kwargs=kwargs,
-                                 reply_to=self._reply_inbox.address))
+                                 reply_to=self._reply_inbox.address,
+                                 principal=self._principal))
         if timeout is not None:
             def expire() -> None:
                 pending = self._pending.pop(call_id, None)

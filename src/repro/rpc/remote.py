@@ -1,10 +1,12 @@
 """The callee side: exporting an object behind an inbox.
 
-Only public methods (no leading underscore) are invocable; the server
-thread applies one invocation at a time, so exported objects get the
-paper's monitor-like mutual exclusion for free within one export. A
-callee exception is reported back to synchronous callers (and counted
-but dropped for one-way invocations, matching fire-and-forget
+Only public methods (no leading underscore) are invocable; on an
+*owned* dapplet the calling principal must additionally hold an
+``rpc.call:<method>`` capability grant (see :mod:`repro.registry`).
+The server thread applies one invocation at a time, so exported objects
+get the paper's monitor-like mutual exclusion for free within one
+export. A callee exception is reported back to synchronous callers (and
+counted but dropped for one-way invocations, matching fire-and-forget
 semantics).
 """
 
@@ -54,6 +56,19 @@ class RemoteObject:
             self.errors += 1
             return Reply(msg.call_id, ok=False, error_type="PermissionError",
                          error_message=f"method {msg.method!r} is not public")
+        owner = self.dapplet.owner
+        if owner is not None:
+            # Owned exporter: the calling principal needs a per-method
+            # grant (audited as a reg allow/deny event either way).
+            verb = f"rpc.call:{msg.method}"
+            if not self.dapplet.world.registry.check(
+                    msg.principal, self.dapplet.manifest_name, verb,
+                    owner=owner.name, node=self.dapplet.address):
+                self.errors += 1
+                return Reply(
+                    msg.call_id, ok=False, error_type="PermissionError",
+                    error_message=f"capability:{verb} denied for "
+                                  f"principal {msg.principal!r}")
         method = getattr(self.obj, msg.method, None)
         if method is None or not callable(method):
             self.errors += 1

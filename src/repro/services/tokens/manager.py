@@ -36,7 +36,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING
 
-from repro.errors import DeadlockDetected, TokenError
+from repro.errors import CapabilityDenied, DeadlockDetected, TokenError
 from repro.mailbox.outbox import Outbox
 from repro.net.address import InboxAddress
 from repro.services.tokens import messages as tm
@@ -114,6 +114,10 @@ class TokenCoordinator:
         self.inbox = dapplet.create_inbox(name=name)
         self.grants = 0
         self.deadlocks = 0
+        self.denials = 0
+        #: agent -> owning principal, learned from stamped requests; used
+        #: for per-principal quota accounting (see :meth:`_denied_reason`).
+        self._agent_principal: dict[str, str] = {}
         self.server = dapplet.spawn(self._serve(), name="token-coordinator")
 
     @property
@@ -191,11 +195,60 @@ class TokenCoordinator:
             if color not in self.totals:
                 self._send(msg.reply_to, tm.DeadlockNotice(msg.req_id, ()))
                 return
+        reason = self._denied_reason(msg)
+        if reason is not None:
+            self.denials += 1
+            tr = self.dapplet.kernel.tracer
+            if tr is not None:
+                tr.emit("tokens", "denied", node=self.dapplet.address,
+                        agent=msg.agent, principal=msg.principal,
+                        reason=reason)
+            self._send(msg.reply_to, tm.Denied(msg.req_id, reason))
+            return
         blocked = _Blocked(msg, next(self._seq))
         self._agent_inboxes[msg.agent] = msg.reply_to
         self._blocked.append(blocked)
         self._drain()
         self._detect_all()
+
+    def _denied_reason(self, msg: tm.Request) -> str | None:
+        """Why an owned dapplet's request must be refused, or None.
+
+        Unstamped requests (``principal == ""``) pass untouched — the
+        pre-registry world. A stamped request needs a
+        ``token.request:<color>`` grant per colour, and must not push
+        the principal's concurrently-held count of any quota'd colour
+        past its quota. The quota check is admission-time: requests the
+        principal already has *blocked* are not counted, only grants it
+        holds — release-before-re-request (the paper's deadlock-free
+        discipline) makes the two equivalent.
+        """
+        if not msg.principal:
+            return None
+        world = getattr(self.dapplet, "world", None)
+        if world is None:
+            return None
+        from repro.registry.registry import TOKEN_RESOURCE
+        registry = world.registry
+        self._agent_principal[msg.agent] = msg.principal
+        for color in sorted(msg.tokens):
+            verb = f"token.request:{color}"
+            if not registry.check(msg.principal, TOKEN_RESOURCE, verb,
+                                  node=self.dapplet.address):
+                return f"capability:{verb}"
+        for color in sorted(msg.tokens):
+            quota = registry.quota_for(msg.principal, TOKEN_RESOURCE,
+                                       f"token.request:{color}")
+            if quota is None:
+                continue
+            n = msg.tokens[color]
+            need = self.totals.get(color, 0) if n == ALL else n
+            held = sum(h.get(color, 0)
+                       for agent, h in self.holders.items()
+                       if self._agent_principal.get(agent, "") == msg.principal)
+            if held + need > quota:
+                return f"quota:{color}"
+        return None
 
     def _detect_all(self) -> None:
         """Fail every blocked request on a wait-for cycle.
@@ -352,12 +405,22 @@ class TokenAgent:
         self.transfers_received: list[tuple[str, dict[str, int]]] = []
         self.dispatcher = dapplet.spawn(self._dispatch(), name="token-agent")
 
+    @property
+    def _principal(self) -> str:
+        """The owning principal every request is stamped with ("" when
+        the dapplet is unowned — such requests are never gated)."""
+        owner = self.dapplet.owner
+        return owner.name if owner is not None else ""
+
     def request(self, tokens: dict) -> Event:
         """Block until the requested tokens are granted.
 
         Yields the granted ``{color: count}`` map (with ``"all"``
         resolved). Fails with :class:`DeadlockDetected` if the managers
-        detect a deadlock involving this request.
+        detect a deadlock involving this request, or with
+        :class:`~repro.errors.CapabilityDenied` if the owning principal
+        lacks a ``token.request:<color>`` grant or would exceed its
+        quota (see :mod:`repro.registry`).
         """
         tokens = _validate_tokens(tokens)
         req_id = next(self._req_ids)
@@ -365,7 +428,8 @@ class TokenAgent:
         self._pending[req_id] = event
         self.outbox.send(tm.Request(
             req_id=req_id, agent=self.name, tokens=tokens,
-            reply_to=self.inbox.address, timestamp=self._timestamp()))
+            reply_to=self.inbox.address, timestamp=self._timestamp(),
+            principal=self._principal))
         return event
 
     def release(self, tokens: dict) -> None:
@@ -442,6 +506,15 @@ class TokenAgent:
                         f"token request of {self.name!r} is deadlocked "
                         f"(cycle: {' -> '.join(msg.cycle) or 'unknown colour'})",
                         cycle=msg.cycle))
+            elif isinstance(msg, tm.Denied):
+                waiter = self._pending.pop(msg.req_id, None)
+                if waiter is not None:
+                    waiter.fail(CapabilityDenied(
+                        f"token request of {self.name!r} denied: "
+                        f"{msg.reason}",
+                        principal=self._principal,
+                        verb=msg.reason.removeprefix("capability:"),
+                        target="tokens"))
             elif isinstance(msg, tm.TransferNotice):
                 for color, n in msg.tokens.items():
                     self.holds[color] = self.holds.get(color, 0) + n

@@ -22,6 +22,23 @@ class Request(Message):
     tokens: dict  # color -> int | "all"
     reply_to: InboxAddress = None
     timestamp: int = 0  # logical time, used by the "timestamp" policy
+    #: Requesting dapplet's owning principal ("" when unowned). Sharded
+    #: managers check ``token.request:<color>`` grants and per-principal
+    #: quotas against it; the default keeps pre-registry frames
+    #: serializing byte-identically.
+    principal: str = ""
+
+
+@message_type("tok.denied")
+@dataclass(frozen=True)
+class Denied(Message):
+    """A request refused outright (no queueing): the requesting
+    principal lacks a ``token.request:<color>`` grant or would exceed
+    its quota. ``reason`` is ``"capability:<verb>"`` or
+    ``"quota:<color>"``."""
+
+    req_id: int
+    reason: str = ""
 
 
 @message_type("tok.grant")
@@ -102,6 +119,9 @@ class Prepare(Message):
     colors: dict  # color -> int | "all"
     origin: str = ""
     timestamp: int = 0
+    #: Requesting principal, forwarded so home shards account
+    #: per-principal quota usage ("" = unowned, never quota'd).
+    principal: str = ""
 
 
 @message_type("tok.prepared")
@@ -111,6 +131,18 @@ class Prepared(Message):
 
     gid: str
     colors: dict
+
+
+@message_type("tok.prepare_denied")
+@dataclass(frozen=True)
+class PrepareDenied(Message):
+    """Home shard refused ``gid`` outright instead of queueing it: the
+    requesting principal's per-colour quota would be exceeded. The
+    coordinating shard aborts any already-prepared groups and relays a
+    :class:`Denied` to the agent."""
+
+    gid: str
+    reason: str = ""
 
 
 @message_type("tok.commit")

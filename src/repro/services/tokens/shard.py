@@ -40,6 +40,16 @@ Distributed deadlock detection
     on the cycle self-detects, and its coordinator aborts it with
     :class:`~repro.errors.DeadlockDetected`.
 
+Multi-tenancy (:mod:`repro.registry`)
+    Requests from *owned* dapplets arrive stamped with their principal.
+    The coordinating shard refuses a request whose principal lacks a
+    ``token.request:<color>`` grant (before any 2PC traffic), and each
+    home shard refuses a Prepare that would push the principal's
+    reserved + held count of a quota'd colour past its grant — the
+    coordinator aborts the half-made exchange and the agent's request
+    fails with :class:`~repro.errors.CapabilityDenied`. Unstamped
+    requests behave exactly as before the registry existed.
+
 Conservation is *instantaneous*, not just quiescent: tokens move
 between ``pool``, ``reserved`` and ``holders`` ledgers inside exactly
 one home shard — no message ever carries a token in flight — so
@@ -135,7 +145,8 @@ class ShardRing:
 class _Queued:
     """Home-shard record of one blocked (un-reservable) prepare."""
 
-    __slots__ = ("gid", "agent", "colors", "origin", "timestamp", "seq")
+    __slots__ = ("gid", "agent", "colors", "origin", "timestamp", "seq",
+                 "principal")
 
     def __init__(self, msg: tm.Prepare, seq: int) -> None:
         self.gid = msg.gid
@@ -144,6 +155,7 @@ class _Queued:
         self.origin = msg.origin
         self.timestamp = msg.timestamp
         self.seq = seq
+        self.principal = msg.principal
 
     @property
     def key(self) -> tuple:
@@ -155,7 +167,7 @@ class _Coordinated:
     """Coordinator-side record of one in-flight multi-shard grant."""
 
     __slots__ = ("gid", "req_id", "agent", "reply_to", "timestamp",
-                 "groups", "idx", "prepared", "t0")
+                 "groups", "idx", "prepared", "t0", "principal")
 
     def __init__(self, gid: str, msg: tm.Request,
                  groups: list[tuple[str, dict]], t0: float) -> None:
@@ -168,6 +180,7 @@ class _Coordinated:
         self.idx = 0                       # next group to prepare
         self.prepared: dict[str, dict] = {}  # shard -> resolved counts
         self.t0 = t0
+        self.principal = msg.principal
 
 
 class TokenShard:
@@ -217,9 +230,16 @@ class TokenShard:
         self._outboxes: dict[InboxAddress, Outbox] = {}
         self._gids = itertools.count(1)
         self._seq = itertools.count()
+        #: principal -> {color: reserved + held} for home colours; the
+        #: ledger quota checks read (see :meth:`_quota_denial`).
+        self._principal_held: dict[str, dict[str, int]] = {}
+        #: agent -> owning principal, learned from prepares; releases
+        #: and transfers only carry the agent name.
+        self._agent_principal: dict[str, str] = {}
         self.grants = 0
         self.deadlocks = 0
         self.forwards = 0
+        self.denials = 0
         self.probes_sent = 0
         self.probes_received = 0
         self.inbox = dapplet.create_inbox(name=name)
@@ -239,7 +259,7 @@ class TokenShard:
     def local_totals(self) -> dict[str, int]:
         """Live per-colour accounting: pool + reserved + held."""
         live = dict(self.pool)
-        for _, colors in self._reserved.values():
+        for _, colors, _ in self._reserved.values():
             for color, n in colors.items():
                 live[color] = live.get(color, 0) + n
         for held in self.holders.values():
@@ -286,6 +306,8 @@ class TokenShard:
             self._on_prepare(msg)
         elif isinstance(msg, tm.Prepared):
             self._on_prepared(msg)
+        elif isinstance(msg, tm.PrepareDenied):
+            self._on_prepare_denied(msg)
         elif isinstance(msg, tm.Commit):
             self._on_commit(msg)
         elif isinstance(msg, tm.Abort):
@@ -354,17 +376,47 @@ class TokenShard:
             if color not in self.global_totals:
                 self._send(msg.reply_to, tm.DeadlockNotice(msg.req_id, ()))
                 return
+        reason = self._capability_denial(msg)
+        if reason is not None:
+            self.denials += 1
+            self._trace("denied", agent=msg.agent, principal=msg.principal,
+                        reason=reason)
+            self._send(msg.reply_to, tm.Denied(msg.req_id, reason))
+            return
         gid = f"{self.name}/{next(self._gids)}"
         groups = self.ring.split(msg.tokens)
         multi = _Coordinated(gid, msg, groups, self.dapplet.kernel.now)
         self._coordinating[gid] = multi
         self._prepare_next(multi)
 
+    def _capability_denial(self, msg: tm.Request) -> str | None:
+        """Coordinator-side capability gate (quota is the home shards').
+
+        A stamped request needs a ``token.request:<color>`` grant for
+        every colour it names; unstamped requests (``principal == ""``,
+        the pre-registry world) always pass. Checked before any 2PC
+        traffic, so a denied request costs no cross-shard messages.
+        """
+        if not msg.principal:
+            return None
+        world = getattr(self.dapplet, "world", None)
+        if world is None:
+            return None
+        from repro.registry.registry import TOKEN_RESOURCE
+        registry = world.registry
+        for color in sorted(msg.tokens):
+            verb = f"token.request:{color}"
+            if not registry.check(msg.principal, TOKEN_RESOURCE, verb,
+                                  node=self.dapplet.address):
+                return f"capability:{verb}"
+        return None
+
     def _prepare_next(self, multi: _Coordinated) -> None:
         shard, colors = multi.groups[multi.idx]
         self._send_shard(shard, tm.Prepare(
             gid=multi.gid, agent=multi.agent, colors=colors,
-            origin=self.name, timestamp=multi.timestamp))
+            origin=self.name, timestamp=multi.timestamp,
+            principal=multi.principal))
 
     def _on_prepared(self, msg: tm.Prepared) -> None:
         multi = self._coordinating.get(msg.gid)
@@ -390,6 +442,24 @@ class TokenShard:
                     route=self.dapplet.kernel.now - multi.t0,
                     hops=len(multi.groups))
         self._send(multi.reply_to, tm.Grant(multi.req_id, need))
+
+    def _on_prepare_denied(self, msg: tm.PrepareDenied) -> None:
+        """A home shard refused a group on quota: fail the whole grant.
+
+        Groups before ``idx`` hold reservations — refund them with
+        aborts; the denying shard reserved nothing. The agent sees one
+        :class:`~repro.services.tokens.messages.Denied`, exactly as if
+        the coordinator had refused the request itself.
+        """
+        multi = self._coordinating.pop(msg.gid, None)
+        if multi is None:
+            return  # raced an abort: nothing left to refund here
+        self.denials += 1
+        for shard, _ in multi.groups[:multi.idx]:
+            self._send_shard(shard, tm.Abort(multi.gid))
+        self._trace("denied", agent=multi.agent, principal=multi.principal,
+                    reason=msg.reason)
+        self._send(multi.reply_to, tm.Denied(multi.req_id, msg.reason))
 
     def _on_deadlock_found(self, msg: tm.DeadlockFound) -> None:
         multi = self._coordinating.pop(msg.gid, None)
@@ -425,17 +495,78 @@ class TokenShard:
         return all(self.pool.get(c, 0) >= n for c, n in need.items())
 
     def _on_prepare(self, msg: tm.Prepare) -> None:
+        if msg.principal:
+            self._agent_principal[msg.agent] = msg.principal
+            reason = self._quota_denial(msg)
+            if reason is not None:
+                self.denials += 1
+                self._trace("quota_denied", agent=msg.agent,
+                            principal=msg.principal, reason=reason)
+                self._send_shard(msg.origin,
+                                 tm.PrepareDenied(msg.gid, reason))
+                return
         entry = _Queued(msg, next(self._seq))
         self._queue.append(entry)
         if not self._drain():
             # Still queued: the wait-for graph grew an edge.
             self._probe_sweep()
 
+    def _quota_denial(self, msg: tm.Prepare) -> str | None:
+        """Would reserving this group exceed the principal's quota?
+
+        Home shards own the ledgers, so the quota gate lives here, not
+        at the coordinator: ``_principal_held`` counts this principal's
+        reserved + held tokens of each home colour, and a group that
+        would push any quota'd colour past its
+        :meth:`~repro.registry.registry.Registry.quota_for` is refused
+        outright (no queueing — a quota'd wait could never be granted
+        by releases of *other* principals' tokens, so queueing would
+        just hide the denial).
+        """
+        world = getattr(self.dapplet, "world", None)
+        if world is None:
+            return None
+        from repro.registry.registry import TOKEN_RESOURCE
+        registry = world.registry
+        held = self._principal_held.get(msg.principal, {})
+        need = self._resolve(msg.colors)
+        for color in sorted(need):
+            quota = registry.quota_for(msg.principal, TOKEN_RESOURCE,
+                                       f"token.request:{color}")
+            if quota is not None and held.get(color, 0) + need[color] > quota:
+                return f"quota:{color}"
+        return None
+
+    def _quota_charge(self, principal: str, colors: Mapping[str, int]) -> None:
+        if not principal:
+            return
+        held = self._principal_held.setdefault(principal, {})
+        for color, n in colors.items():
+            held[color] = held.get(color, 0) + n
+
+    def _quota_refund(self, principal: str, colors: Mapping[str, int]) -> None:
+        # Clamped at zero: tokens transferred in from another principal
+        # were never charged here (see _on_transfer_apply).
+        if not principal:
+            return
+        held = self._principal_held.get(principal)
+        if held is None:
+            return
+        for color, n in colors.items():
+            left = max(0, held.get(color, 0) - n)
+            if left:
+                held[color] = left
+            else:
+                held.pop(color, None)
+        if not held:
+            del self._principal_held[principal]
+
     def _reserve(self, entry: _Queued) -> None:
         need = self._resolve(entry.colors)
         for color, n in need.items():
             self.pool[color] = self.pool.get(color, 0) - n
-        self._reserved[entry.gid] = (entry.agent, need)
+        self._reserved[entry.gid] = (entry.agent, need, entry.principal)
+        self._quota_charge(entry.principal, need)
         self._send_shard(entry.origin, tm.Prepared(entry.gid, need))
 
     def _drain(self) -> bool:
@@ -471,7 +602,7 @@ class TokenShard:
         reservation = self._reserved.pop(msg.gid, None)
         if reservation is None:
             return  # already aborted; the refund Abort is in flight
-        agent, colors = reservation
+        agent, colors, _ = reservation  # reserved already counted to quota
         held = self.holders.setdefault(agent, {})
         for color, n in colors.items():
             held[color] = held.get(color, 0) + n
@@ -482,9 +613,10 @@ class TokenShard:
     def _on_abort(self, msg: tm.Abort) -> None:
         reservation = self._reserved.pop(msg.gid, None)
         if reservation is not None:
-            _, colors = reservation
+            _, colors, principal = reservation
             for color, n in colors.items():
                 self.pool[color] = self.pool.get(color, 0) + n
+            self._quota_refund(principal, colors)
             self._drain()
             return
         self._queue = [e for e in self._queue if e.gid != msg.gid]
@@ -503,6 +635,8 @@ class TokenShard:
             if held[color] == 0:
                 del held[color]
             self.pool[color] = self.pool.get(color, 0) + count
+            self._quota_refund(self._agent_principal.get(msg.agent, ""),
+                               {color: count})
         self._drain()
 
     def _on_transfer_apply(self, msg: tm.TransferApply) -> None:
@@ -526,6 +660,12 @@ class TokenShard:
         dst = self.holders.setdefault(msg.to_agent, {})
         for color, count in moved.items():
             dst[color] = dst.get(color, 0) + count
+        # Re-attribute quota usage to the receiver's principal — if this
+        # shard has never seen a prepare from the receiver, usage lands
+        # on "" (untracked): transfers are cooperative, the quota gate
+        # bounds what a principal can *request*.
+        self._quota_refund(self._agent_principal.get(msg.agent, ""), moved)
+        self._quota_charge(self._agent_principal.get(msg.to_agent, ""), moved)
         self._send_shard(self.ring.home(msg.to_agent), tm.ForwardNotice(
             msg.to_agent, msg.agent, moved))
         # Moved holdings can close a wait-for cycle.
@@ -548,7 +688,7 @@ class TokenShard:
             for agent, held in self.holders.items():
                 if held.get(color, 0) > 0:
                     holders.add(agent)
-            for agent, colors in self._reserved.values():
+            for agent, colors, _ in self._reserved.values():
                 if colors.get(color, 0) > 0:
                     holders.add(agent)
         holders.discard(entry.agent)
@@ -665,6 +805,19 @@ class ShardedTokenService:
     @property
     def deadlocks(self) -> int:
         return sum(shard.deadlocks for shard in self.shards)
+
+    @property
+    def denials(self) -> int:
+        return sum(shard.denials for shard in self.shards)
+
+    def held_by_principal(self, principal: str) -> dict[str, int]:
+        """Quota-accounted (reserved + held) tokens of ``principal``,
+        summed over its home-shard ledgers."""
+        usage: dict[str, int] = {}
+        for shard in self.shards:
+            for color, n in shard._principal_held.get(principal, {}).items():
+                usage[color] = usage.get(color, 0) + n
+        return usage
 
     @property
     def forwards(self) -> int:

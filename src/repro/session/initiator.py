@@ -64,6 +64,12 @@ class Initiator(Dapplet):
         """Resolve member names through ``resolver`` from now on."""
         self.resolver = resolver
 
+    @property
+    def _principal(self) -> str:
+        """The owning principal every Prepare is stamped with ("" when
+        this initiator is unowned — the pre-registry open mode)."""
+        return self.owner.name if self.owner is not None else ""
+
     def _resolve_address(self, mspec: MemberSpec) -> Generator:
         """One member's node address: explicit > resolver > static dict.
 
@@ -85,7 +91,9 @@ class Initiator(Dapplet):
         """Run the link-up protocol; returns the :class:`Session`.
 
         Raises :class:`SessionRejected` if any member rejects (carrying
-        the paper's reason, ``"acl"`` or ``"interference"``), or
+        the reason: the paper's ``"acl"`` or ``"interference"``, or
+        ``"capability:<verb>"`` when an owned member's registry check
+        denied the initiating principal), or
         :class:`SessionError` if replies time out. On failure every
         member that accepted receives an abort, so no dapplet is left
         half-linked.
@@ -129,7 +137,7 @@ class Initiator(Dapplet):
                 session_id=session_id, app=spec.app, member=member,
                 initiator=self.address, reply_to=control.named_address,
                 inboxes=mspec.inboxes, regions=dict(mspec.regions),
-                queue=wait_for_regions))
+                queue=wait_for_regions, principal=self._principal))
 
         ports: dict[str, dict[str, InboxAddress]] = {}
         rejection: sm.Reject | None = None
@@ -220,7 +228,8 @@ class Initiator(Dapplet):
             session_id=session.session_id, app=session.spec.app,
             member=mspec.member, initiator=self.address,
             reply_to=record.control.named_address,
-            inboxes=mspec.inboxes, regions=dict(mspec.regions)))
+            inboxes=mspec.inboxes, regions=dict(mspec.regions),
+            principal=self._principal))
 
         msg = yield from self._await_matching(
             record, deadline,

@@ -2,8 +2,9 @@
 
 Every dapplet runs one: a server process on the well-known ``_session``
 inbox that speaks the link-up protocol. On ``Prepare`` it checks the
-access-control list and session interference (the paper's two rejection
-reasons), creates the member's session inboxes, and replies with their
+access-control list, the initiating principal's capability grants (on
+owned dapplets; see :mod:`repro.registry`) and session interference,
+creates the member's session inboxes, and replies with their
 global addresses; on ``Commit`` it builds and binds the outboxes, hands
 the application its :class:`SessionContext`, and reports ``Ready``; on
 ``Unlink``/``Abort`` it tears down. ``BindAdd``/``BindRemove`` rewire
@@ -38,15 +39,20 @@ TOMBSTONES = 256
 
 
 @dataclass
-class ManagerStats:
+class SessionStats:
     prepares: int = 0
     accepts: int = 0
     rejects_acl: int = 0
+    rejects_capability: int = 0
     rejects_interference: int = 0
     queued: int = 0
     commits: int = 0
     unlinks: int = 0
     aborts: int = 0
+
+
+#: Historical name of :class:`SessionStats`, kept for compatibility.
+ManagerStats = SessionStats
 
 
 @dataclass
@@ -72,7 +78,7 @@ class SessionManager:
     def __init__(self, dapplet: "Dapplet") -> None:
         self.dapplet = dapplet
         self.kernel = dapplet.kernel
-        self.stats = ManagerStats()
+        self.stats = SessionStats()
         self._entries: dict[str, _Entry] = {}
         #: Prepares held back by interference (queue=True), FIFO.
         self._admission_queue: list[sm.Prepare] = []
@@ -135,6 +141,23 @@ class SessionManager:
                     break
                 earlier.append(msg)
 
+    def _denied_verb(self, principal: str) -> "str | None":
+        """The first session-gate verb ``principal`` lacks, or ``None``.
+
+        Checked against the world registry: ``session.establish``
+        first, then each verb the dapplet's manifest ``requires``.
+        Every check emits a ``reg`` allow/deny audit event.
+        """
+        dapplet = self.dapplet
+        registry = dapplet.world.registry
+        target = dapplet.manifest_name
+        owner = dapplet.owner.name
+        for verb in ("session.establish", *dapplet.requires):
+            if not registry.check(principal, target, verb, owner=owner,
+                                  node=dapplet.address):
+                return verb
+        return None
+
     # -- the server loop -----------------------------------------------------
 
     def _serve(self):
@@ -174,6 +197,20 @@ class SessionManager:
             self._reply(msg.reply_to, sm.Reject(
                 msg.session_id, msg.member, reason="acl"))
             return
+        if self.dapplet.owner is not None:
+            # Owned dapplet: the initiating principal must hold
+            # session.establish plus every manifest-required verb.
+            denied = self._denied_verb(msg.principal)
+            if denied is not None:
+                self.stats.rejects_capability += 1
+                reason = f"capability:{denied}"
+                if tr is not None:
+                    tr.emit("session", "reject", node=self.dapplet.address,
+                            sid=msg.session_id, member=msg.member,
+                            reason=reason)
+                self._reply(msg.reply_to, sm.Reject(
+                    msg.session_id, msg.member, reason=reason))
+                return
         if not from_queue and any(q.session_id == msg.session_id
                                   for q in self._admission_queue):
             return  # already queued; a retry changes nothing

@@ -32,6 +32,11 @@ class Prepare(Message):
     #: ... are not *scheduled* concurrently"). ACL rejections are never
     #: queued.
     queue: bool = False
+    #: Name of the initiating dapplet's owning principal ("" when the
+    #: initiator is unowned). Owned targets check it against their
+    #: capability grants; the default keeps pre-registry frames
+    #: serializing byte-identically.
+    principal: str = ""
 
 
 @message_type("session.accept")

@@ -51,7 +51,7 @@ class World:
         :mod:`repro.net`).
     endpoint_options:
         Keyword arguments applied to every dapplet's transport endpoint
-        (e.g. ``rto_initial``, ``max_retries``, ``reliable``).
+        (e.g. ``rto_initial``, ``max_retries``, ``delivery``).
     encoded:
         Round-trip every simulated datagram through the binary wire
         codec at the network boundary (byte-parity mode; simulated
@@ -108,6 +108,10 @@ class World:
         #: exclusion requirement is asserted throughout the run.
         self.interference_monitor = None
         self.store = store
+        self._registry = None
+        self._dappstore_replicas: list[Dapplet] = []
+        self._manifest_config = None
+        self._auto_publish = False
         self._backends: dict[str, Any] = {}
         self._next_port: dict[str, int] = {}
         self._dapplets: dict[str, Dapplet] = {}
@@ -167,20 +171,132 @@ class World:
         """Create a dapplet of ``cls`` on ``host`` and register it.
 
         ``name`` must be unique in this world; it becomes the dapplet's
-        directory name. Extra keyword arguments go to the subclass
-        constructor.
+        directory name. ``owner=`` stamps the dapplet with its owning
+        :class:`~repro.registry.Principal` (registered in this world's
+        :attr:`registry`), switching on capability enforcement at its
+        session, RPC and token gates; ``requires=`` / ``schema=`` /
+        ``exports=`` override the manifest class attributes
+        per-instance. Remaining keyword arguments go to the subclass
+        constructor; all of them (ownership included) are replayed by
+        :meth:`restart_dapplet`.
         """
         if name in self._dapplets:
             raise DappletError(f"a dapplet named {name!r} already exists")
+        spec_kwargs = dict(kwargs)
+        owner = kwargs.pop("owner", None)
+        requires = kwargs.pop("requires", None)
+        schema = kwargs.pop("schema", None)
+        exports = kwargs.pop("exports", None)
         from repro.net.address import NodeAddress
         address = NodeAddress(host, self.allocate_port(host))
         instance = cls(self, address, name, **kwargs)
+        if owner is not None:
+            instance.owner = self.registry.principal(
+                str(owner), getattr(owner, "org", ""))
+        if requires is not None:
+            instance.requires = tuple(requires)
+        if schema is not None:
+            instance.schema = schema
+        if exports is not None:
+            instance.exports = tuple(exports)
         self._dapplets[name] = instance
-        self._dapplet_specs[name] = (cls, host, dict(kwargs))
+        self._dapplet_specs[name] = (cls, host, spec_kwargs)
         self.directory.register(name, address, kind=cls.kind)
         if self._auto_enroll:
             self._enroll_new(instance)
+        if self._auto_publish and instance.owner is not None:
+            self._publish_new(instance)
         return instance
+
+    # -- multi-tenancy (repro.registry) -------------------------------------
+
+    @property
+    def registry(self):
+        """This world's capability :class:`~repro.registry.Registry`
+        (created on first use). Every enforcement point consults it;
+        with no owners and no grants every check short-circuits to the
+        pre-registry open behaviour."""
+        if self._registry is None:
+            from repro.registry import Registry
+            self._registry = Registry(self.substrate)
+        return self._registry
+
+    def host_dappstore(self, hosts: "int | list[str]" = 3, *,
+                       config: Any | None = None,
+                       auto_publish: bool = True) -> list[Dapplet]:
+        """Deploy N replicated DAppStore catalogs (see ``repro.registry``).
+
+        ``hosts`` is either a replica count (each on its own synthetic
+        ``storeN.example.org`` host) or an explicit list of host names.
+        The replicas gossip manifests with each other; *owned* dapplets
+        already installed are published (given a lease-renewing
+        :class:`~repro.registry.PublishAgent`), and — with
+        ``auto_publish`` (the default) — so is every owned dapplet
+        created afterwards.
+
+        Call once, before :meth:`run`. Returns the replicas.
+        """
+        from repro.discovery import LeaseConfig
+        from repro.registry import DAppStoreReplica
+        if self._dappstore_replicas:
+            raise DappletError("this world already hosts a DAppStore")
+        if isinstance(hosts, int):
+            hosts = [f"store{i}.example.org" for i in range(hosts)]
+        if not hosts:
+            raise DappletError("host_dappstore needs >= 1 host")
+        self._manifest_config = config or LeaseConfig()
+        existing = self.dapplets()
+        for i, host in enumerate(hosts):
+            replica = self.dapplet(DAppStoreReplica, host, f"_store{i}",
+                                   config=self._manifest_config)
+            self._dappstore_replicas.append(replica)
+        addresses = self.dappstore_addresses()
+        for replica in self._dappstore_replicas:
+            replica.set_peers(a for a in addresses if a != replica.address)
+        self._auto_publish = auto_publish
+        for dapplet in existing:
+            if dapplet.owner is not None:
+                self._publish_new(dapplet)
+        return list(self._dappstore_replicas)
+
+    @property
+    def dappstore_replicas(self) -> list[Dapplet]:
+        """The store replicas hosted by :meth:`host_dappstore`."""
+        return list(self._dappstore_replicas)
+
+    def dappstore_addresses(self) -> list["NodeAddress"]:
+        """Node addresses of the hosted DAppStore replicas."""
+        return [r.address for r in self._dappstore_replicas]
+
+    def publish(self, dapplet: Dapplet) -> Any:
+        """Publish ``dapplet``'s manifest into the hosted DAppStore.
+
+        Attaches a :class:`~repro.registry.PublishAgent` as
+        ``dapplet.manifest_agent`` (idempotent) and returns it.
+        """
+        from repro.registry import PublishAgent
+        if not self._dappstore_replicas:
+            raise DappletError("no DAppStore hosted; call host_dappstore()")
+        agent = getattr(dapplet, "manifest_agent", None)
+        if agent is None:
+            agent = PublishAgent(dapplet, self.dappstore_addresses(),
+                                 config=self._manifest_config)
+            dapplet.manifest_agent = agent
+        return agent
+
+    def store_client_for(self, dapplet: Dapplet) -> Any:
+        """A :class:`~repro.registry.StoreClient` bound to ``dapplet``."""
+        from repro.registry import StoreClient
+        if not self._dappstore_replicas:
+            raise DappletError("no DAppStore hosted; call host_dappstore()")
+        return StoreClient(dapplet, self.dappstore_addresses(),
+                           config=self._manifest_config)
+
+    def _publish_new(self, dapplet: Dapplet) -> None:
+        from repro.registry import DAppStoreReplica
+        if isinstance(dapplet, DAppStoreReplica):
+            return
+        self.publish(dapplet)
 
     # -- durable state (repro.store) ----------------------------------------
 

@@ -4,7 +4,7 @@ The reliable path has its own battery in ``test_transport*.py``; this
 file covers the class machinery itself — the UNRELIABLE fast path (the
 legacy raw mode's new home, including its edge cases), the
 RELIABLE_SKIP abandon protocol, per-message overrides, and the
-constructor shim that maps ``reliable=False`` onto UNRELIABLE.
+rejection of the retired ``reliable=`` constructor shim.
 """
 
 import pytest
@@ -67,19 +67,19 @@ def test_send_rejects_unknown_class_override():
         ea.send(B.inbox(0), "x", channel="c", delivery="bogus")
 
 
-def test_reliable_shim_maps_to_classes():
-    """``reliable=False`` is a deprecated alias for the UNRELIABLE class."""
+def test_reliable_shim_is_gone():
+    """The retired ``reliable=`` boolean is a hard TypeError, not a
+    silently-ignored kwarg; the default class stays RELIABLE."""
     k = Kernel(seed=0)
     net = DatagramNetwork(k, latency=ConstantLatency(0.01))
-    raw = Endpoint(k, net, A, reliable=False)
-    assert raw.delivery == UNRELIABLE
-    assert not raw.reliable
+    with pytest.raises(TypeError):
+        Endpoint(k, net, A, reliable=False)
     rel = Endpoint(k, net, B)
     assert rel.delivery == RELIABLE
-    assert rel.reliable
+    assert not hasattr(rel, "reliable")
     skip = Endpoint(k, net, NodeAddress("c.edu", 1000),
                     delivery=RELIABLE_SKIP)
-    assert skip.reliable  # skip is a reliable-class endpoint
+    assert skip.delivery == RELIABLE_SKIP
 
 
 # -- UNRELIABLE -------------------------------------------------------------

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import AddressError, DeliveryTimeout
 from repro.net import (
+    UNRELIABLE,
     ConstantLatency,
     DatagramNetwork,
     Endpoint,
@@ -17,12 +18,12 @@ A = NodeAddress("a.edu", 1000)
 B = NodeAddress("b.edu", 1000)
 
 
-def make_pair(seed=0, *, latency=None, faults=None, reliable=True, **epkw):
+def make_pair(seed=0, *, latency=None, faults=None, **epkw):
     k = Kernel(seed=seed)
     net = DatagramNetwork(k, latency=latency or ConstantLatency(0.02),
                           faults=faults)
-    ea = Endpoint(k, net, A, reliable=reliable, **epkw)
-    eb = Endpoint(k, net, B, reliable=reliable, **epkw)
+    ea = Endpoint(k, net, A, **epkw)
+    eb = Endpoint(k, net, B, **epkw)
     return k, net, ea, eb
 
 
@@ -178,9 +179,9 @@ def test_unknown_inbox_counted_not_crashed():
     assert eb.stats.no_such_inbox == 1
 
 
-def test_raw_endpoint_loses_messages_under_loss():
-    """The legacy ``reliable=False`` shim rides the UNRELIABLE class."""
-    k, net, ea, eb = make_pair(seed=3, reliable=False,
+def test_unreliable_endpoint_loses_messages_under_loss():
+    """An UNRELIABLE-default endpoint (the retired raw mode's home)."""
+    k, net, ea, eb = make_pair(seed=3, delivery=UNRELIABLE,
                                faults=FaultPlan(drop_prob=0.5))
     got = collect_inbox(eb)
     for i in range(100):
@@ -190,11 +191,10 @@ def test_raw_endpoint_loses_messages_under_loss():
     assert ea.stats.unreliable_sent == 100
     assert ea.stats.data_retransmitted == 0
     assert eb.stats.unreliable_delivered == len(got)
-    assert not ea.reliable
 
 
-def test_raw_endpoint_rejects_timeout():
-    k, net, ea, eb = make_pair(reliable=False)
+def test_unreliable_endpoint_rejects_timeout():
+    k, net, ea, eb = make_pair(delivery=UNRELIABLE)
     with pytest.raises(ValueError):
         ea.send(B.inbox(0), "m", channel="c", timeout=1.0)
 

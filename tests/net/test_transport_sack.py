@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import AddressError, DeliveryTimeout
 from repro.net import (
+    UNRELIABLE,
     ConstantLatency,
     DatagramNetwork,
     Endpoint,
@@ -291,7 +292,7 @@ def test_send_on_closed_endpoint_raises():
     ea.close()
     with pytest.raises(AddressError):
         ea.send(B.inbox(0), "m", channel="c")
-    k2, net2, ec, ed = make_pair(reliable=False)
+    k2, net2, ec, ed = make_pair(delivery=UNRELIABLE)
     ec.close()
     with pytest.raises(AddressError):
         ec.send(B.inbox(0), "m", channel="c")

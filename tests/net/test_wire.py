@@ -25,7 +25,7 @@ from repro.net import (ConstantLatency, DatagramNetwork, Endpoint,
 from repro.net.datagram import Datagram
 from repro.net.wire import (BATCH_MAX_PAYLOADS, RELIABLE, RELIABLE_SKIP,
                             UNRELIABLE, FrameError, KIND_ACK, KIND_DATA,
-                            KIND_PROBE, KIND_RAW, KIND_SKIP,
+                            KIND_PROBE, KIND_SKIP,
                             MAX_FRAME_BYTES, decode_frame, encode_frame,
                             encode_frame_json)
 from repro.runtime import AsyncioSubstrate, SimSubstrate
@@ -84,11 +84,22 @@ def test_ack_frame_round_trips_with_and_without_options():
     assert rt(bare) == bare
 
 
-def test_raw_and_probe_frames_round_trip():
-    raw = Datagram(A, B, {"kind": KIND_RAW, "to": "svc", "ch": "c"}, "ping")
+def test_probe_frame_round_trips():
     probe = Datagram(A, B, {"kind": KIND_PROBE, "ch": "c"}, "")
-    assert rt(raw) == raw
     assert rt(probe) == probe
+
+
+def test_retired_raw_kind_is_strict_rejected():
+    """Wire id 3 (the retired RAW kind) is reserved: encoders refuse to
+    emit it and decoders reject it with the typed frame error."""
+    with pytest.raises(FrameError, match="unknown frame kind"):
+        encode_frame(Datagram(A, B, {"kind": "RAW", "to": "svc", "ch": "c"},
+                              "ping"))
+    probe = bytearray(encode_frame(
+        Datagram(A, B, {"kind": KIND_PROBE, "ch": "c"}, "")))
+    probe[2] = 3  # overwrite the kind byte with the reserved id
+    with pytest.raises(FrameError, match="reserved"):
+        decode_frame(bytes(probe))
 
 
 def test_data_frame_delivery_class_round_trips():
@@ -164,7 +175,7 @@ def test_binary_frames_are_smaller_than_json():
 
 
 def test_encode_rejects_oversized_frame():
-    d = Datagram(A, B, {"kind": KIND_RAW, "to": 0, "ch": "c"},
+    d = Datagram(A, B, {"kind": KIND_PROBE, "ch": "c"},
                  "x" * (MAX_FRAME_BYTES + 1))
     with pytest.raises(FrameError):
         encode_frame(d)
@@ -284,8 +295,9 @@ def test_single_oversized_payload_fails_typed(substrate):
     assert got == ["after"]
 
 
-def test_raw_oversized_payload_raises_typed(substrate):
-    sender = Endpoint(substrate, substrate.datagrams, A, reliable=False)
+def test_unreliable_oversized_payload_raises_typed(substrate):
+    sender = Endpoint(substrate, substrate.datagrams, A,
+                      delivery=UNRELIABLE)
     with pytest.raises(PayloadTooLarge):
         sender.send(B.inbox(0), "z" * (MAX_FRAME_BYTES + 1), "c")
 
@@ -298,8 +310,9 @@ def test_malformed_datagrams_dropped_and_counted(substrate):
     receiver.register_inbox(0, lambda p, src: got.append(p))
     service = substrate.datagrams
     bad = [b"garbage", json.dumps({"h": {}, "p": 0}).encode(),
-           encode_frame(Datagram(A, B, {"kind": KIND_RAW, "to": 0,
-                                        "ch": "c"}, "ok"))[:-30]]
+           encode_frame(Datagram(A, B, {"kind": KIND_DATA, "to": 0,
+                                        "ch": "c", "seq": 0, "ts": 0.0},
+                                 "ok"))[:-30]]
     if isinstance(substrate, AsyncioSubstrate):
         route = service.real_address(B)
         tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)

@@ -18,7 +18,7 @@ from hypothesis import given, settings, strategies as st
 from repro.net.address import NodeAddress
 from repro.net.datagram import Datagram
 from repro.net.wire import (FrameError, KIND_ACK, KIND_DATA, KIND_PROBE,
-                            KIND_RAW, decode_frame, encode_frame)
+                            KIND_SKIP, decode_frame, encode_frame)
 
 hosts = st.text(
     st.characters(codec="utf-8", exclude_characters=":"),
@@ -66,8 +66,9 @@ data_headers = st.fixed_dictionaries(
 ack_headers = ack_fields(with_ch=True).map(
     lambda f: {"kind": KIND_ACK, **f})
 
-raw_headers = st.fixed_dictionaries(
-    {"kind": st.just(KIND_RAW), "to": refs, "ch": channels})
+skip_headers = st.fixed_dictionaries(
+    {"kind": st.just(KIND_SKIP), "ch": channels,
+     "upto": st.integers(min_value=0, max_value=(1 << 32) - 1)})
 
 probe_headers = st.fixed_dictionaries(
     {"kind": st.just(KIND_PROBE), "ch": channels})
@@ -75,7 +76,7 @@ probe_headers = st.fixed_dictionaries(
 
 @st.composite
 def datagrams(draw):
-    kind = draw(st.sampled_from([KIND_DATA, KIND_ACK, KIND_RAW, KIND_PROBE]))
+    kind = draw(st.sampled_from([KIND_DATA, KIND_ACK, KIND_SKIP, KIND_PROBE]))
     src = draw(addresses)
     dst = draw(addresses)
     if kind == KIND_DATA:
@@ -90,8 +91,8 @@ def datagrams(draw):
         return Datagram(src, dst, header, draw(payloads))
     if kind == KIND_ACK:
         return Datagram(src, dst, draw(ack_headers), "")
-    if kind == KIND_RAW:
-        return Datagram(src, dst, draw(raw_headers), draw(payloads))
+    if kind == KIND_SKIP:
+        return Datagram(src, dst, draw(skip_headers), "")
     return Datagram(src, dst, draw(probe_headers), "")
 
 

@@ -147,7 +147,8 @@ class TestTracer:
 
     def test_all_categories_are_known(self):
         assert set(CATEGORIES) == {"kernel", "net", "ep", "mbox",
-                                   "session", "tokens", "dir", "store"}
+                                   "session", "tokens", "dir", "store",
+                                   "reg"}
 
 
 class TestHistogram:

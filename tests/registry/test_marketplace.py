@@ -1,0 +1,182 @@
+"""Acceptance: the capability-gated marketplace, on both substrates.
+
+Three principals; one revoked mid-run. The revoked principal's next
+session establish, next RPC and next token request must all be denied
+(with ``reg`` audit events), the surviving principal's already-open
+session must keep working, and token conservation must hold throughout.
+Mirrors ``examples/marketplace.py`` as a test with hard assertions.
+"""
+
+from repro import Dapplet, Initiator, SessionSpec, Tracer, World
+from repro.errors import CapabilityDenied, RpcError, SessionRejected
+from repro.messages import Text
+from repro.net import ConstantLatency
+from repro.registry import TOKEN_RESOURCE
+from repro.rpc import RemoteProxy, export
+from repro.runtime import AsyncioSubstrate
+from repro.services.tokens import TokenAgent, TokenCoordinator
+
+
+class Storefront(Dapplet):
+    kind = "shop"
+
+    def on_session_start(self, ctx):
+        def serve():
+            while ctx.active:
+                msg = yield ctx.inbox("in").receive()
+                ctx.outbox("out").send(Text(f"receipt:{msg.text}"))
+        return serve()
+
+
+class Shopper(Dapplet):
+    kind = "app"
+
+    def on_session_start(self, ctx):
+        self.ctx = ctx
+        return None
+
+
+class PriceList:
+    def price(self, item: str) -> int:
+        return {"widget": 3, "gadget": 7}.get(item, 1)
+
+
+def shop_spec(member: str) -> SessionSpec:
+    spec = SessionSpec("shopping")
+    spec.add_member("storefront", inboxes=("in",))
+    spec.add_member(member, inboxes=("in",))
+    spec.bind(member, "out", "storefront", "in")
+    spec.bind("storefront", "out", member, "in")
+    return spec
+
+
+def run_marketplace(world: World, *, with_store: bool,
+                    wall_timeout: "float | None" = None) -> dict:
+    """Drive the scenario in ``world``; return every observed outcome."""
+    registry = world.registry
+    alice = registry.principal("alice", org="acme")
+    bob = registry.principal("bob", org="bobco")
+    carol = registry.principal("carol", org="carolco")
+    for consumer in (bob, carol):
+        registry.grant(consumer, "acme/**",
+                       ("session.establish", "rpc.call:price"))
+        registry.grant(consumer, TOKEN_RESOURCE,
+                       ("token.request:credit",), quota=2)
+
+    if with_store:
+        world.host_dappstore(2)
+    shop = world.dapplet(Storefront, "shop.acme.com", "storefront",
+                         owner=alice, exports=("price",),
+                         schema="storefront/v1")
+    bob_app = world.dapplet(Shopper, "bob.example.org", "bob-app",
+                            owner=bob)
+    carol_app = world.dapplet(Shopper, "carol.example.org", "carol-app",
+                              owner=carol)
+    bob_init = world.dapplet(Initiator, "bob.example.org", "bob-init",
+                             owner=bob)
+    carol_init = world.dapplet(Initiator, "carol.example.org",
+                               "carol-init", owner=carol)
+    bank = world.dapplet(Shopper, "bank.example.org", "bank")
+    prices = export(shop, PriceList(), name="prices")
+    coordinator = TokenCoordinator(bank, {"credit": 4})
+    out: dict = {}
+
+    def director():
+        if with_store:
+            yield shop.manifest_agent.published
+            catalog = world.store_client_for(bank)
+            manifest = yield from catalog.lookup(shop.manifest_name)
+            out["catalog_owner"] = manifest.owner
+            out["catalog_methods"] = manifest.methods
+
+        session = yield from carol_init.establish(shop_spec("carol-app"),
+                                                  timeout=30.0)
+        carol_app.ctx.outbox("out").send(Text("carol:widget"))
+        reply = yield carol_app.ctx.inbox("in").receive()
+        out["carol_receipt"] = reply.text
+        yield from session.terminate()
+
+        bob_session = yield from bob_init.establish(shop_spec("bob-app"),
+                                                    timeout=30.0)
+        bob_proxy = RemoteProxy(bob_app, prices.pointer)
+        carol_proxy = RemoteProxy(carol_app, prices.pointer)
+        out["carol_price"] = yield carol_proxy.call("price", "gadget",
+                                                    timeout=30.0)
+        carol_agent = TokenAgent(carol_app, coordinator.pointer)
+        granted = yield carol_agent.request({"credit": 2})
+        carol_agent.release(dict(granted))
+
+        out["dropped"] = registry.revoke(carol)
+        try:
+            yield from carol_init.establish(shop_spec("carol-app"),
+                                            timeout=30.0)
+            out["carol_establish_after"] = "allowed"
+        except SessionRejected as exc:
+            out["carol_establish_after"] = (exc.participant, exc.reason)
+        try:
+            yield carol_proxy.call("price", "widget", timeout=30.0)
+            out["carol_rpc_after"] = "allowed"
+        except RpcError as exc:
+            out["carol_rpc_after"] = exc.remote_type
+        try:
+            yield carol_agent.request({"credit": 1})
+            out["carol_tokens_after"] = "allowed"
+        except CapabilityDenied as exc:
+            out["carol_tokens_after"] = exc.verb
+
+        # Bob's already-open session and grants are untouched.
+        bob_app.ctx.outbox("out").send(Text("bob:widget"))
+        reply = yield bob_app.ctx.inbox("in").receive()
+        out["bob_receipt"] = reply.text
+        out["bob_price"] = yield bob_proxy.call("price", "widget",
+                                                timeout=30.0)
+        bob_agent = TokenAgent(bob_app, coordinator.pointer)
+        granted = yield bob_agent.request({"credit": 2})
+        bob_agent.release(dict(granted))
+        yield from bob_session.terminate()
+
+    kwargs = {} if wall_timeout is None else {"wall_timeout": wall_timeout}
+    world.run(until=world.process(director()), **kwargs)
+    coordinator.check_conservation()
+    out["rejects_capability"] = shop.sessions.stats.rejects_capability
+    out["deny_verbs"] = {
+        e.fields["verb"] for e in world.tracer.events
+        if e.cat == "reg" and e.name == "deny"
+        and e.fields["principal"] == "carol"}
+    return out
+
+
+def assert_marketplace_outcomes(out: dict) -> None:
+    assert out["carol_receipt"] == "receipt:carol:widget"
+    assert out["carol_price"] == 7
+    assert out["dropped"] == 2
+    assert out["carol_establish_after"] == \
+        ("storefront", "capability:session.establish")
+    assert out["carol_rpc_after"] == "PermissionError"
+    assert out["carol_tokens_after"] == "token.request:credit"
+    assert out["bob_receipt"] == "receipt:bob:widget"
+    assert out["bob_price"] == 3
+    assert out["rejects_capability"] == 1
+    assert out["deny_verbs"] == {"session.establish", "rpc.call:price",
+                                 "token.request:credit"}
+
+
+def test_marketplace_on_the_simulator():
+    world = World(seed=21, latency=ConstantLatency(0.01), tracer=Tracer())
+    out = run_marketplace(world, with_store=True)
+    assert out["catalog_owner"] == "alice"
+    assert out["catalog_methods"] == ("price",)
+    assert_marketplace_outcomes(out)
+    # Drain: store replicas gossip forever until everything stops.
+    for dapplet in list(world.dapplets()):
+        dapplet.stop()
+    world.run()
+
+
+def test_marketplace_on_asyncio():
+    world = World(substrate=AsyncioSubstrate(seed=22), tracer=Tracer())
+    try:
+        out = run_marketplace(world, with_store=False, wall_timeout=60)
+        assert_marketplace_outcomes(out)
+    finally:
+        world.close()

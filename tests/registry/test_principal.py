@@ -1,0 +1,85 @@
+"""Unit tests: Principal identity, pattern and verb matching, Capability."""
+
+import pytest
+
+from repro.registry import Capability, Principal, pattern_matches, verb_matches
+
+
+class TestPrincipal:
+    def test_namespace_defaults_to_own_name(self):
+        assert Principal("alice").namespace == "alice"
+        assert Principal("alice", "acme").namespace == "acme"
+
+    def test_str_is_the_name(self):
+        assert str(Principal("alice", "acme")) == "alice"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Principal("alice").name = "eve"
+
+
+class TestPatternMatches:
+    @pytest.mark.parametrize("pattern,name", [
+        ("*", "acme/app/x"),
+        ("*", "anything"),
+        ("acme/app/x", "acme/app/x"),
+        ("acme/**", "acme"),
+        ("acme/**", "acme/app"),
+        ("acme/**", "acme/app/x/y"),
+        ("**", "acme/app/x"),
+        ("acme/*/x", "acme/app/x"),
+        ("*/app/*", "acme/app/x"),
+    ])
+    def test_matches(self, pattern, name):
+        assert pattern_matches(pattern, name)
+
+    @pytest.mark.parametrize("pattern,name", [
+        ("acme/app/x", "acme/app/y"),
+        ("acme/**", "evil/app/x"),
+        ("acme/*", "acme/app/x"),     # * is exactly one segment
+        ("acme/*", "acme"),
+        ("acme/app/x", "acme/app"),
+        ("acme/app", "acme/app/x"),
+    ])
+    def test_rejects(self, pattern, name):
+        assert not pattern_matches(pattern, name)
+
+
+class TestVerbMatches:
+    @pytest.mark.parametrize("granted,verb", [
+        ("session.establish", "session.establish"),
+        ("*", "rpc.call:read"),
+        ("rpc.call:*", "rpc.call:read"),
+        ("token.request:*", "token.request:gold"),
+    ])
+    def test_matches(self, granted, verb):
+        assert verb_matches(granted, verb)
+
+    @pytest.mark.parametrize("granted,verb", [
+        ("session.establish", "rpc.call:read"),
+        ("rpc.call:read", "rpc.call:bump"),
+        ("rpc.call:read", "rpc.call:*"),   # a grant is not a query
+        ("rpc.call:*", "token.request:gold"),
+    ])
+    def test_rejects(self, granted, verb):
+        assert not verb_matches(granted, verb)
+
+
+class TestCapability:
+    def test_matches_needs_pattern_and_verb(self):
+        cap = Capability("bob", "acme/**", ("session.establish",
+                                            "rpc.call:*"))
+        assert cap.matches("acme/app/x", "session.establish")
+        assert cap.matches("acme/app/x", "rpc.call:read")
+        assert not cap.matches("evil/app/x", "rpc.call:read")
+        assert not cap.matches("acme/app/x", "token.request:gold")
+
+    def test_normalizes_principal_and_verbs(self):
+        cap = Capability(Principal("bob", "acme"), "acme/**",
+                         ["rpc.call:read"])
+        assert cap.principal == "bob"
+        assert cap.verbs == ("rpc.call:read",)
+
+    def test_quota_defaults_to_unbounded(self):
+        assert Capability("bob", "tokens", ("token.request:gold",)).quota \
+            is None

@@ -1,0 +1,165 @@
+"""Unit tests: the Registry — grants, cached checks, revocation, audit."""
+
+import pytest
+
+from repro import Tracer
+from repro.errors import RegistryError
+from repro.registry import TOKEN_RESOURCE, Registry
+from repro.runtime import SimSubstrate
+
+
+def audited_registry():
+    substrate = SimSubstrate(seed=1)
+    tracer = Tracer().attach(substrate)
+    return Registry(substrate), tracer
+
+
+class TestPrincipals:
+    def test_interned_by_name(self):
+        registry = Registry()
+        assert registry.principal("alice", org="acme") \
+            is registry.principal("alice", org="acme")
+        assert registry.principal("alice") is registry.principal("alice",
+                                                                 org="acme")
+
+    def test_org_conflict_is_an_error(self):
+        registry = Registry()
+        registry.principal("alice", org="acme")
+        with pytest.raises(RegistryError):
+            registry.principal("alice", org="evil")
+
+    def test_listing_is_sorted(self):
+        registry = Registry()
+        for name in ("carol", "alice", "bob"):
+            registry.principal(name)
+        assert [p.name for p in registry.principals()] == \
+            ["alice", "bob", "carol"]
+
+
+class TestGrantsAndChecks:
+    def test_no_grant_means_deny(self):
+        registry = Registry()
+        assert not registry.check("bob", "acme/app/x", "session.establish")
+        assert registry.stats.denies == 1
+
+    def test_grant_allows_matching_checks(self):
+        registry = Registry()
+        registry.grant("bob", "acme/**", ("session.establish",))
+        assert registry.check("bob", "acme/app/x", "session.establish")
+        assert not registry.check("bob", "evil/app/x", "session.establish")
+        assert not registry.check("bob", "acme/app/x", "rpc.call:read")
+
+    def test_empty_verbs_is_an_error(self):
+        registry = Registry()
+        with pytest.raises(RegistryError):
+            registry.grant("bob", "acme/**", ())
+
+    def test_owner_always_passes_own_dapplets(self):
+        registry = Registry()
+        assert registry.check("alice", "acme/app/x", "rpc.call:admin",
+                              owner="alice")
+        assert not registry.check("bob", "acme/app/x", "rpc.call:admin",
+                                  owner="alice")
+
+    def test_decisions_are_cached_until_invalidated(self):
+        registry = Registry()
+        registry.grant("bob", "acme/**", ("session.establish",))
+        for _ in range(5):
+            assert registry.check("bob", "acme/app/x", "session.establish")
+        assert registry.stats.cache_misses == 1
+        assert registry.stats.cache_hits == 4
+        # A different owner key is a different decision.
+        registry.check("bob", "acme/app/x", "session.establish",
+                       owner="alice")
+        assert registry.stats.cache_misses == 2
+
+    def test_revocation_is_visible_on_the_next_check(self):
+        registry = Registry()
+        registry.grant("bob", "acme/**", ("session.establish",))
+        assert registry.check("bob", "acme/app/x", "session.establish")
+        assert registry.revoke("bob") == 1
+        assert not registry.check("bob", "acme/app/x", "session.establish")
+
+    def test_revoke_by_pattern_keeps_other_grants(self):
+        registry = Registry()
+        registry.grant("bob", "acme/**", ("session.establish",))
+        registry.grant("bob", "rice/**", ("session.establish",))
+        assert registry.revoke("bob", dapplet_pattern="acme/**") == 1
+        assert not registry.check("bob", "acme/app/x", "session.establish")
+        assert registry.check("bob", "rice/app/x", "session.establish")
+
+    def test_revoke_by_verb_matches_wildcard_grants(self):
+        registry = Registry()
+        registry.grant("bob", "acme/**", ("rpc.call:*",))
+        registry.grant("bob", "acme/**", ("session.establish",))
+        assert registry.revoke("bob", verb="rpc.call:read") == 1
+        assert not registry.check("bob", "acme/app/x", "rpc.call:bump")
+        assert registry.check("bob", "acme/app/x", "session.establish")
+
+    def test_revoking_nothing_returns_zero(self):
+        registry = Registry()
+        epoch = registry.epoch
+        assert registry.revoke("nobody") == 0
+        assert registry.epoch == epoch
+
+    def test_grants_for_and_epoch(self):
+        registry = Registry()
+        assert registry.grants_for("bob") == ()
+        e0 = registry.epoch
+        cap = registry.grant("bob", "acme/**", ("session.establish",))
+        assert registry.grants_for("bob") == (cap,)
+        assert registry.epoch == e0 + 1
+        registry.revoke("bob")
+        assert registry.epoch == e0 + 2
+
+
+class TestQuotas:
+    def test_most_permissive_matching_quota_wins(self):
+        registry = Registry()
+        registry.grant("bob", TOKEN_RESOURCE, ("token.request:gold",),
+                       quota=2)
+        registry.grant("bob", TOKEN_RESOURCE, ("token.request:*",), quota=5)
+        assert registry.quota_for("bob", TOKEN_RESOURCE,
+                                  "token.request:gold") == 5
+        assert registry.quota_for("bob", TOKEN_RESOURCE,
+                                  "token.request:iron") == 5
+
+    def test_no_quota_means_unbounded(self):
+        registry = Registry()
+        registry.grant("bob", TOKEN_RESOURCE, ("token.request:gold",))
+        assert registry.quota_for("bob", TOKEN_RESOURCE,
+                                  "token.request:gold") is None
+        assert registry.quota_for("carol", TOKEN_RESOURCE,
+                                  "token.request:gold") is None
+
+
+class TestAudit:
+    def test_checks_emit_allow_and_deny_events(self):
+        registry, tracer = audited_registry()
+        registry.grant("bob", "acme/**", ("session.establish",))
+        registry.check("bob", "acme/app/x", "session.establish",
+                       node="enforcer")
+        registry.check("bob", "acme/app/x", "session.establish")
+        registry.check("eve", "acme/app/x", "session.establish")
+        events = [(e.name, e.fields.get("principal"), e.fields.get("hit"))
+                  for e in tracer.events if e.cat == "reg"]
+        assert events == [("grant", "bob", None),
+                          ("allow", "bob", 0),
+                          ("allow", "bob", 1),
+                          ("deny", "eve", 0)]
+        allows = [e for e in tracer.events if e.name == "allow"]
+        assert allows[0].node == "enforcer"
+        # Synchronous checks take zero virtual time: deterministic clat.
+        assert all(e.fields["clat"] == 0.0 for e in allows)
+        assert tracer.summary()["histograms"]["reg.check"]["count"] == 3
+
+    def test_revoke_is_audited_with_drop_count(self):
+        registry, tracer = audited_registry()
+        registry.grant("bob", "acme/**", ("session.establish",))
+        registry.grant("bob", "rice/**", ("session.establish",))
+        registry.revoke("bob")
+        revokes = [e for e in tracer.events
+                   if e.cat == "reg" and e.name == "revoke"]
+        assert len(revokes) == 1
+        assert revokes[0].fields["dropped"] == 2
+        assert registry.stats.revokes == 2

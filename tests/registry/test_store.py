@@ -1,0 +1,156 @@
+"""Integration tests: the replicated DAppStore catalog.
+
+Manifest rows are discovery lease records: published to a home replica,
+kept alive by heartbeats, spread by gossip, tombstoned by the TTL sweep
+when the owner dies. Worlds hosting store replicas never quiesce
+(gossip/sweep timers run forever), so every test drives the simulator
+with ``run(until=...)`` only.
+"""
+
+import zlib
+
+from repro import Dapplet, World
+from repro.discovery import LeaseConfig
+from repro.net import ConstantLatency
+from repro.net.address import NodeAddress
+from repro.registry import Manifest, ManifestRecord, PublishAgent, StoreClient
+
+#: Sub-second lease timings so full expiry cycles fit in a short run.
+CFG = LeaseConfig(ttl=1.0, renew_interval=0.25, sweep_interval=0.2,
+                  gossip_interval=0.3, cache_ttl=0.3, request_timeout=0.5)
+
+
+class App(Dapplet):
+    kind = "app"
+
+
+def owned_world(seed=31):
+    world = World(seed=seed, latency=ConstantLatency(0.01))
+    alice = world.registry.principal("alice", org="acme")
+    world.host_dappstore(2, config=CFG)
+    shop = world.dapplet(App, "shop.acme.com", "shop", owner=alice,
+                         schema="shop/v1", exports=("price",),
+                         requires=("rpc.call:price",))
+    client_host = world.dapplet(App, "client.example.org", "viewer")
+    return world, shop, client_host
+
+
+def drive(world, director):
+    world.run(until=world.process(director()))
+
+
+def test_auto_publish_lookup_and_list():
+    world, shop, viewer = owned_world()
+    assert shop.manifest_name == "acme/app/shop"
+    found = {}
+
+    def director():
+        yield shop.manifest_agent.published
+        client = world.store_client_for(viewer)
+        found["manifest"] = yield from client.lookup("acme/app/shop")
+        found["names"] = yield from client.list("acme")
+        found["missing"] = yield from client.lookup("acme/app/ghost")
+
+    drive(world, director)
+    manifest = found["manifest"]
+    assert manifest.name == "acme/app/shop"
+    assert manifest.owner == "alice"
+    assert manifest.dapplet == "shop"
+    assert manifest.schema == "shop/v1"
+    assert manifest.methods == ("price",)
+    assert manifest.requires == ("rpc.call:price",)
+    assert found["names"] == ("acme/app/shop",)
+    assert found["missing"] is None
+    # Unowned dapplets are not published.
+    assert not hasattr(viewer, "manifest_agent")
+
+
+def test_manifest_record_wire_roundtrip():
+    record = ManifestRecord("acme/app/shop", NodeAddress("h", 2000),
+                            "alice", 3, 7, True, 14.0,
+                            manifest={"name": "acme/app/shop",
+                                      "owner": "alice"})
+    wire = record.to_wire(now=10.0)
+    assert wire["m"] == {"name": "acme/app/shop", "owner": "alice"}
+    assert wire["tl"] == 4.0      # relative TTL on the wire
+    back = ManifestRecord.from_wire(wire, now=20.0)
+    assert back.manifest == record.manifest
+    assert back.epoch == 3 and back.version == 7
+    assert back.expires_at == 24.0
+
+
+def test_name_taken_until_the_lease_runs_out():
+    """A live lease at another address blocks the name; the squatting
+    agent keeps retrying and wins once the holder's lease expires."""
+    world, shop, viewer = owned_world(seed=32)
+    squat_host = world.dapplet(App, "squat.evil.net", "squatter")
+    manifest = Manifest(name="acme/app/shop", owner="eve",
+                        dapplet="squatter")
+    outcome = {}
+
+    def director():
+        yield shop.manifest_agent.published
+        squatter = PublishAgent(squat_host, world.dappstore_addresses(),
+                                manifest=manifest, config=CFG)
+        # Several retry cycles: the name stays with its living holder.
+        yield world.kernel.timeout(3 * CFG.renew_interval + 0.05)
+        outcome["held"] = not squatter.published.triggered
+        shop.stop()               # heartbeats stop; the lease runs out
+        yield squatter.published  # granted within ttl + one retry
+        yield world.kernel.timeout(CFG.gossip_interval + 0.05)
+        client = world.store_client_for(viewer)
+        outcome["manifest"] = yield from client.lookup("acme/app/shop")
+
+    drive(world, director)
+    assert outcome["held"]
+    assert outcome["manifest"].owner == "eve"
+
+
+def test_unrenewed_manifest_expires_everywhere():
+    world, shop, viewer = owned_world(seed=33)
+    outcome = {}
+
+    def director():
+        yield shop.manifest_agent.published
+        shop.stop()
+        yield world.kernel.timeout(CFG.staleness_bound(2) + 0.5)
+        client = world.store_client_for(viewer)
+        outcome["manifest"] = yield from client.lookup("acme/app/shop")
+        outcome["names"] = yield from client.list("acme")
+
+    drive(world, director)
+    assert outcome["manifest"] is None
+    assert outcome["names"] == ()
+
+
+def test_gossip_spreads_records_to_the_non_home_replica():
+    world, shop, viewer = owned_world(seed=34)
+    addresses = world.dappstore_addresses()
+    home = zlib.crc32(b"acme/app/shop") % len(addresses)
+    other = addresses[1 - home]
+    outcome = {}
+
+    def director():
+        yield shop.manifest_agent.published
+        yield world.kernel.timeout(CFG.gossip_interval + 0.1)
+        client = StoreClient(viewer, [other], config=CFG)
+        outcome["manifest"] = yield from client.lookup("acme/app/shop")
+
+    drive(world, director)
+    assert outcome["manifest"].owner == "alice"
+
+
+def test_store_client_fails_over_a_dead_replica():
+    world, shop, viewer = owned_world(seed=35)
+    outcome = {}
+
+    def director():
+        yield shop.manifest_agent.published
+        yield world.kernel.timeout(CFG.gossip_interval + 0.1)
+        world.dappstore_replicas[0].stop()
+        client = world.store_client_for(viewer)
+        outcome["manifest"] = yield from client.lookup("acme/app/shop")
+
+    drive(world, director)
+    assert outcome["manifest"] is not None
+    assert outcome["manifest"].owner == "alice"

@@ -17,6 +17,7 @@ CASES = [
     ("global_snapshot.py", "consistent?"),
     ("lossy_wan.py", "DeliveryTimeout raised"),
     ("discovery_churn.py", "session formed despite replica crash"),
+    ("marketplace.py", "bob's session survived the revocation"),
 ]
 
 

@@ -14,6 +14,7 @@ from repro.errors import (
     ReceiveTimeout,
     RpcTimeout,
     SessionError,
+    SessionRejected,
 )
 from repro.messages import Text
 from repro.net import ConstantLatency, FaultPlan
@@ -342,6 +343,84 @@ def test_kill_mid_session_restart_from_checkpoint_real_udp(tmp_path):
         backend.close()
         world.close()
     _assert_crash_restart_outcome(log, checkpointed=True)
+
+
+def test_restart_from_checkpoint_retains_owner_grants_and_manifest():
+    """Crash + ``restart_dapplet(from_checkpoint=T)`` in an owned world:
+    the reborn dapplet keeps its owning principal and DAppStore name,
+    its manifest is re-published with a fresh lease, existing grants
+    keep working, and the capability gate still denies the ungranted."""
+    world = World(seed=76, latency=ConstantLatency(0.01),
+                  store=MemoryBackend())
+    alice = world.registry.principal("alice", org="acme")
+    bob = world.registry.principal("bob", org="acme")
+    mallory = world.registry.principal("mallory", org="evil")
+    world.host_dappstore(2)
+    world.registry.grant(bob, "acme/**", ("session.establish",))
+    sender = world.dapplet(Tracker, "caltech.edu", "a")
+    receiver = world.dapplet(DurableCounter, "rice.edu", "b", owner=alice)
+    initiator = world.dapplet(Initiator, "caltech.edu", "init", owner=bob)
+    intruder = world.dapplet(Initiator, "caltech.edu", "mall-init",
+                             owner=mallory)
+    store_name = receiver.manifest_name
+    assert store_name == "acme/durable-counter/b"
+    log = []
+
+    def director():
+        session = yield from initiator.establish(pair_spec(), timeout=60.0)
+        at_time = receiver.clock.time + 3
+        service = CheckpointService(receiver, at_time)
+        for i in range(6):
+            sender.ctx.outbox("out").send(Text(f"m{i}"))
+            yield world.substrate.timeout(0.05)
+        while receiver.state.region("tally").get("count", 0) < 6:
+            yield world.substrate.timeout(0.05)
+        live_count = receiver.state.region("tally").get("count")
+        receiver.stop()
+        yield from session.terminate(timeout=5.0)
+
+        reborn = world.restart_dapplet("b", from_checkpoint=at_time)
+        log.append(("rollback",
+                    reborn.state.region("tally").get("count", 0),
+                    live_count))
+        # Ownership and the hierarchical store name survive the restart.
+        assert reborn.owner is alice
+        assert reborn.manifest_name == store_name
+
+        # bob's grant still admits him against the recovered member...
+        session2 = yield from initiator.establish(pair_spec(), timeout=60.0)
+        log.append(("reestablished", session2.session_id))
+        # ...while mallory is still denied at the capability gate.
+        try:
+            yield from intruder.establish(pair_spec(), timeout=60.0)
+        except SessionRejected as exc:
+            log.append(("denied", exc.participant, exc.reason))
+        yield from session2.terminate()
+
+        # The manifest was re-enrolled under a live lease (the reborn's
+        # publish agent waits out the predecessor's lease, at most one
+        # TTL): a catalog lookup resolves it to the reborn instance.
+        yield reborn.manifest_agent.published
+        client = world.store_client_for(sender)
+        manifest = None
+        while manifest is None:  # anti-entropy reaches every replica
+            manifest = yield from client.lookup(store_name)
+            if manifest is None:
+                yield world.substrate.timeout(0.5)
+        log.append(("manifest", manifest.owner, manifest.dapplet))
+
+    # No trailing bare run(): store replicas gossip/sweep forever, so
+    # the simulator would never quiesce.
+    world.run(until=world.process(director()))
+    (_, recovered_count, live_count), (tag, _), denied, manifest_row = log
+    assert recovered_count < live_count  # rolled back to the time-T cut
+    assert tag == "reestablished"
+    assert denied == ("denied", "b", "capability:session.establish")
+    assert receiver.sessions.stats.rejects_capability == 0  # old instance
+    reborn = next(d for d in world.dapplets() if d.name == "b")
+    assert reborn.sessions.stats.rejects_capability == 1
+    assert manifest_row == ("manifest", "alice", "b")
+    assert world.registry.grants_for(bob)  # grants outlive the crash
 
 
 def test_interference_state_released_after_crash_teardown():
